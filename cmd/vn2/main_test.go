@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-arg run succeeded")
+	}
+	if err := run([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Errorf("bogus subcommand err = %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help err = %v", err)
+	}
+}
+
+func TestTracegenTrainDiagnosePipeline(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.csv")
+	modelPath := filepath.Join(dir, "model.json")
+
+	// Generate a small testbed trace.
+	if err := run([]string{"tracegen", "-scenario", "testbed-expansive", "-seed", "3", "-out", tracePath}); err != nil {
+		t.Fatalf("tracegen: %v", err)
+	}
+	info, err := os.Stat(tracePath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	// Train a model on it.
+	if err := run([]string{"train", "-in", tracePath, "-out", modelPath, "-rank", "8", "-all-states"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if info, err := os.Stat(modelPath); err != nil || info.Size() == 0 {
+		t.Fatalf("model file missing or empty: %v", err)
+	}
+
+	// Diagnose the trace with the model (output goes to stdout; only the
+	// exit status is checked here).
+	if err := run([]string{"diagnose", "-model", modelPath, "-in", tracePath}); err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+}
+
+func TestTracegenUnknownScenario(t *testing.T) {
+	if err := run([]string{"tracegen", "-scenario", "mars"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestTrainRequiresInput(t *testing.T) {
+	if err := run([]string{"train"}); err == nil {
+		t.Error("train without -in succeeded")
+	}
+	if err := run([]string{"train", "-in", "/nonexistent/file.csv"}); err == nil {
+		t.Error("train with missing file succeeded")
+	}
+}
+
+func TestDiagnoseRequiresFlags(t *testing.T) {
+	if err := run([]string{"diagnose"}); err == nil {
+		t.Error("diagnose without flags succeeded")
+	}
+	if err := run([]string{"diagnose", "-model", "/nope.json", "-in", "/nope.csv"}); err == nil {
+		t.Error("diagnose with missing files succeeded")
+	}
+}
+
+func TestSimulateRuns(t *testing.T) {
+	if err := run([]string{"simulate", "-nodes", "9", "-epochs", "3", "-seed", "2"}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+}
+
+func TestExperimentUnknownID(t *testing.T) {
+	if err := run([]string{"experiment", "nonexistent", "-quick"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentTable1(t *testing.T) {
+	if err := run([]string{"experiment", "table1", "-quick"}); err != nil {
+		t.Fatalf("experiment table1: %v", err)
+	}
+}
+
+func TestExperimentFlagBeforeID(t *testing.T) {
+	// Both orders must work: "experiment -quick table1" and
+	// "experiment table1 -quick".
+	if err := run([]string{"experiment", "-quick", "table1"}); err != nil {
+		t.Fatalf("flags-first order: %v", err)
+	}
+}
+
+func TestExplainSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run([]string{"tracegen", "-scenario", "testbed-local", "-seed", "4", "-out", tracePath}); err != nil {
+		t.Fatalf("tracegen: %v", err)
+	}
+	if err := run([]string{"train", "-in", tracePath, "-out", modelPath, "-rank", "6", "-all-states"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := run([]string{"explain", "-model", modelPath}); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if err := run([]string{"explain"}); err == nil {
+		t.Error("explain without -model succeeded")
+	}
+	if err := run([]string{"explain", "-model", "/nope.json"}); err == nil {
+		t.Error("explain with missing model succeeded")
+	}
+}
+
+func TestEpochsSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run([]string{"tracegen", "-scenario", "testbed-expansive", "-seed", "5", "-out", tracePath}); err != nil {
+		t.Fatalf("tracegen: %v", err)
+	}
+	if err := run([]string{"train", "-in", tracePath, "-out", modelPath, "-rank", "6", "-all-states"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := run([]string{"epochs", "-model", modelPath, "-in", tracePath}); err != nil {
+		t.Fatalf("epochs: %v", err)
+	}
+	if err := run([]string{"epochs"}); err == nil {
+		t.Error("epochs without flags succeeded")
+	}
+}

@@ -1,0 +1,176 @@
+// Online monitor: run the simulator and VN2 side by side — train a model
+// on a warm-up window, then watch each new epoch's states as they arrive.
+// A state first passes the exception detector (is it abnormal at all?) and
+// only then is diagnosed against Ψ (which root causes, how strongly) — the
+// "new network state coming up" loop of the paper's abstract.
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/env"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/wsn"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+const (
+	warmupEpochs  = 36
+	monitorEpochs = 16
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := wsn.GridTopology(6, 6, 11)
+	if err != nil {
+		return err
+	}
+	n, err := wsn.New(wsn.Config{Seed: 5, Topology: topo})
+	if err != nil {
+		return err
+	}
+
+	// Warm-up: collect a training window.
+	fmt.Printf("warm-up: %d epochs...\n", warmupEpochs)
+	ds := trace.NewDataset()
+	if err := collect(n, ds, warmupEpochs); err != nil {
+		return err
+	}
+	trainStates := ds.States()
+	model, report, err := vn2.Train(trainStates, vn2.TrainConfig{
+		Rank:              8,
+		CompressAllStates: true, // small window, as in the testbed study
+		Seed:              5,
+	})
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	det, err := trace.DetectExceptions(trainStates, 0)
+	if err != nil {
+		return fmt.Errorf("calibrate detector: %w", err)
+	}
+	// Alert when a state deviates more than almost every training state.
+	alertEps := quantile(rawScores(trainStates, det), 0.995)
+	fmt.Printf("model ready: Psi(%dx%d), %d training states, alert threshold eps=%.1f\n\n",
+		model.Rank, model.Metrics(), report.ExceptionStates, alertEps)
+
+	// Live loop: keep the last report per node, diff incoming reports into
+	// state vectors, screen them against the detector calibration, and
+	// diagnose the abnormal ones. Faults are injected mid-stream to watch
+	// the alerts fire.
+	last := make(map[uint16][]float64)
+	for epoch := 0; epoch < monitorEpochs; epoch++ {
+		switch epoch {
+		case 5:
+			fmt.Println(">>> injecting routing loop between nodes 7, 12, 13")
+			if err := n.InjectLoop(7, 12, 13); err != nil {
+				return err
+			}
+		case 9:
+			fmt.Println(">>> clearing loop; injecting interference near the grid center")
+			n.ClearForcedParents()
+			n.InjectInterference(env.Position{X: 30, Y: 30}, 90*time.Minute)
+		}
+		er, err := n.Step()
+		if err != nil {
+			return err
+		}
+		alerts := 0
+		for _, rep := range er.Reports {
+			vec, err := rep.Vector()
+			if err != nil {
+				return err
+			}
+			prev, ok := last[uint16(rep.C1.Node)]
+			last[uint16(rep.C1.Node)] = vec
+			if !ok {
+				continue
+			}
+			delta := make([]float64, len(vec))
+			for k := range vec {
+				delta[k] = vec[k] - prev[k]
+			}
+			state := trace.StateVector{Node: rep.C1.Node, Epoch: er.Epoch, Gap: 1, Delta: delta}
+			if scoreState(delta, det) < alertEps {
+				continue // normal
+			}
+			d, err := model.Diagnose(state)
+			if err != nil {
+				return err
+			}
+			alerts++
+			if len(d.Ranked) == 0 {
+				fmt.Printf("  ALERT node %-2d abnormal but unattributed (residual %.2f)\n",
+					rep.C1.Node, d.Residual)
+				continue
+			}
+			rc := d.Ranked[0]
+			exp, err := model.Explain(rc.Cause, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  ALERT node %-2d psi%d(%.2f) %s\n",
+				rep.C1.Node, rc.Cause+1, rc.Strength, exp.Category)
+		}
+		fmt.Printf("epoch %2d  PRR %.3f  alerts %d\n", er.Epoch, er.PRR, alerts)
+	}
+	return nil
+}
+
+// scoreState computes the detector's clipped squared deviation ε for one
+// state against the training calibration.
+func scoreState(delta []float64, det *trace.ExceptionResult) float64 {
+	const clip = 100.0
+	var eps float64
+	for k, v := range delta {
+		z := math.Abs(v-det.Center[k]) / det.Scale[k]
+		if z > clip {
+			z = clip
+		}
+		eps += z * z
+	}
+	return eps
+}
+
+// rawScores scores every training state.
+func rawScores(states []trace.StateVector, det *trace.ExceptionResult) []float64 {
+	out := make([]float64, len(states))
+	for i, s := range states {
+		out[i] = scoreState(s.Delta, det)
+	}
+	return out
+}
+
+// quantile returns the q-th quantile of v.
+func quantile(v []float64, q float64) float64 {
+	tmp := append([]float64(nil), v...)
+	sort.Float64s(tmp)
+	idx := int(q * float64(len(tmp)-1))
+	return tmp[idx]
+}
+
+func collect(n *wsn.Network, ds *trace.Dataset, epochs int) error {
+	for i := 0; i < epochs; i++ {
+		er, err := n.Step()
+		if err != nil {
+			return err
+		}
+		for _, rep := range er.Reports {
+			if err := ds.AddReport(er.Epoch, rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

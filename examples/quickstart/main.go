@@ -1,0 +1,77 @@
+// Quickstart: train a VN2 representative matrix on a synthetic CitySee-like
+// trace, then diagnose the detected exceptions and print their root causes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/tracegen"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Get a trace. In a real deployment this is what the sink collected;
+	//    here the bundled simulator generates two days of a 60-node urban
+	//    network with background faults.
+	fmt.Println("generating trace (60 nodes, 2 days)...")
+	res, err := tracegen.CitySeeTraining(tracegen.CitySeeOptions{Seed: 42, Days: 2, Nodes: 60})
+	if err != nil {
+		return fmt.Errorf("generate trace: %w", err)
+	}
+	states := res.Dataset.States()
+	fmt.Printf("collected %d reports -> %d state vectors\n", res.Dataset.Len(), len(states))
+
+	// 2. Train: exception extraction + NMF compression + sparsification.
+	model, report, err := vn2.Train(states, vn2.TrainConfig{Rank: 10, Seed: 1})
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	fmt.Printf("trained Psi(%dx%d) from %d exception states (alpha=%.3f)\n",
+		model.Rank, model.Metrics(), report.ExceptionStates, report.Accuracy)
+
+	// 3. Interpret each learned root cause (Problem 2).
+	for j := 0; j < model.Rank; j++ {
+		exp, err := model.Explain(j, 3)
+		if err != nil {
+			return fmt.Errorf("explain: %w", err)
+		}
+		fmt.Println(" ", exp.Summary())
+	}
+
+	// 4. Diagnose fresh exceptions (Problem 3).
+	det, err := trace.DetectExceptions(states, 0)
+	if err != nil {
+		return fmt.Errorf("detect: %w", err)
+	}
+	exceptions := det.Exceptions(states)
+	if len(exceptions) > 5 {
+		exceptions = exceptions[:5]
+	}
+	diags, err := model.DiagnoseBatch(exceptions, vn2.DiagnoseConfig{})
+	if err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	fmt.Println("sample diagnoses:")
+	for i, d := range diags {
+		s := exceptions[i]
+		fmt.Printf("  node %d epoch %d:", s.Node, s.Epoch)
+		for k, rc := range d.Ranked {
+			if k >= 2 {
+				break
+			}
+			fmt.Printf(" psi%d(%.2f)", rc.Cause+1, rc.Strength)
+		}
+		fmt.Println()
+	}
+	return nil
+}

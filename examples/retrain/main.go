@@ -1,0 +1,98 @@
+// Model lifecycle: train a model on week one, persist it, reload it later,
+// diagnose against it, and refresh it incrementally with week-two data via
+// the warm-started Update — the operational loop of a long-lived
+// deployment.
+//
+//	go run ./examples/retrain
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/tracegen"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const nodes = 50
+
+	fmt.Println("week 1: collecting and training...")
+	week1, err := tracegen.CitySeeTraining(tracegen.CitySeeOptions{Seed: 61, Days: 2, Nodes: nodes})
+	if err != nil {
+		return fmt.Errorf("week 1 trace: %w", err)
+	}
+	model, report, err := vn2.Train(week1.Dataset.States(), vn2.TrainConfig{Rank: 8, Seed: 61})
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	fmt.Printf("  Psi(%dx%d) from %d exceptions, alpha=%.3f\n",
+		model.Rank, model.Metrics(), report.ExceptionStates, report.Accuracy)
+
+	// Persist and reload — in production this would be a file.
+	var store bytes.Buffer
+	if err := model.Save(&store); err != nil {
+		return fmt.Errorf("save: %w", err)
+	}
+	fmt.Printf("  model persisted (%d bytes of JSON)\n", store.Len())
+	loaded, err := vn2.Load(&store)
+	if err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+
+	fmt.Println("week 2: collecting fresh data...")
+	week2, err := tracegen.CitySeeTraining(tracegen.CitySeeOptions{Seed: 62, Days: 2, Nodes: nodes})
+	if err != nil {
+		return fmt.Errorf("week 2 trace: %w", err)
+	}
+	states2 := week2.Dataset.States()
+
+	// Diagnose week-2 exceptions with the loaded week-1 model.
+	det, err := trace.DetectExceptions(states2, 0)
+	if err != nil {
+		return fmt.Errorf("detect: %w", err)
+	}
+	exceptions := det.Exceptions(states2)
+	diags, err := loaded.DiagnoseBatch(exceptions, vn2.DiagnoseConfig{Workers: -1})
+	if err != nil {
+		return fmt.Errorf("diagnose: %w", err)
+	}
+	attributed := 0
+	for _, d := range diags {
+		if d.Dominant() >= 0 {
+			attributed++
+		}
+	}
+	fmt.Printf("  week-1 model attributes %d/%d week-2 exceptions\n", attributed, len(exceptions))
+
+	// Refresh the model from week-2 data: the warm start reuses Psi, so
+	// the factorization converges in a handful of sweeps.
+	updated, upReport, err := loaded.Update(states2, vn2.TrainConfig{Seed: 62})
+	if err != nil {
+		return fmt.Errorf("update: %w", err)
+	}
+	fmt.Printf("updated model: %d sweeps (vs %d at cold training), alpha=%.3f on week-2 exceptions\n",
+		upReport.Iterations, report.Iterations, upReport.Accuracy)
+
+	// The refreshed basis still explains week-2 exceptions, now natively.
+	diags2, err := updated.DiagnoseBatch(exceptions, vn2.DiagnoseConfig{Workers: -1})
+	if err != nil {
+		return fmt.Errorf("diagnose updated: %w", err)
+	}
+	var before, after float64
+	for i := range diags {
+		before += diags[i].Residual
+		after += diags2[i].Residual
+	}
+	fmt.Printf("mean residual on week-2 exceptions: %.3f before update, %.3f after\n",
+		before/float64(len(diags)), after/float64(len(diags2)))
+	return nil
+}

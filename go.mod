@@ -1,0 +1,3 @@
+module github.com/wsn-tools/vn2
+
+go 1.22

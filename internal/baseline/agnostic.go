@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// ErrNotFitted reports use of an Agnostic detector before Fit.
+var ErrNotFitted = errors.New("baseline: agnostic detector not fitted")
+
+// Agnostic is a correlation-graph outlier detector in the spirit of
+// Agnostic Diagnosis: it learns the pairwise metric-correlation structure
+// of a healthy window and flags windows whose structure drifts. It answers
+// only "does this node perform well or not" — no root-cause explanation,
+// which is exactly the limitation VN2 extends past.
+type Agnostic struct {
+	ref       *mat.Dense // reference correlation matrix
+	threshold float64
+	m         int
+}
+
+// NewAgnostic builds an unfitted detector. threshold is the correlation-
+// distance above which a window is abnormal; ≤0 defaults to 0.35.
+func NewAgnostic(threshold float64) *Agnostic {
+	if threshold <= 0 {
+		threshold = 0.35
+	}
+	return &Agnostic{threshold: threshold}
+}
+
+// Fit learns the reference correlation graph from (presumed mostly healthy)
+// training states.
+func (a *Agnostic) Fit(states []trace.StateVector) error {
+	ref, m, err := correlationGraph(states)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	a.ref, a.m = ref, m
+	return nil
+}
+
+// scoreTopEdges is how many of the most-drifted correlation edges the
+// score averages. Averaging over all ~M²/2 pairs would dilute a localized
+// structural break (one broken protocol invariant) below noise.
+const scoreTopEdges = 5
+
+// Score computes the drift of a window's correlation graph from the
+// reference: the mean absolute correlation difference over the
+// scoreTopEdges most-drifted metric pairs.
+func (a *Agnostic) Score(window []trace.StateVector) (float64, error) {
+	if a.ref == nil {
+		return 0, ErrNotFitted
+	}
+	cur, m, err := correlationGraph(window)
+	if err != nil {
+		return 0, fmt.Errorf("score: %w", err)
+	}
+	if m != a.m {
+		return 0, fmt.Errorf("%w: window has %d metrics, reference %d", trace.ErrVectorLength, m, a.m)
+	}
+	diffs := make([]float64, 0, m*(m-1)/2)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			diffs = append(diffs, math.Abs(cur.At(i, j)-a.ref.At(i, j)))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(diffs)))
+	top := scoreTopEdges
+	if top > len(diffs) {
+		top = len(diffs)
+	}
+	var sum float64
+	for _, d := range diffs[:top] {
+		sum += d
+	}
+	return sum / float64(top), nil
+}
+
+// Abnormal reports whether the window's drift exceeds the threshold.
+func (a *Agnostic) Abnormal(window []trace.StateVector) (bool, float64, error) {
+	score, err := a.Score(window)
+	if err != nil {
+		return false, 0, err
+	}
+	return score >= a.threshold, score, nil
+}
+
+// correlationGraph computes the Pearson correlation matrix of the metric
+// deltas across states. Metrics with no variance correlate as zero.
+func correlationGraph(states []trace.StateVector) (*mat.Dense, int, error) {
+	if len(states) < 2 {
+		return nil, 0, fmt.Errorf("%w: need >= 2 states", trace.ErrEmpty)
+	}
+	m := len(states[0].Delta)
+	for i, s := range states {
+		if len(s.Delta) != m {
+			return nil, 0, fmt.Errorf("%w: state %d", trace.ErrVectorLength, i)
+		}
+	}
+	mean := make([]float64, m)
+	for _, s := range states {
+		for k, v := range s.Delta {
+			mean[k] += v
+		}
+	}
+	for k := range mean {
+		mean[k] /= float64(len(states))
+	}
+	std := make([]float64, m)
+	for _, s := range states {
+		for k, v := range s.Delta {
+			d := v - mean[k]
+			std[k] += d * d
+		}
+	}
+	for k := range std {
+		std[k] = math.Sqrt(std[k])
+	}
+	out := mat.MustNew(m, m)
+	for i := 0; i < m; i++ {
+		out.Set(i, i, 1)
+		for j := i + 1; j < m; j++ {
+			if std[i] == 0 || std[j] == 0 {
+				continue
+			}
+			var cov float64
+			for _, s := range states {
+				cov += (s.Delta[i] - mean[i]) * (s.Delta[j] - mean[j])
+			}
+			r := cov / (std[i] * std[j])
+			out.Set(i, j, r)
+			out.Set(j, i, r)
+		}
+	}
+	return out, m, nil
+}

@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+func state(mod func(d []float64)) trace.StateVector {
+	d := make([]float64, metricspec.MetricCount)
+	if mod != nil {
+		mod(d)
+	}
+	return trace.StateVector{Node: 1, Epoch: 2, Gap: 1, Delta: d}
+}
+
+func TestSympathySingleCauses(t *testing.T) {
+	s := NewSympathy(SympathyConfig{})
+	tests := []struct {
+		name string
+		mod  func(d []float64)
+		want Cause
+	}{
+		{"normal", nil, CauseNormal},
+		{"reboot", func(d []float64) { d[metricspec.Uptime] = -30000 }, CauseNodeReboot},
+		{"failure", func(d []float64) { d[metricspec.Voltage] = -0.3 }, CauseNodeFailure},
+		{"loop", func(d []float64) { d[metricspec.LoopCounter] = 20 }, CauseRoutingLoop},
+		{"overflow", func(d []float64) { d[metricspec.OverflowDropCounter] = 40 }, CauseQueueOverflow},
+		{"link", func(d []float64) { d[metricspec.NOACKRetransmitCounter] = 200 }, CauseLinkFailure},
+		{"contention", func(d []float64) { d[metricspec.MacBackoffCounter] = 150 }, CauseContention},
+	}
+	for _, tt := range tests {
+		got, err := s.Diagnose(state(tt.mod))
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s: got %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSympathyStopsAtFirstCause(t *testing.T) {
+	s := NewSympathy(SympathyConfig{})
+	// A concurrent loop + contention fault: Sympathy reports only the loop
+	// (earlier in the rule list) — the single-cause blind spot.
+	combo := state(func(d []float64) {
+		d[metricspec.LoopCounter] = 20
+		d[metricspec.MacBackoffCounter] = 300
+	})
+	got, err := s.Diagnose(combo)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if got != CauseRoutingLoop {
+		t.Errorf("got %v, want routing-loop (first match)", got)
+	}
+	all, err := s.DiagnoseAll(combo)
+	if err != nil {
+		t.Fatalf("DiagnoseAll: %v", err)
+	}
+	if len(all) != 2 {
+		t.Errorf("DiagnoseAll = %v, want two causes", all)
+	}
+}
+
+func TestSympathyBadLength(t *testing.T) {
+	s := NewSympathy(SympathyConfig{})
+	bad := trace.StateVector{Delta: []float64{1, 2}}
+	if _, err := s.Diagnose(bad); !errors.Is(err, trace.ErrVectorLength) {
+		t.Errorf("Diagnose err = %v", err)
+	}
+	if _, err := s.DiagnoseAll(bad); !errors.Is(err, trace.ErrVectorLength) {
+		t.Errorf("DiagnoseAll err = %v", err)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	for c, want := range map[Cause]string{
+		CauseNormal:        "normal",
+		CauseNodeReboot:    "node-reboot",
+		CauseNodeFailure:   "node-failure",
+		CauseRoutingLoop:   "routing-loop",
+		CauseQueueOverflow: "queue-overflow",
+		CauseLinkFailure:   "link-failure",
+		CauseContention:    "contention",
+		Cause(99):          "Cause(99)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// healthyWindow generates correlated calm states: transmit and receive
+// counters move together.
+func healthyWindow(n int, seed int64) []trace.StateVector {
+	rng := rand.New(rand.NewSource(seed))
+	var out []trace.StateVector
+	for i := 0; i < n; i++ {
+		base := 100 + rng.NormFloat64()*10
+		out = append(out, state(func(d []float64) {
+			d[metricspec.TransmitCounter] = base
+			d[metricspec.ReceiveCounter] = base*0.9 + rng.NormFloat64()
+			d[metricspec.ForwardCounter] = base*0.5 + rng.NormFloat64()
+			d[metricspec.Temperature] = rng.NormFloat64()
+		}))
+	}
+	return out
+}
+
+// brokenWindow breaks the transmit↔receive correlation.
+func brokenWindow(n int, seed int64) []trace.StateVector {
+	rng := rand.New(rand.NewSource(seed))
+	var out []trace.StateVector
+	for i := 0; i < n; i++ {
+		out = append(out, state(func(d []float64) {
+			d[metricspec.TransmitCounter] = 100 + rng.NormFloat64()*10
+			d[metricspec.ReceiveCounter] = rng.NormFloat64() * 40 // decoupled
+			d[metricspec.ForwardCounter] = rng.NormFloat64() * 20
+			d[metricspec.Temperature] = rng.NormFloat64()
+		}))
+	}
+	return out
+}
+
+func TestAgnosticDetectsStructureDrift(t *testing.T) {
+	a := NewAgnostic(0)
+	if err := a.Fit(healthyWindow(200, 1)); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	okScore, err := a.Score(healthyWindow(50, 2))
+	if err != nil {
+		t.Fatalf("Score healthy: %v", err)
+	}
+	badScore, err := a.Score(brokenWindow(50, 3))
+	if err != nil {
+		t.Fatalf("Score broken: %v", err)
+	}
+	if badScore <= okScore {
+		t.Errorf("broken window score %v not above healthy %v", badScore, okScore)
+	}
+	abn, _, err := a.Abnormal(brokenWindow(50, 4))
+	if err != nil {
+		t.Fatalf("Abnormal: %v", err)
+	}
+	healthy, _, err := a.Abnormal(healthyWindow(50, 5))
+	if err != nil {
+		t.Fatalf("Abnormal healthy: %v", err)
+	}
+	if !abn {
+		t.Error("broken window not flagged abnormal")
+	}
+	if healthy {
+		t.Error("healthy window flagged abnormal")
+	}
+}
+
+func TestAgnosticErrors(t *testing.T) {
+	a := NewAgnostic(0.1)
+	if _, err := a.Score(healthyWindow(10, 1)); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted Score err = %v", err)
+	}
+	if err := a.Fit(nil); !errors.Is(err, trace.ErrEmpty) {
+		t.Errorf("empty Fit err = %v", err)
+	}
+	if err := a.Fit(healthyWindow(1, 1)); !errors.Is(err, trace.ErrEmpty) {
+		t.Errorf("single-state Fit err = %v", err)
+	}
+	if err := a.Fit(healthyWindow(50, 1)); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	ragged := []trace.StateVector{{Delta: []float64{1}}, {Delta: []float64{2}}}
+	if _, err := a.Score(ragged); !errors.Is(err, trace.ErrVectorLength) {
+		t.Errorf("ragged Score err = %v", err)
+	}
+}
+
+func TestCorrelationGraphSymmetricUnitDiagonal(t *testing.T) {
+	g, m, err := correlationGraph(healthyWindow(100, 7))
+	if err != nil {
+		t.Fatalf("correlationGraph: %v", err)
+	}
+	if m != metricspec.MetricCount {
+		t.Fatalf("m = %d", m)
+	}
+	for i := 0; i < m; i++ {
+		if g.At(i, i) != 1 {
+			t.Fatalf("diagonal (%d,%d) = %v", i, i, g.At(i, i))
+		}
+		for j := 0; j < m; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if g.At(i, j) < -1-1e-9 || g.At(i, j) > 1+1e-9 {
+				t.Fatalf("correlation out of range at (%d,%d): %v", i, j, g.At(i, j))
+			}
+		}
+	}
+	// Transmit and receive must be strongly positively correlated in the
+	// healthy window.
+	if r := g.At(int(metricspec.TransmitCounter), int(metricspec.ReceiveCounter)); r < 0.9 {
+		t.Errorf("tx↔rx correlation = %v, want strong", r)
+	}
+}

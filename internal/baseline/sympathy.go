@@ -1,0 +1,164 @@
+// Package baseline implements the two diagnosis approaches the paper
+// positions VN2 against:
+//
+//   - a Sympathy-style evidence-driven decision tree (Ramanathan et al.,
+//     SenSys 2005) that walks a fixed rule list and stops at the FIRST
+//     matching root cause — the single-cause assumption VN2 criticizes; and
+//   - an Agnostic-Diagnosis-style correlation-graph outlier detector (Miao
+//     et al., INFOCOM 2011) that flags abnormal nodes without explaining
+//     them — the coarse-granularity limitation VN2 addresses.
+//
+// Both consume the same trace.StateVector stream as VN2, making head-to-
+// head comparison benches possible.
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// Cause is a Sympathy-style diagnosis label.
+type Cause int
+
+// The fixed cause vocabulary of the decision tree, in check order.
+const (
+	CauseNormal Cause = iota
+	CauseNodeReboot
+	CauseNodeFailure
+	CauseRoutingLoop
+	CauseQueueOverflow
+	CauseLinkFailure
+	CauseContention
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CauseNormal:
+		return "normal"
+	case CauseNodeReboot:
+		return "node-reboot"
+	case CauseNodeFailure:
+		return "node-failure"
+	case CauseRoutingLoop:
+		return "routing-loop"
+	case CauseQueueOverflow:
+		return "queue-overflow"
+	case CauseLinkFailure:
+		return "link-failure"
+	case CauseContention:
+		return "contention"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// SympathyConfig holds the expert-knowledge thresholds of the decision
+// tree. Zero values take the documented defaults.
+type SympathyConfig struct {
+	// RebootUptimeDrop flags a reboot when uptime regresses by more than
+	// this many seconds. Default 60.
+	RebootUptimeDrop float64
+	// FailureVoltageDrop flags a failing node on a voltage drop (V).
+	// Default 0.15.
+	FailureVoltageDrop float64
+	// LoopCount flags a routing loop. Default 5.
+	LoopCount float64
+	// OverflowCount flags queue overflow. Default 10.
+	OverflowCount float64
+	// NoAckCount flags link failure. Default 60.
+	NoAckCount float64
+	// BackoffCount flags contention. Default 60.
+	BackoffCount float64
+}
+
+func (c SympathyConfig) withDefaults() SympathyConfig {
+	if c.RebootUptimeDrop == 0 {
+		c.RebootUptimeDrop = 60
+	}
+	if c.FailureVoltageDrop == 0 {
+		c.FailureVoltageDrop = 0.15
+	}
+	if c.LoopCount == 0 {
+		c.LoopCount = 5
+	}
+	if c.OverflowCount == 0 {
+		c.OverflowCount = 10
+	}
+	if c.NoAckCount == 0 {
+		c.NoAckCount = 60
+	}
+	if c.BackoffCount == 0 {
+		c.BackoffCount = 60
+	}
+	return c
+}
+
+// Sympathy is the decision-tree diagnoser.
+type Sympathy struct {
+	cfg SympathyConfig
+}
+
+// NewSympathy builds the diagnoser.
+func NewSympathy(cfg SympathyConfig) *Sympathy {
+	return &Sympathy{cfg: cfg.withDefaults()}
+}
+
+// Diagnose walks the decision tree and returns the FIRST matching cause.
+// This is the defining limitation the paper calls out: "Once a root cause
+// is checked (i.e. predefined threshold is satisfied), the diagnosis
+// process stops" — concurrent faults are invisible.
+func (s *Sympathy) Diagnose(state trace.StateVector) (Cause, error) {
+	if len(state.Delta) != metricspec.MetricCount {
+		return CauseNormal, fmt.Errorf("%w: got %d", trace.ErrVectorLength, len(state.Delta))
+	}
+	d := state.Delta
+	switch {
+	case d[metricspec.Uptime] < -s.cfg.RebootUptimeDrop:
+		return CauseNodeReboot, nil
+	case d[metricspec.Voltage] < -s.cfg.FailureVoltageDrop:
+		return CauseNodeFailure, nil
+	case d[metricspec.LoopCounter] > s.cfg.LoopCount:
+		return CauseRoutingLoop, nil
+	case d[metricspec.OverflowDropCounter] > s.cfg.OverflowCount:
+		return CauseQueueOverflow, nil
+	case d[metricspec.NOACKRetransmitCounter] > s.cfg.NoAckCount:
+		return CauseLinkFailure, nil
+	case d[metricspec.MacBackoffCounter] > s.cfg.BackoffCount:
+		return CauseContention, nil
+	default:
+		return CauseNormal, nil
+	}
+}
+
+// DiagnoseAll exposes, for evaluation only, every rule that WOULD fire.
+// Sympathy itself reports only the first; the gap between the two is the
+// multi-cause blind spot measured in the comparison experiments.
+func (s *Sympathy) DiagnoseAll(state trace.StateVector) ([]Cause, error) {
+	if len(state.Delta) != metricspec.MetricCount {
+		return nil, fmt.Errorf("%w: got %d", trace.ErrVectorLength, len(state.Delta))
+	}
+	d := state.Delta
+	var out []Cause
+	if d[metricspec.Uptime] < -s.cfg.RebootUptimeDrop {
+		out = append(out, CauseNodeReboot)
+	}
+	if d[metricspec.Voltage] < -s.cfg.FailureVoltageDrop {
+		out = append(out, CauseNodeFailure)
+	}
+	if d[metricspec.LoopCounter] > s.cfg.LoopCount {
+		out = append(out, CauseRoutingLoop)
+	}
+	if d[metricspec.OverflowDropCounter] > s.cfg.OverflowCount {
+		out = append(out, CauseQueueOverflow)
+	}
+	if d[metricspec.NOACKRetransmitCounter] > s.cfg.NoAckCount {
+		out = append(out, CauseLinkFailure)
+	}
+	if d[metricspec.MacBackoffCounter] > s.cfg.BackoffCount {
+		out = append(out, CauseContention)
+	}
+	return out, nil
+}

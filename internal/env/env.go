@@ -1,0 +1,218 @@
+// Package env models the physical environment a sensor deployment is
+// embedded in: diurnal temperature/humidity/light cycles, a spatial RF noise
+// field, and transient disturbances (interference bursts, rain). The model
+// is fully deterministic for a given seed, which makes every simulation and
+// experiment in this repository reproducible.
+//
+// The environment drives two things downstream:
+//
+//   - the sensor readings carried in C1 packets, and
+//   - the link-quality variation (through the noise floor and path-loss
+//     shadowing) that produces RSSI/ETX dynamics in C2 packets and the
+//     retransmission behaviour counted in C3 packets.
+package env
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Position is a 2-D deployment coordinate in meters.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two positions.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Config parametrizes the environment model.
+type Config struct {
+	// Seed makes the field deterministic.
+	Seed int64
+	// BaseTemperature is the daily mean in °C. Default 25.
+	BaseTemperature float64
+	// TemperatureSwing is the peak-to-mean diurnal amplitude in °C.
+	// Default 8.
+	TemperatureSwing float64
+	// BaseNoiseFloor is the mean RF noise floor in dBm. Default -98.
+	BaseNoiseFloor float64
+	// NoiseSigma is the per-sample noise-floor jitter in dB. Default 1.5.
+	NoiseSigma float64
+	// InterferenceRate is the per-hour probability that an interference
+	// burst starts somewhere in the field. Default 0.05.
+	InterferenceRate float64
+	// InterferenceRadius is the burst's spatial extent in meters.
+	// Default 120.
+	InterferenceRadius float64
+	// InterferenceBoost raises the noise floor inside a burst, in dB.
+	// Default 12.
+	InterferenceBoost float64
+	// FieldSize bounds the deployment area (meters square). Default 1000.
+	FieldSize float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaseTemperature == 0 {
+		c.BaseTemperature = 25
+	}
+	if c.TemperatureSwing == 0 {
+		c.TemperatureSwing = 8
+	}
+	if c.BaseNoiseFloor == 0 {
+		c.BaseNoiseFloor = -98
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 1.5
+	}
+	if c.InterferenceRate == 0 {
+		c.InterferenceRate = 0.05
+	}
+	if c.InterferenceRadius == 0 {
+		c.InterferenceRadius = 120
+	}
+	if c.InterferenceBoost == 0 {
+		c.InterferenceBoost = 12
+	}
+	if c.FieldSize == 0 {
+		c.FieldSize = 1000
+	}
+	return c
+}
+
+// burst is an active interference event.
+type burst struct {
+	center Position
+	until  time.Duration
+}
+
+// Field is the deterministic environment model. It is advanced in
+// simulation time via Advance and queried for readings. Field is not safe
+// for concurrent use; the simulator drives it from a single goroutine.
+type Field struct {
+	cfg    Config
+	rng    *rand.Rand
+	now    time.Duration // simulation clock since start
+	bursts []burst
+	// spatial phase offsets give each location a stable micro-climate
+	phaseSeed int64
+}
+
+// New constructs a Field.
+func New(cfg Config) *Field {
+	cfg = cfg.withDefaults()
+	return &Field{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		phaseSeed: cfg.Seed ^ 0x5eed,
+	}
+}
+
+// Now returns the current simulation time.
+func (f *Field) Now() time.Duration { return f.now }
+
+// Advance moves the simulation clock forward by d, spawning and expiring
+// interference bursts.
+func (f *Field) Advance(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("env: negative advance %v", d)
+	}
+	f.now += d
+	// Expire finished bursts.
+	kept := f.bursts[:0]
+	for _, b := range f.bursts {
+		if b.until > f.now {
+			kept = append(kept, b)
+		}
+	}
+	f.bursts = kept
+	// Spawn new bursts with probability proportional to elapsed hours.
+	pSpawn := f.cfg.InterferenceRate * d.Hours()
+	if f.rng.Float64() < pSpawn {
+		f.bursts = append(f.bursts, burst{
+			center: Position{
+				X: f.rng.Float64() * f.cfg.FieldSize,
+				Y: f.rng.Float64() * f.cfg.FieldSize,
+			},
+			until: f.now + time.Duration(20+f.rng.Intn(60))*time.Minute,
+		})
+	}
+	return nil
+}
+
+// dayFraction returns the position within the 24h cycle in [0,1).
+func (f *Field) dayFraction() float64 {
+	const day = 24 * time.Hour
+	return float64(f.now%day) / float64(day)
+}
+
+// localPhase derives a stable per-position phase jitter so neighboring nodes
+// see correlated but not identical climates.
+func (f *Field) localPhase(p Position) float64 {
+	h := f.phaseSeed
+	h = h*31 + int64(p.X*7)
+	h = h*31 + int64(p.Y*13)
+	return float64(h%1000) / 1000.0 * 0.05 // up to 5% of a day
+}
+
+// Temperature returns the temperature in °C at position p.
+func (f *Field) Temperature(p Position) float64 {
+	// Peak at 14:00, trough at 02:00.
+	phase := f.dayFraction() + f.localPhase(p)
+	diurnal := math.Sin(2 * math.Pi * (phase - 0.3333))
+	return f.cfg.BaseTemperature + f.cfg.TemperatureSwing*diurnal + f.rng.NormFloat64()*0.3
+}
+
+// Humidity returns relative humidity in %. It moves inversely with the
+// diurnal temperature cycle.
+func (f *Field) Humidity(p Position) float64 {
+	phase := f.dayFraction() + f.localPhase(p)
+	diurnal := math.Sin(2 * math.Pi * (phase - 0.3333))
+	h := 60 - 20*diurnal + f.rng.NormFloat64()*2
+	return clamp(h, 5, 100)
+}
+
+// Light returns illuminance in lux: a daylight bell between 06:00 and 18:00.
+func (f *Field) Light(p Position) float64 {
+	phase := f.dayFraction() + f.localPhase(p)
+	day := math.Sin(math.Pi * clamp((phase-0.25)*2, 0, 1))
+	lux := 1000*day*day + f.rng.NormFloat64()*10
+	return clamp(lux, 0, 1200)
+}
+
+// NoiseFloor returns the RF noise floor in dBm at position p, including any
+// active interference bursts covering it.
+func (f *Field) NoiseFloor(p Position) float64 {
+	n := f.cfg.BaseNoiseFloor + f.rng.NormFloat64()*f.cfg.NoiseSigma
+	for _, b := range f.bursts {
+		d := p.Distance(b.center)
+		if d < f.cfg.InterferenceRadius {
+			// Linear falloff from the burst center.
+			n += f.cfg.InterferenceBoost * (1 - d/f.cfg.InterferenceRadius)
+		}
+	}
+	return n
+}
+
+// ActiveBursts reports how many interference bursts are live.
+func (f *Field) ActiveBursts() int { return len(f.bursts) }
+
+// InjectBurst forces an interference burst at a location for the given
+// duration. Used by fault-injection scenarios to create contention windows.
+func (f *Field) InjectBurst(center Position, d time.Duration) {
+	f.bursts = append(f.bursts, burst{center: center, until: f.now + d})
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

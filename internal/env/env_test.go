@@ -1,0 +1,193 @@
+package env
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDistance(t *testing.T) {
+	a := Position{0, 0}
+	b := Position{3, 4}
+	if got := a.Distance(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := a.Distance(a); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestAdvanceNegative(t *testing.T) {
+	f := New(Config{Seed: 1})
+	if err := f.Advance(-time.Second); err == nil {
+		t.Error("Advance(-1s) succeeded")
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	f := New(Config{Seed: 1})
+	if err := f.Advance(90 * time.Minute); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if f.Now() != 90*time.Minute {
+		t.Errorf("Now = %v, want 90m", f.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		f := New(Config{Seed: 99})
+		var out []float64
+		p := Position{100, 200}
+		for i := 0; i < 50; i++ {
+			if err := f.Advance(10 * time.Minute); err != nil {
+				t.Fatalf("Advance: %v", err)
+			}
+			out = append(out, f.Temperature(p), f.Humidity(p), f.Light(p), f.NoiseFloor(p))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("environment not deterministic at sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDiurnalTemperatureCycle(t *testing.T) {
+	f := New(Config{Seed: 3, BaseTemperature: 25, TemperatureSwing: 8, NoiseSigma: 0.001})
+	p := Position{500, 500}
+	var samples []float64
+	for i := 0; i < 24; i++ {
+		if err := f.Advance(time.Hour); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		samples = append(samples, f.Temperature(p))
+	}
+	min, max := samples[0], samples[0]
+	for _, s := range samples {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min < 8 {
+		t.Errorf("diurnal swing = %v, want >= 8 (amplitude 8 peak-to-mean)", max-min)
+	}
+	if min < 25-8-3 || max > 25+8+3 {
+		t.Errorf("temperature range [%v,%v] outside plausible bounds", min, max)
+	}
+}
+
+func TestLightDarkAtNight(t *testing.T) {
+	f := New(Config{Seed: 4})
+	p := Position{10, 10}
+	// t=0 is midnight; light must be near zero.
+	night := f.Light(p)
+	if night > 60 {
+		t.Errorf("midnight light = %v lux, want near 0", night)
+	}
+	// Advance to midday.
+	if err := f.Advance(12 * time.Hour); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	noon := f.Light(p)
+	if noon < 500 {
+		t.Errorf("noon light = %v lux, want bright", noon)
+	}
+}
+
+func TestHumidityBounds(t *testing.T) {
+	f := New(Config{Seed: 5})
+	p := Position{1, 1}
+	for i := 0; i < 48; i++ {
+		if err := f.Advance(30 * time.Minute); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		h := f.Humidity(p)
+		if h < 5 || h > 100 {
+			t.Fatalf("humidity %v out of [5,100]", h)
+		}
+	}
+}
+
+func TestNoiseFloorBaseline(t *testing.T) {
+	f := New(Config{Seed: 6, BaseNoiseFloor: -98, NoiseSigma: 1})
+	p := Position{50, 50}
+	var sum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += f.NoiseFloor(p)
+	}
+	mean := sum / n
+	if math.Abs(mean-(-98)) > 0.5 {
+		t.Errorf("mean noise floor = %v, want ~-98", mean)
+	}
+}
+
+func TestInjectBurstRaisesNoise(t *testing.T) {
+	f := New(Config{Seed: 7, NoiseSigma: 0.001, InterferenceBoost: 12, InterferenceRadius: 100})
+	center := Position{200, 200}
+	far := Position{900, 900}
+	before := f.NoiseFloor(center)
+	f.InjectBurst(center, time.Hour)
+	if f.ActiveBursts() != 1 {
+		t.Fatalf("ActiveBursts = %d, want 1", f.ActiveBursts())
+	}
+	during := f.NoiseFloor(center)
+	if during-before < 10 {
+		t.Errorf("burst raised noise by %v dB at center, want ~12", during-before)
+	}
+	if d := f.NoiseFloor(far); d-before > 1 {
+		t.Errorf("burst leaked %v dB to a far position", d-before)
+	}
+}
+
+func TestBurstExpires(t *testing.T) {
+	f := New(Config{Seed: 8})
+	f.InjectBurst(Position{0, 0}, 10*time.Minute)
+	if err := f.Advance(11 * time.Minute); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if f.ActiveBursts() != 0 {
+		t.Errorf("ActiveBursts = %d after expiry, want 0", f.ActiveBursts())
+	}
+}
+
+func TestSpontaneousBurstsEventuallySpawn(t *testing.T) {
+	f := New(Config{Seed: 9, InterferenceRate: 2}) // 2 per hour
+	spawned := false
+	for i := 0; i < 500; i++ {
+		if err := f.Advance(10 * time.Minute); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		if f.ActiveBursts() > 0 {
+			spawned = true
+			break
+		}
+	}
+	if !spawned {
+		t.Error("no interference burst spawned in 5000 simulated minutes at rate 2/h")
+	}
+}
+
+func TestLocalPhaseStable(t *testing.T) {
+	f := New(Config{Seed: 10})
+	p := Position{123, 456}
+	if f.localPhase(p) != f.localPhase(p) {
+		t.Error("localPhase not stable for the same position")
+	}
+	q := Position{321, 654}
+	if f.localPhase(p) == f.localPhase(q) {
+		t.Log("two positions share a phase; acceptable but unusual")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 10) != 5 || clamp(-1, 0, 10) != 0 || clamp(11, 0, 10) != 10 {
+		t.Error("clamp broken")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/wsn-tools/vn2/internal/baseline"
+	"github.com/wsn-tools/vn2/internal/metricspec"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/tracegen"
+	"github.com/wsn-tools/vn2/internal/wsn"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// BaselineStudy compares VN2's multi-cause attribution against the
+// Sympathy-style single-cause decision tree and the Agnostic-Diagnosis-
+// style outlier detector on the testbed trace, where injected failures and
+// reboots overlap in time. It quantifies the two limitations Section I
+// calls out: single-cause blindness and coarse-granularity (no
+// explanation).
+func (r *Runner) BaselineStudy() (*Table, error) {
+	epochs := tracegen.TestbedEpochs
+	if r.opts.Quick {
+		epochs = 24
+	}
+	res, err := tracegen.Testbed(tracegen.TestbedOptions{
+		Seed:     r.opts.Seed + 7,
+		Scenario: tracegen.ScenarioExpansive,
+		Epochs:   epochs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	states := res.Dataset.States()
+	if len(states) == 0 {
+		return nil, fmt.Errorf("empty testbed dataset")
+	}
+
+	model, _, err := vn2.Train(states, vn2.TrainConfig{
+		Rank:              testbedRank,
+		CompressAllStates: true,
+		Seed:              r.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	diags, err := model.DiagnoseBatch(states, vn2.DiagnoseConfig{Workers: -1})
+	if err != nil {
+		return nil, err
+	}
+
+	symp := baseline.NewSympathy(baseline.SympathyConfig{})
+	agn := baseline.NewAgnostic(0)
+	if err := agn.Fit(states); err != nil {
+		return nil, err
+	}
+
+	// Multi-cause epochs: states where more than one Sympathy rule WOULD
+	// fire (the evaluation oracle for concurrent faults).
+	var multiStates, vn2Multi, sympMulti int
+	var vn2CausesTotal float64
+	for i, s := range states {
+		all, err := symp.DiagnoseAll(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(all) < 2 {
+			continue
+		}
+		multiStates++
+		// Sympathy reports exactly one cause by construction.
+		first, err := symp.Diagnose(s)
+		if err != nil {
+			return nil, err
+		}
+		if first != baseline.CauseNormal && len(all) >= 2 {
+			sympMulti++ // it found one of the ≥2 causes
+		}
+		// VN2 reports the number of materially active root causes.
+		active := 0
+		for _, rc := range diags[i].Ranked {
+			if rc.Strength > 0.05*diags[i].Ranked[0].Strength {
+				active++
+			}
+		}
+		vn2CausesTotal += float64(active)
+		if active >= 2 {
+			vn2Multi++
+		}
+	}
+
+	// Event-window detection: does each approach see anything abnormal in
+	// epochs with injected ground-truth events?
+	eventEpochs := make(map[int]bool)
+	for _, e := range res.Events {
+		if e.Type == wsn.EventFail || e.Type == wsn.EventReboot {
+			eventEpochs[e.Epoch] = true
+			eventEpochs[e.Epoch+1] = true
+		}
+	}
+	byEpoch := make(map[int][]trace.StateVector)
+	for _, s := range states {
+		byEpoch[s.Epoch] = append(byEpoch[s.Epoch], s)
+	}
+	var eventWindows, vn2Hits, sympHits, agnHits int
+	for epoch := range eventEpochs {
+		window := byEpoch[epoch]
+		if len(window) < 3 {
+			continue
+		}
+		eventWindows++
+		// VN2: any state in the window with a strong diagnosis.
+		for i, s := range states {
+			if s.Epoch == epoch && !diags[i].Normal(0.02) {
+				vn2Hits++
+				break
+			}
+		}
+		// Sympathy: any state triggering a rule.
+		for _, s := range window {
+			c, err := symp.Diagnose(s)
+			if err != nil {
+				return nil, err
+			}
+			if c != baseline.CauseNormal {
+				sympHits++
+				break
+			}
+		}
+		// Agnostic: window-level structural drift.
+		if abn, _, err := agn.Abnormal(window); err == nil && abn {
+			agnHits++
+		}
+	}
+
+	t := &Table{
+		ID:    "baselines",
+		Title: "VN2 vs Sympathy-style vs Agnostic-style on the testbed trace",
+		Columns: []string{"approach", "event windows detected", "multi-cause states fully attributed",
+			"explains causes"},
+	}
+	frac := func(hit, total int) string {
+		if total == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%d/%d (%.0f%%)", hit, total, 100*float64(hit)/float64(total))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"VN2", frac(vn2Hits, eventWindows), frac(vn2Multi, multiStates), "yes (root-cause vectors)"},
+		[]string{"Sympathy-style", frac(sympHits, eventWindows), fmt.Sprintf("0/%d (single-cause by design)", multiStates), "yes (one rule)"},
+		[]string{"Agnostic-style", frac(agnHits, eventWindows), "n/a (no attribution)", "no (binary outlier)"},
+	)
+	if multiStates > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%d states exhibit >= 2 concurrent rule-level faults; VN2 attributes %.2f causes per such state on average",
+				multiStates, vn2CausesTotal/float64(multiStates)))
+	}
+	t.Notes = append(t.Notes,
+		"Sympathy stops at the first matching rule; Agnostic flags without explaining — the two gaps VN2 closes",
+		fmt.Sprintf("%d metrics, %d event windows evaluated", metricspec.MetricCount, eventWindows))
+	return t, nil
+}

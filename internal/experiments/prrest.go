@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// PRREstimation exercises the paper's "protocol performance estimation"
+// future-work direction: fit a linear map from per-epoch root-cause
+// distributions to system PRR on the first part of the September trace and
+// evaluate it on the rest. A usable fit means the learned root causes carry
+// enough signal to predict protocol performance, not just label faults.
+func (r *Runner) PRREstimation() (*Table, error) {
+	model, _, err := r.Model()
+	if err != nil {
+		return nil, err
+	}
+	sept, _, _, err := r.September()
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-epoch cause distributions. Epochs are sampled with a stride that
+	// caps the diagnosis work — a regression over hundreds of epochs does
+	// not need every epoch of the trace.
+	states := sept.Dataset.States()
+	const maxStates = 30000
+	if stride := len(states)/maxStates + 1; stride > 1 {
+		byEpoch := trace.GroupByEpoch(states)
+		var sampled []trace.StateVector
+		for epoch, group := range byEpoch {
+			if epoch%stride == 0 {
+				sampled = append(sampled, group...)
+			}
+		}
+		states = sampled
+	}
+	eds, err := model.DiagnoseEpochs(states, vn2.DiagnoseConfig{Workers: -1})
+	if err != nil {
+		return nil, err
+	}
+	prrByEpoch := make(map[int]float64, len(sept.PRR))
+	for _, p := range sept.PRR {
+		prrByEpoch[p.Epoch] = p.PRR
+	}
+	var dists [][]float64
+	var prr []float64
+	for _, ed := range eds {
+		if v, ok := prrByEpoch[ed.Epoch]; ok {
+			// Normalize by contributing states so epoch size does not
+			// masquerade as fault strength.
+			d := make([]float64, len(ed.Distribution))
+			for j, s := range ed.Distribution {
+				d[j] = s / float64(ed.States)
+			}
+			dists = append(dists, d)
+			prr = append(prr, v)
+		}
+	}
+	if len(dists) < 10 {
+		return nil, fmt.Errorf("only %d labeled epochs", len(dists))
+	}
+	// Interleaved split: even-indexed epochs train, odd-indexed test, so
+	// both halves span healthy and degraded regimes. A chronological split
+	// would leave one side with a near-constant PRR series, where R² is
+	// meaningless.
+	var trainD, testD [][]float64
+	var trainP, testP []float64
+	for i := range dists {
+		if i%2 == 0 {
+			trainD = append(trainD, dists[i])
+			trainP = append(trainP, prr[i])
+		} else {
+			testD = append(testD, dists[i])
+			testP = append(testP, prr[i])
+		}
+	}
+	// Ridge strength is chosen on an inner validation split of the
+	// training half; the test half is touched exactly once.
+	lambda, err := selectRidge(trainD, trainP)
+	if err != nil {
+		return nil, err
+	}
+	est, err := vn2.FitPRR(trainD, trainP, lambda)
+	if err != nil {
+		return nil, err
+	}
+	trainR2, err := est.Score(trainD, trainP)
+	if err != nil {
+		return nil, err
+	}
+	testR2, err := est.Score(testD, testP)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "prrest",
+		Title:   "Protocol performance estimation from root-cause activity (paper future work)",
+		Columns: []string{"split", "epochs", "R^2"},
+		Rows: [][]string{
+			{"train", fmt.Sprintf("%d", len(trainD)), fmt.Sprintf("%.3f", trainR2)},
+			{"test", fmt.Sprintf("%d", len(testD)), fmt.Sprintf("%.3f", testR2)},
+		},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("ridge lambda=%.3g selected on an inner validation split", lambda),
+		"a linear map from per-epoch cause strengths to system PRR, evaluated on interleaved held-out epochs; positive test R^2 means the learned root causes predict protocol performance")
+	return t, nil
+}
+
+// selectRidge picks the regularization strength maximizing R² on an inner
+// interleaved validation split of the training data.
+func selectRidge(dists [][]float64, prr []float64) (float64, error) {
+	var fitD, valD [][]float64
+	var fitP, valP []float64
+	for i := range dists {
+		if i%2 == 0 {
+			fitD = append(fitD, dists[i])
+			fitP = append(fitP, prr[i])
+		} else {
+			valD = append(valD, dists[i])
+			valP = append(valP, prr[i])
+		}
+	}
+	best, bestR2 := 1e-3, -1e18
+	for _, lambda := range []float64{1e-3, 1e-2, 1e-1, 1, 10, 100} {
+		est, err := vn2.FitPRR(fitD, fitP, lambda)
+		if err != nil {
+			return 0, err
+		}
+		r2, err := est.Score(valD, valP)
+		if err != nil {
+			return 0, err
+		}
+		if r2 > bestR2 {
+			best, bestR2 = lambda, r2
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the matrix as rows of comma-separated decimal values.
+func (m *Dense) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	record := make([]string, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.RawRow(i)
+		for j, v := range row {
+			record[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a matrix from comma-separated rows of decimal values.
+func ReadCSV(r io.Reader) (*Dense, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated below with a clearer error
+	var rows [][]float64
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv: %w", err)
+		}
+		row := make([]float64, len(record))
+		for j, field := range record {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse csv row %d col %d: %w", len(rows), j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	return FromRows(rows)
+}
+
+// denseJSON is the serialized form of a Dense matrix.
+type denseJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Dense) MarshalJSON() ([]byte, error) {
+	return json.Marshal(denseJSON{Rows: m.rows, Cols: m.cols, Data: m.data})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Dense) UnmarshalJSON(b []byte) error {
+	var dj denseJSON
+	if err := json.Unmarshal(b, &dj); err != nil {
+		return err
+	}
+	parsed, err := FromSlice(dj.Rows, dj.Cols, dj.Data)
+	if err != nil {
+		return fmt.Errorf("unmarshal matrix: %w", err)
+	}
+	*m = *parsed
+	return nil
+}

@@ -1,0 +1,26 @@
+package mat
+
+import "math/rand"
+
+// Random returns an r×c matrix with entries drawn uniformly from [lo, hi)
+// using the provided source. The caller owns the source; passing a seeded
+// source makes the result reproducible.
+func Random(r, c int, lo, hi float64, rng *rand.Rand) (*Dense, error) {
+	m, err := New(r, c)
+	if err != nil {
+		return nil, err
+	}
+	span := hi - lo
+	for i := range m.data {
+		m.data[i] = lo + span*rng.Float64()
+	}
+	return m, nil
+}
+
+// RandomPositive returns an r×c matrix with entries uniform in (eps, 1+eps).
+// NMF initialization requires strictly positive factors so multiplicative
+// updates never divide by zero.
+func RandomPositive(r, c int, rng *rand.Rand) (*Dense, error) {
+	const eps = 1e-3
+	return Random(r, c, eps, 1+eps, rng)
+}

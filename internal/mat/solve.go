@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a linear system without a unique solution.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// SolveLinear solves a·x = b for x by Gaussian elimination with partial
+// pivoting. a must be square (n×n) and b of length n. a and b are not
+// modified.
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	n, m := a.Dims()
+	if n != m {
+		return nil, fmt.Errorf("%w: %dx%d not square", ErrDimension, n, m)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs %d for %dx%d", ErrDimension, len(b), n, m)
+	}
+	// Work on copies.
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(aug.At(col, col))
+		for row := col + 1; row < n; row++ {
+			if v := math.Abs(aug.At(row, col)); v > best {
+				pivot, best = row, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("%w: pivot %d", ErrSingular, col)
+		}
+		if pivot != col {
+			swapRows(aug, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		// Eliminate below.
+		pv := aug.At(col, col)
+		for row := col + 1; row < n; row++ {
+			f := aug.At(row, col) / pv
+			if f == 0 {
+				continue
+			}
+			rRow := aug.RawRow(row)
+			pRow := aug.RawRow(col)
+			for k := col; k < n; k++ {
+				rRow[k] -= f * pRow[k]
+			}
+			x[row] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		sum := x[row]
+		rRow := aug.RawRow(row)
+		for k := row + 1; k < n; k++ {
+			sum -= rRow[k] * x[k]
+		}
+		x[row] = sum / rRow[row]
+	}
+	return x, nil
+}
+
+func swapRows(m *Dense, a, b int) {
+	ra, rb := m.RawRow(a), m.RawRow(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// LeastSquares solves min‖a·x − b‖₂ via the ridge-regularized normal
+// equations (aᵀa + λI)x = aᵀb. a is n×m with n ≥ m; lambda ≥ 0 adds Tikhonov
+// regularization (pass a small positive value for rank-deficient systems).
+func LeastSquares(a *Dense, b []float64, lambda float64) ([]float64, error) {
+	n, m := a.Dims()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs %d for %dx%d", ErrDimension, len(b), n, m)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("mat: negative ridge %v", lambda)
+	}
+	ata, err := MulATB(a, a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	atb := make([]float64, m)
+	for i := 0; i < n; i++ {
+		row := a.RawRow(i)
+		for j := 0; j < m; j++ {
+			atb[j] += row[j] * b[i]
+		}
+	}
+	return SolveLinear(ata, atb)
+}

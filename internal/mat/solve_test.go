@@ -1,0 +1,168 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := SolveLinear(a, []float64{3, 7})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(MustNew(2, 3), []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("non-square err = %v", err)
+	}
+	if _, err := SolveLinear(MustNew(2, 2), []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("rhs length err = %v", err)
+	}
+}
+
+func TestSolveLinearDoesNotMutateInputs(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 0}, {0, 2}})
+	before := a.Clone()
+	b := []float64{4, 6}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !Equal(a, before, 0) {
+		t.Error("SolveLinear mutated a")
+	}
+	if b[0] != 4 || b[1] != 6 {
+		t.Error("SolveLinear mutated b")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: y = 2x + 1.
+	a, _ := FromRows([][]float64{
+		{1, 1},
+		{2, 1},
+		{3, 1},
+		{4, 1},
+	})
+	b := []float64{3, 5, 7, 9}
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresRidgeHandlesRankDeficiency(t *testing.T) {
+	// Two identical columns: unregularized normal equations are singular.
+	a, _ := FromRows([][]float64{
+		{1, 1},
+		{2, 2},
+		{3, 3},
+	})
+	b := []float64{2, 4, 6}
+	if _, err := LeastSquares(a, b, 0); !errors.Is(err, ErrSingular) {
+		t.Errorf("unregularized err = %v, want ErrSingular", err)
+	}
+	x, err := LeastSquares(a, b, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge LeastSquares: %v", err)
+	}
+	// The ridge solution splits the weight evenly; prediction must fit.
+	pred := x[0] + x[1]
+	if math.Abs(pred-2) > 1e-3 {
+		t.Errorf("prediction at x=1 is %v, want 2", pred)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	a := MustNew(3, 2)
+	if _, err := LeastSquares(a, []float64{1}, 0); !errors.Is(err, ErrDimension) {
+		t.Errorf("rhs err = %v", err)
+	}
+	if _, err := LeastSquares(a, []float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+// Property: SolveLinear(a, a·x) recovers x for well-conditioned random
+// systems.
+func TestPropertySolveLinearRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a, err := Random(n, n, -2, 2, rng)
+		if err != nil {
+			return false
+		}
+		// Diagonal boost keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := a.RawRow(i)
+			for j := 0; j < n; j++ {
+				b[i] += row[j] * x[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package metricspec
+
+// Hazard is one row of Table I: a metric, the hazard events its variation
+// correlates with, and the network-performance consequence.
+type Hazard struct {
+	Metric      ID
+	Event       string // potential hazard event
+	Performance string // related network performance impact
+}
+
+// hazardCatalog reproduces Table I verbatim (one entry per table row).
+var hazardCatalog = []Hazard{
+	{
+		Metric:      Temperature,
+		Event:       "Hardware clocks are unstable, due to temperature variation.",
+		Performance: "Sending packet ratio is controlled by a node's hardware clock; an unstable clock sends too fast or too slow, potentially causing network contention.",
+	},
+	{
+		Metric:      Voltage,
+		Event:       "A node stops working if its voltage is below 2.8V.",
+		Performance: "The node cannot send or forward packets; a key node failing can break down subnetworks.",
+	},
+	{
+		Metric:      NeighborNum,
+		Event:       "A node has large subtrees: many nodes use it as their parent.",
+		Performance: "A key node with large subtrees breaking down causes great packet loss.",
+	},
+	{
+		Metric:      NeighborRSSI(0),
+		Event:       "A node detects that its neighbors' noises are increasing.",
+		Performance: "Noise degrades packet receive ratio and indicates bad link quality.",
+	},
+	{
+		Metric:      OverflowDropCounter,
+		Event:       "A node's receiving queue overflows.",
+		Performance: "Queue overflow loses both incoming and self-transmit packets.",
+	},
+	{
+		Metric:      NOACKRetransmitCounter,
+		Event:       "Retransmit a packet because no successful ACK is received.",
+		Performance: "The link between sender and receiver is poor, or the receiver cannot handle incoming packets.",
+	},
+	{
+		Metric:      ParentChangeCounter,
+		Event:       "A node changes its parent frequently.",
+		Performance: "Frequent parent change indicates great link dynamics, often correlated with environmental conditions.",
+	},
+	{
+		Metric:      LoopCounter,
+		Event:       "A loop appears in the network.",
+		Performance: "A loop causes great packet loss and energy consumption in an area.",
+	},
+	{
+		Metric:      DropPacketCounter,
+		Event:       "Drop a packet after it has been retransmitted 30 times.",
+		Performance: "The link can be very poor, or sender and receiver are disconnected.",
+	},
+	{
+		Metric:      DuplicateCounter,
+		Event:       "Too many duplicate packets in the network.",
+		Performance: "Duplicates waste energy and storage, and indicate poor link quality.",
+	},
+}
+
+// HazardCatalog returns the Table I rows. The slice is a copy.
+func HazardCatalog() []Hazard {
+	out := make([]Hazard, len(hazardCatalog))
+	copy(out, hazardCatalog)
+	return out
+}
+
+// HazardsFor returns the catalog entries for a given metric.
+func HazardsFor(id ID) []Hazard {
+	var out []Hazard
+	for _, h := range hazardCatalog {
+		if h.Metric == id {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package nmf implements Non-negative Matrix Factorization with the
+// Lee–Seung multiplicative update rules (NIPS 2001), the variant VN2 uses to
+// compress network exception states (ICDCS 2014, Algorithm 1), plus the
+// basis-sparsification step (Algorithm 2) and the rank-selection sweep the
+// paper uses to pick the compression factor r (Fig. 3b).
+//
+// Given a non-negative n×m matrix E of exception states (rows are states,
+// columns are metrics), Factorize finds W (n×r) and Ψ (r×m) such that
+// E ≈ WΨ with all entries non-negative. Each row of Ψ is a root-cause
+// vector; W holds per-state correlation strengths.
+package nmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+// Objective selects the divergence minimized by the multiplicative updates.
+type Objective int
+
+const (
+	// Euclidean minimizes ‖E−WΨ‖²_F. This is the rule in the paper's
+	// Algorithm 1 / Theorem 1.
+	Euclidean Objective = iota + 1
+	// KullbackLeibler minimizes the generalized KL divergence D(E‖WΨ).
+	// Provided as an ablation; the paper uses Euclidean.
+	KullbackLeibler
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case Euclidean:
+		return "euclidean"
+	case KullbackLeibler:
+		return "kl"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Errors returned by Factorize.
+var (
+	// ErrNegativeInput reports a factorization input containing negative
+	// entries. NMF is only defined on non-negative data.
+	ErrNegativeInput = errors.New("nmf: input matrix has negative entries")
+	// ErrBadRank reports a rank that is not in [1, min(n,m)].
+	ErrBadRank = errors.New("nmf: rank out of range")
+)
+
+// epsDiv guards multiplicative-update denominators against division by zero.
+const epsDiv = 1e-12
+
+// Config controls a factorization run.
+type Config struct {
+	// Rank is the compression factor r (number of root-cause vectors).
+	Rank int
+	// MaxIter bounds the number of multiplicative update sweeps.
+	// Defaults to 200.
+	MaxIter int
+	// Tolerance stops iteration early when the relative improvement of the
+	// objective between sweeps drops below it. Defaults to 1e-5. Zero or
+	// negative disables early stopping.
+	Tolerance float64
+	// Objective selects the update rule. Defaults to Euclidean.
+	Objective Objective
+	// Seed seeds the random initialization of W and Ψ.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter == 0 {
+		c.MaxIter = 200
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-5
+	}
+	if c.Objective == 0 {
+		c.Objective = Euclidean
+	}
+	return c
+}
+
+// Result holds the output of a factorization.
+type Result struct {
+	// W is the n×r correlation-strength matrix.
+	W *mat.Dense
+	// Psi is the r×m representative matrix; rows are root-cause vectors.
+	Psi *mat.Dense
+	// Iterations is the number of update sweeps performed.
+	Iterations int
+	// History records the objective value after each sweep.
+	History []float64
+	// Converged reports whether the tolerance criterion triggered before
+	// MaxIter.
+	Converged bool
+}
+
+// Accuracy returns the paper's approximation accuracy α = ‖E − WΨ‖_F for
+// this factorization against the original matrix e (Definition 1).
+func (r *Result) Accuracy(e *mat.Dense) (float64, error) {
+	return Accuracy(e, r.W, r.Psi)
+}
+
+// Accuracy computes α = ‖E − WΨ‖_F (Definition 1 in the paper).
+func Accuracy(e, w, psi *mat.Dense) (float64, error) {
+	prod, err := mat.Mul(w, psi)
+	if err != nil {
+		return 0, fmt.Errorf("accuracy: %w", err)
+	}
+	return mat.FrobeniusDistance(e, prod)
+}
+
+// Factorize decomposes the non-negative matrix e into W·Ψ per the Lee–Seung
+// multiplicative updates (Algorithm 1 in the paper). The run is
+// deterministic for a fixed Config.Seed.
+func Factorize(e *mat.Dense, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	n, m := e.Dims()
+	if cfg.Rank < 1 || cfg.Rank > n || cfg.Rank > m {
+		return nil, fmt.Errorf("%w: rank %d for %dx%d matrix", ErrBadRank, cfg.Rank, n, m)
+	}
+	if !e.NonNegative() {
+		return nil, ErrNegativeInput
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w, err := mat.RandomPositive(n, cfg.Rank, rng)
+	if err != nil {
+		return nil, fmt.Errorf("init W: %w", err)
+	}
+	psi, err := mat.RandomPositive(cfg.Rank, m, rng)
+	if err != nil {
+		return nil, fmt.Errorf("init Psi: %w", err)
+	}
+
+	res := &Result{W: w, Psi: psi, History: make([]float64, 0, cfg.MaxIter)}
+	st := newUpdateState(n, m, cfg.Rank)
+	prev := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		switch cfg.Objective {
+		case KullbackLeibler:
+			st.sweepKL(e, w, psi)
+		default:
+			st.sweepEuclidean(e, w, psi)
+		}
+		obj := objective(cfg.Objective, e, w, psi, st)
+		res.History = append(res.History, obj)
+		res.Iterations = iter + 1
+		if cfg.Tolerance > 0 && !math.IsInf(prev, 1) && prev-obj <= cfg.Tolerance*math.Max(prev, 1) {
+			res.Converged = true
+			break
+		}
+		prev = obj
+	}
+	return res, nil
+}
+
+// updateState holds scratch buffers reused across sweeps so that a
+// factorization performs O(1) allocations after setup.
+type updateState struct {
+	wtE, wtWPsi *mat.Dense // r×m numerator/denominator for the Ψ update
+	ePsiT, wPP  *mat.Dense // n×r numerator/denominator for the W update
+	wtW         *mat.Dense // r×r Gram matrix of W
+	psiPsiT     *mat.Dense // r×r Gram matrix of Ψ
+	approx      *mat.Dense // n×m cache of WΨ for objective evaluation
+}
+
+func newUpdateState(n, m, r int) *updateState {
+	return &updateState{
+		wtE:     mat.MustNew(r, m),
+		wtWPsi:  mat.MustNew(r, m),
+		ePsiT:   mat.MustNew(n, r),
+		wPP:     mat.MustNew(n, r),
+		wtW:     mat.MustNew(r, r),
+		psiPsiT: mat.MustNew(r, r),
+		approx:  mat.MustNew(n, m),
+	}
+}
+
+// sweepEuclidean performs one pass of the Theorem 1 update rules:
+//
+//	Ψij ← Ψij (WᵀE)ij / (WᵀWΨ)ij
+//	Wij ← Wij (EΨᵀ)ij / (WΨΨᵀ)ij
+func (st *updateState) sweepEuclidean(e, w, psi *mat.Dense) {
+	// Ψ update.
+	mat.MulATBInto(st.wtE, w, e)
+	mat.MulATBInto(st.wtW, w, w)
+	mat.MulInto(st.wtWPsi, st.wtW, psi)
+	r, m := psi.Dims()
+	for i := 0; i < r; i++ {
+		pRow := psi.RawRow(i)
+		num := st.wtE.RawRow(i)
+		den := st.wtWPsi.RawRow(i)
+		for j := 0; j < m; j++ {
+			pRow[j] *= num[j] / (den[j] + epsDiv)
+		}
+	}
+	// W update, using the freshly updated Ψ.
+	mat.MulABTInto(st.ePsiT, e, psi)
+	mat.MulABTInto(st.psiPsiT, psi, psi)
+	mat.MulInto(st.wPP, w, st.psiPsiT)
+	n, _ := w.Dims()
+	for i := 0; i < n; i++ {
+		wRow := w.RawRow(i)
+		num := st.ePsiT.RawRow(i)
+		den := st.wPP.RawRow(i)
+		for j := 0; j < r; j++ {
+			wRow[j] *= num[j] / (den[j] + epsDiv)
+		}
+	}
+}
+
+// sweepKL performs one pass of the KL-divergence update rules.
+func (st *updateState) sweepKL(e, w, psi *mat.Dense) {
+	n, m := e.Dims()
+	r := psi.Rows()
+	mat.MulInto(st.approx, w, psi)
+	// Ψ update: Ψaj ← Ψaj · Σi Wia·Eij/(WΨ)ij / Σi Wia
+	for a := 0; a < r; a++ {
+		pRow := psi.RawRow(a)
+		var colSum float64
+		for i := 0; i < n; i++ {
+			colSum += w.At(i, a)
+		}
+		for j := 0; j < m; j++ {
+			var num float64
+			for i := 0; i < n; i++ {
+				num += w.At(i, a) * e.At(i, j) / (st.approx.At(i, j) + epsDiv)
+			}
+			pRow[j] *= num / (colSum + epsDiv)
+		}
+	}
+	mat.MulInto(st.approx, w, psi)
+	// W update: Wia ← Wia · Σj Ψaj·Eij/(WΨ)ij / Σj Ψaj
+	for a := 0; a < r; a++ {
+		pRow := psi.RawRow(a)
+		var rowSum float64
+		for j := 0; j < m; j++ {
+			rowSum += pRow[j]
+		}
+		for i := 0; i < n; i++ {
+			var num float64
+			aRow := st.approx.RawRow(i)
+			eRow := e.RawRow(i)
+			for j := 0; j < m; j++ {
+				num += pRow[j] * eRow[j] / (aRow[j] + epsDiv)
+			}
+			w.Set(i, a, w.At(i, a)*num/(rowSum+epsDiv))
+		}
+	}
+}
+
+func objective(o Objective, e, w, psi *mat.Dense, st *updateState) float64 {
+	mat.MulInto(st.approx, w, psi)
+	switch o {
+	case KullbackLeibler:
+		var d float64
+		n, m := e.Dims()
+		for i := 0; i < n; i++ {
+			eRow := e.RawRow(i)
+			aRow := st.approx.RawRow(i)
+			for j := 0; j < m; j++ {
+				ev, av := eRow[j], aRow[j]
+				if ev > 0 {
+					d += ev*math.Log(ev/(av+epsDiv)) - ev + av
+				} else {
+					d += av
+				}
+			}
+		}
+		return d
+	default:
+		dist, _ := mat.FrobeniusDistance(e, st.approx)
+		return dist
+	}
+}
+
+// Sparsify implements Algorithm 2 (Basis Matrix Sparse Process): it
+// normalizes W, then retains the largest-magnitude entries until the
+// retained mass reaches keep·‖W‖₁ (the paper uses keep = 0.9, "the sparse
+// matrix W̄ retains 90% information that W holds"), zeroing the rest. The
+// input is not modified; the sparsified copy is returned.
+func Sparsify(w *mat.Dense, keep float64) (*mat.Dense, error) {
+	if keep <= 0 || keep > 1 {
+		return nil, fmt.Errorf("nmf: sparsify keep fraction %v out of (0,1]", keep)
+	}
+	out := w.Clone()
+	total := out.AbsSum()
+	if total == 0 {
+		return out, nil
+	}
+	// Normalize so the retained-mass criterion is scale free.
+	n, m := out.Dims()
+	type entry struct {
+		i, j int
+		v    float64
+	}
+	entries := make([]entry, 0, n*m)
+	for i := 0; i < n; i++ {
+		row := out.RawRow(i)
+		for j := 0; j < m; j++ {
+			entries = append(entries, entry{i, j, math.Abs(row[j])})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].v > entries[b].v })
+	var acc float64
+	cut := len(entries)
+	for idx, en := range entries {
+		acc += en.v
+		if acc >= keep*total {
+			cut = idx + 1
+			break
+		}
+	}
+	kept := make(map[[2]int]bool, cut)
+	for _, en := range entries[:cut] {
+		kept[[2]int{en.i, en.j}] = true
+	}
+	out.Apply(func(i, j int, v float64) float64 {
+		if kept[[2]int{i, j}] {
+			return v
+		}
+		return 0
+	})
+	return out, nil
+}
+
+// DefaultKeepFraction is the retained-information fraction from Algorithm 2.
+const DefaultKeepFraction = 0.9

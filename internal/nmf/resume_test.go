@@ -1,0 +1,131 @@
+package nmf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+func TestResumeConvergesFasterThanColdStart(t *testing.T) {
+	e := syntheticLowRank(t, 50, 25, 4, 51)
+	cold, err := Factorize(e, Config{Rank: 4, MaxIter: 150, Tolerance: -1, Seed: 1})
+	if err != nil {
+		t.Fatalf("cold Factorize: %v", err)
+	}
+	// Resume from the converged factors: the objective must start near the
+	// cold run's final value, not near its initial value.
+	warm, err := Resume(e, cold.W, cold.Psi, Config{Rank: 4, MaxIter: 10, Tolerance: -1})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	coldFinal := cold.History[len(cold.History)-1]
+	if warm.History[0] > coldFinal*1.5+1e-9 {
+		t.Errorf("warm start objective %v far above cold final %v", warm.History[0], coldFinal)
+	}
+	// And it must not regress.
+	warmFinal := warm.History[len(warm.History)-1]
+	if warmFinal > warm.History[0]*(1+1e-9) {
+		t.Errorf("warm run regressed: %v -> %v", warm.History[0], warmFinal)
+	}
+}
+
+func TestResumeHandlesNewRows(t *testing.T) {
+	e := syntheticLowRank(t, 60, 20, 3, 52)
+	// Train on the first 40 exceptions, then resume with 20 new ones.
+	sub := mat.MustNew(40, 20)
+	for i := 0; i < 40; i++ {
+		sub.SetRow(i, e.Row(i))
+	}
+	first, err := Factorize(sub, Config{Rank: 3, MaxIter: 200, Seed: 2})
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	resumed, err := Resume(e, first.W, first.Psi, Config{Rank: 3, MaxIter: 100})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if resumed.W.Rows() != 60 {
+		t.Fatalf("resumed W rows = %d, want 60", resumed.W.Rows())
+	}
+	acc, err := resumed.Accuracy(e)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if rel := acc / e.Frobenius(); rel > 0.1 {
+		t.Errorf("resumed relative error = %v", rel)
+	}
+	if !resumed.W.NonNegative() || !resumed.Psi.NonNegative() {
+		t.Error("resumed factors not non-negative")
+	}
+}
+
+func TestResumeDoesNotMutateInputs(t *testing.T) {
+	e := syntheticLowRank(t, 20, 10, 2, 53)
+	res, err := Factorize(e, Config{Rank: 2, MaxIter: 50, Seed: 3})
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	w0, psi0 := res.W.Clone(), res.Psi.Clone()
+	if _, err := Resume(e, res.W, res.Psi, Config{Rank: 2, MaxIter: 20}); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if !mat.Equal(w0, res.W, 0) || !mat.Equal(psi0, res.Psi, 0) {
+		t.Error("Resume mutated its input factors")
+	}
+}
+
+func TestResumeShapeErrors(t *testing.T) {
+	e := syntheticLowRank(t, 10, 8, 2, 54)
+	good, _ := Factorize(e, Config{Rank: 2, MaxIter: 20, Seed: 4})
+	if _, err := Resume(e, mat.MustNew(10, 3), good.Psi, Config{}); !errors.Is(err, mat.ErrDimension) {
+		t.Errorf("rank mismatch err = %v", err)
+	}
+	if _, err := Resume(e, good.W, mat.MustNew(2, 5), Config{}); !errors.Is(err, mat.ErrDimension) {
+		t.Errorf("column mismatch err = %v", err)
+	}
+	if _, err := Resume(mat.MustNew(5, 8), good.W, good.Psi, Config{}); !errors.Is(err, mat.ErrDimension) {
+		t.Errorf("shrunken data err = %v", err)
+	}
+	neg, _ := mat.FromRows([][]float64{{-1, 2, 1, 1, 1, 1, 1, 1}})
+	_ = neg
+	bad := e.Clone()
+	bad.Set(0, 0, -1)
+	if _, err := Resume(bad, good.W, good.Psi, Config{}); !errors.Is(err, ErrNegativeInput) {
+		t.Errorf("negative data err = %v", err)
+	}
+}
+
+func TestResumeZeroEntriesEscapeViaNudge(t *testing.T) {
+	// Sparsified W has exact zeros; Resume must nudge them so the factors
+	// can adapt to new structure.
+	rng := rand.New(rand.NewSource(55))
+	e, _ := mat.Random(20, 10, 0, 3, rng)
+	res, err := Factorize(e, Config{Rank: 3, MaxIter: 100, Seed: 5})
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	sparse, err := Sparsify(res.W, 0.5)
+	if err != nil {
+		t.Fatalf("Sparsify: %v", err)
+	}
+	resumed, err := Resume(e, sparse, res.Psi, Config{Rank: 3, MaxIter: 100})
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	// Some previously-zero entries should have grown materially beyond the
+	// nudge as the factorization re-balanced.
+	grown := 0
+	n, r := sparse.Dims()
+	for i := 0; i < n; i++ {
+		for j := 0; j < r; j++ {
+			if sparse.At(i, j) == 0 && resumed.W.At(i, j) > 1e-3 {
+				grown++
+			}
+		}
+	}
+	if grown == 0 {
+		t.Error("no zeroed entry escaped after Resume; nudge ineffective")
+	}
+}

@@ -1,0 +1,231 @@
+// Package nnls solves the non-negative least-squares problem at the heart of
+// VN2's inference step (Problem 3 in the paper):
+//
+//	argmin_w ‖s − wΨ‖²  subject to w ≥ 0
+//
+// where s is a 1×m node-state vector, Ψ is the r×m representative matrix and
+// w is the 1×r correlation-strength vector. Two solvers are provided: a
+// multiplicative-update solver (the natural companion of the NMF training
+// rule) and a projected-gradient solver. Both are deterministic.
+package nnls
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+// Solver selects the optimization algorithm.
+type Solver int
+
+const (
+	// Multiplicative uses the Lee–Seung style update
+	// w_j ← w_j (sΨᵀ)_j / (wΨΨᵀ)_j, which preserves non-negativity by
+	// construction.
+	Multiplicative Solver = iota + 1
+	// ProjectedGradient takes gradient steps with backtracking line search
+	// and projects onto the non-negative orthant.
+	ProjectedGradient
+)
+
+// String implements fmt.Stringer.
+func (s Solver) String() string {
+	switch s {
+	case Multiplicative:
+		return "multiplicative"
+	case ProjectedGradient:
+		return "projected-gradient"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// ErrShape reports a state vector whose length does not match Ψ's columns.
+var ErrShape = errors.New("nnls: state length does not match basis columns")
+
+const epsDiv = 1e-12
+
+// Config controls a solve.
+type Config struct {
+	// Solver selects the algorithm; defaults to Multiplicative.
+	Solver Solver
+	// MaxIter bounds iterations; defaults to 500.
+	MaxIter int
+	// Tolerance stops when the objective improvement falls below it;
+	// defaults to 1e-9.
+	Tolerance float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Solver == 0 {
+		c.Solver = Multiplicative
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 500
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-9
+	}
+	return c
+}
+
+// Result holds the solution and solve diagnostics.
+type Result struct {
+	// W is the non-negative weight vector, length r.
+	W []float64
+	// Residual is ‖s − wΨ‖₂ at the solution.
+	Residual float64
+	// Iterations performed.
+	Iterations int
+}
+
+// Solve computes argmin_w ‖s − wΨ‖² with w ≥ 0.
+func Solve(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r, m := psi.Dims()
+	if len(s) != m {
+		return nil, fmt.Errorf("%w: state %d, basis %dx%d", ErrShape, len(s), r, m)
+	}
+	switch cfg.Solver {
+	case ProjectedGradient:
+		return solvePG(s, psi, cfg)
+	default:
+		return solveMU(s, psi, cfg)
+	}
+}
+
+// residual computes ‖s − wΨ‖₂.
+func residual(s, w []float64, psi *mat.Dense) float64 {
+	r, m := psi.Dims()
+	var sum float64
+	for j := 0; j < m; j++ {
+		pred := 0.0
+		for i := 0; i < r; i++ {
+			pred += w[i] * psi.At(i, j)
+		}
+		d := s[j] - pred
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// gram returns G = ΨΨᵀ (r×r) and b = Ψsᵀ (length r). Both only depend on Ψ
+// and s, so they are computed once per solve.
+func gram(s []float64, psi *mat.Dense) (g *mat.Dense, b []float64) {
+	r, m := psi.Dims()
+	g = mat.MustNew(r, r)
+	mat.MulABTInto(g, psi, psi)
+	b = make([]float64, r)
+	for i := 0; i < r; i++ {
+		row := psi.RawRow(i)
+		var sum float64
+		for j := 0; j < m; j++ {
+			sum += row[j] * s[j]
+		}
+		b[i] = sum
+	}
+	return g, b
+}
+
+func solveMU(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
+	r, _ := psi.Dims()
+	g, b := gram(s, psi)
+	w := make([]float64, r)
+	for i := range w {
+		w[i] = 1.0 / float64(r) // uniform positive start
+	}
+	res := &Result{}
+	prev := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for i := 0; i < r; i++ {
+			num := b[i]
+			if num < 0 {
+				// A negative correlation with the basis cannot be expressed
+				// with w ≥ 0; the multiplicative rule drives w_i to zero.
+				num = 0
+			}
+			var den float64
+			gRow := g.RawRow(i)
+			for k := 0; k < r; k++ {
+				den += gRow[k] * w[k]
+			}
+			w[i] *= num / (den + epsDiv)
+		}
+		res.Iterations = iter + 1
+		obj := residual(s, w, psi)
+		if !math.IsInf(prev, 1) && prev-obj <= cfg.Tolerance*math.Max(prev, 1) {
+			break
+		}
+		prev = obj
+	}
+	res.W = w
+	res.Residual = residual(s, w, psi)
+	return res, nil
+}
+
+func solvePG(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
+	r, _ := psi.Dims()
+	g, b := gram(s, psi)
+	// Lipschitz constant of the gradient is bounded by the trace of G.
+	var lip float64
+	for i := 0; i < r; i++ {
+		lip += g.At(i, i)
+	}
+	if lip <= 0 {
+		lip = 1
+	}
+	step := 1.0 / lip
+	w := make([]float64, r)
+	grad := make([]float64, r)
+	res := &Result{}
+	prev := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// ∇f(w) = 2(Gw − b); the constant 2 folds into the step size.
+		for i := 0; i < r; i++ {
+			gRow := g.RawRow(i)
+			var gw float64
+			for k := 0; k < r; k++ {
+				gw += gRow[k] * w[k]
+			}
+			grad[i] = gw - b[i]
+		}
+		for i := 0; i < r; i++ {
+			w[i] -= step * grad[i]
+			if w[i] < 0 {
+				w[i] = 0
+			}
+		}
+		res.Iterations = iter + 1
+		obj := residual(s, w, psi)
+		if !math.IsInf(prev, 1) && prev-obj <= cfg.Tolerance*math.Max(prev, 1) {
+			break
+		}
+		prev = obj
+	}
+	res.W = w
+	res.Residual = residual(s, w, psi)
+	return res, nil
+}
+
+// SolveBatch solves one NNLS problem per row of states, returning an
+// n×r weight matrix and per-row residuals. states is n×m, psi is r×m.
+func SolveBatch(states, psi *mat.Dense, cfg Config) (*mat.Dense, []float64, error) {
+	n, m := states.Dims()
+	r, pm := psi.Dims()
+	if m != pm {
+		return nil, nil, fmt.Errorf("%w: states %dx%d, basis %dx%d", ErrShape, n, m, r, pm)
+	}
+	weights := mat.MustNew(n, r)
+	residuals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sol, err := Solve(states.RawRow(i), psi, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		weights.SetRow(i, sol.W)
+		residuals[i] = sol.Residual
+	}
+	return weights, residuals, nil
+}

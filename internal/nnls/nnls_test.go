@@ -1,0 +1,272 @@
+package nnls
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+func randomBasis(t *testing.T, r, m int, seed int64) *mat.Dense {
+	t.Helper()
+	psi, err := mat.RandomPositive(r, m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("random basis: %v", err)
+	}
+	return psi
+}
+
+// mix produces s = wΨ for a known non-negative w.
+func mix(w []float64, psi *mat.Dense) []float64 {
+	r, m := psi.Dims()
+	s := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < r; i++ {
+			s[j] += w[i] * psi.At(i, j)
+		}
+	}
+	return s
+}
+
+func TestSolveRecoversExactMixMU(t *testing.T) {
+	testRecovery(t, Multiplicative, 1e-3)
+}
+
+func TestSolveRecoversExactMixPG(t *testing.T) {
+	testRecovery(t, ProjectedGradient, 1e-3)
+}
+
+func testRecovery(t *testing.T, solver Solver, tol float64) {
+	t.Helper()
+	psi := randomBasis(t, 4, 20, 1)
+	want := []float64{2, 0, 0.5, 0}
+	s := mix(want, psi)
+	res, err := Solve(s, psi, Config{Solver: solver, MaxIter: 5000, Tolerance: 1e-14})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Residual > tol*norm(s) {
+		t.Errorf("residual = %v, want < %v of ‖s‖", res.Residual, tol)
+	}
+	for i := range res.W {
+		if res.W[i] < 0 {
+			t.Errorf("W[%d] = %v < 0", i, res.W[i])
+		}
+	}
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func TestSolveZeroState(t *testing.T) {
+	psi := randomBasis(t, 3, 10, 2)
+	s := make([]float64, 10)
+	for _, solver := range []Solver{Multiplicative, ProjectedGradient} {
+		res, err := Solve(s, psi, Config{Solver: solver})
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if res.Residual > 1e-6 {
+			t.Errorf("%v: residual on zero state = %v", solver, res.Residual)
+		}
+		for i, w := range res.W {
+			if w > 1e-6 {
+				t.Errorf("%v: W[%d] = %v, want ~0", solver, i, w)
+			}
+		}
+	}
+}
+
+func TestSolveShapeMismatch(t *testing.T) {
+	psi := randomBasis(t, 3, 10, 3)
+	if _, err := Solve(make([]float64, 5), psi, Config{}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolveNonNegativeOnAdversarialState(t *testing.T) {
+	// A state with negative entries cannot be represented exactly by a
+	// non-negative combination of a positive basis; the solver must still
+	// return w ≥ 0.
+	psi := randomBasis(t, 3, 8, 4)
+	s := []float64{-5, -3, -1, 0, 1, -2, -4, -6}
+	for _, solver := range []Solver{Multiplicative, ProjectedGradient} {
+		res, err := Solve(s, psi, Config{Solver: solver, MaxIter: 500})
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		for i, w := range res.W {
+			if w < 0 {
+				t.Errorf("%v: W[%d] = %v < 0", solver, i, w)
+			}
+		}
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	psi := randomBasis(t, 5, 25, 5)
+	want := []float64{0, 1.5, 0, 3, 0.25}
+	s := mix(want, psi)
+	mu, err := Solve(s, psi, Config{Solver: Multiplicative, MaxIter: 20000, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatalf("MU: %v", err)
+	}
+	pg, err := Solve(s, psi, Config{Solver: ProjectedGradient, MaxIter: 20000, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatalf("PG: %v", err)
+	}
+	for i := range mu.W {
+		if math.Abs(mu.W[i]-pg.W[i]) > 0.05*(1+math.Abs(want[i])) {
+			t.Errorf("solvers disagree at %d: MU=%v PG=%v want=%v", i, mu.W[i], pg.W[i], want[i])
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	psi := randomBasis(t, 4, 12, 6)
+	s := mix([]float64{1, 2, 0, 0.5}, psi)
+	a, _ := Solve(s, psi, Config{})
+	b, _ := Solve(s, psi, Config{})
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("Solve is not deterministic")
+		}
+	}
+}
+
+func TestSolveBatch(t *testing.T) {
+	psi := randomBasis(t, 3, 10, 7)
+	states := mat.MustNew(4, 10)
+	wants := [][]float64{
+		{1, 0, 0},
+		{0, 2, 0},
+		{0, 0, 3},
+		{1, 1, 1},
+	}
+	for i, w := range wants {
+		states.SetRow(i, mix(w, psi))
+	}
+	weights, residuals, err := SolveBatch(states, psi, Config{MaxIter: 3000, Tolerance: 1e-14})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if weights.Rows() != 4 || weights.Cols() != 3 {
+		t.Fatalf("weights shape %dx%d, want 4x3", weights.Rows(), weights.Cols())
+	}
+	for i, want := range wants {
+		if residuals[i] > 1e-2 {
+			t.Errorf("row %d residual = %v", i, residuals[i])
+		}
+		for j, wv := range want {
+			if math.Abs(weights.At(i, j)-wv) > 0.05*(1+wv) {
+				t.Errorf("row %d: W[%d] = %v, want %v", i, j, weights.At(i, j), wv)
+			}
+		}
+	}
+}
+
+func TestSolveBatchShapeMismatch(t *testing.T) {
+	psi := randomBasis(t, 3, 10, 8)
+	if _, _, err := SolveBatch(mat.MustNew(2, 7), psi, Config{}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if Multiplicative.String() != "multiplicative" {
+		t.Error("Multiplicative.String mismatch")
+	}
+	if ProjectedGradient.String() != "projected-gradient" {
+		t.Error("ProjectedGradient.String mismatch")
+	}
+	if Solver(9).String() != "Solver(9)" {
+		t.Error("unknown Solver String mismatch")
+	}
+}
+
+// Property: for any positive basis and any non-negative mixing weights, both
+// solvers return non-negative w with residual below the trivial w=0 residual.
+func TestPropertySolveImprovesOverZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 2 + rng.Intn(4)
+		m := r + 2 + rng.Intn(10)
+		psi, err := mat.RandomPositive(r, m, rng)
+		if err != nil {
+			return false
+		}
+		w := make([]float64, r)
+		for i := range w {
+			w[i] = rng.Float64() * 3
+		}
+		s := mix(w, psi)
+		zeroResidual := norm(s)
+		if zeroResidual == 0 {
+			return true
+		}
+		for _, solver := range []Solver{Multiplicative, ProjectedGradient} {
+			res, err := Solve(s, psi, Config{Solver: solver, MaxIter: 200})
+			if err != nil {
+				return false
+			}
+			for _, wi := range res.W {
+				if wi < 0 || math.IsNaN(wi) {
+					return false
+				}
+			}
+			if res.Residual > zeroResidual {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBatchParallelMatchesSequential(t *testing.T) {
+	psi := randomBasis(t, 4, 15, 9)
+	rng := rand.New(rand.NewSource(10))
+	states := mat.MustNew(40, 15)
+	for i := 0; i < 40; i++ {
+		w := make([]float64, 4)
+		for j := range w {
+			w[j] = rng.Float64() * 2
+		}
+		states.SetRow(i, mix(w, psi))
+	}
+	seqW, seqR, err := SolveBatch(states, psi, Config{})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		parW, parR, err := SolveBatchParallel(states, psi, Config{}, workers)
+		if err != nil {
+			t.Fatalf("SolveBatchParallel(%d): %v", workers, err)
+		}
+		if !mat.Equal(seqW, parW, 0) {
+			t.Fatalf("workers=%d: weights differ from sequential", workers)
+		}
+		for i := range seqR {
+			if seqR[i] != parR[i] {
+				t.Fatalf("workers=%d: residual %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSolveBatchParallelShapeMismatch(t *testing.T) {
+	psi := randomBasis(t, 3, 10, 11)
+	if _, _, err := SolveBatchParallel(mat.MustNew(5, 7), psi, Config{}, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}

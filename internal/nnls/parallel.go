@@ -1,0 +1,61 @@
+package nnls
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+// SolveBatchParallel is SolveBatch with a bounded worker pool: rows are
+// independent NNLS problems, so a sink processing hundreds of node states
+// per epoch can fan them out. workers ≤ 0 uses GOMAXPROCS. Results are
+// identical to the sequential path for any worker count.
+func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.Dense, []float64, error) {
+	n, m := states.Dims()
+	r, pm := psi.Dims()
+	if m != pm {
+		return nil, nil, fmt.Errorf("%w: states %dx%d, basis %dx%d", ErrShape, n, m, r, pm)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	weights := mat.MustNew(n, r)
+	residuals := make([]float64, n)
+	errs := make([]error, workers)
+
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range rows {
+				sol, err := Solve(states.RawRow(i), psi, cfg)
+				if err != nil {
+					if errs[worker] == nil {
+						errs[worker] = fmt.Errorf("row %d: %w", i, err)
+					}
+					continue
+				}
+				weights.SetRow(i, sol.W)
+				residuals[i] = sol.Residual
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return weights, residuals, nil
+}

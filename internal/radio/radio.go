@@ -1,0 +1,200 @@
+// Package radio models the PHY and MAC behaviour of a CC2420-class
+// low-power radio: log-distance path loss with shadowing, an RSSI→PRR
+// reception curve, CSMA backoff, link-layer ACKs and bounded retransmission.
+//
+// The model produces exactly the phenomena the VN2 counters observe:
+// NOACK retransmissions when data or ACK frames are lost, duplicates when
+// the data frame arrives but its ACK does not, backoffs under contention,
+// and packet drops after the retry limit (30 in CitySee).
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/wsn-tools/vn2/internal/env"
+)
+
+// MaxRetries is the CitySee retransmission bound: "any packet is tried to
+// sent out for 30 times at most".
+const MaxRetries = 30
+
+// Config parametrizes the radio model.
+type Config struct {
+	// TxPower is the transmit power in dBm. CC2420 power level 2 is about
+	// -25 dBm; testbeds use low power to create multihop topologies.
+	// Default -25.
+	TxPower float64
+	// PathLossExponent for log-distance propagation. Default 2.7.
+	PathLossExponent float64
+	// ReferenceLoss is the path loss at 1 m in dB. Default 30.
+	ReferenceLoss float64
+	// ShadowingSigma is log-normal shadowing in dB. Default 3.
+	ShadowingSigma float64
+	// SensitivityDBM is the receive sensitivity floor. Default -96.
+	SensitivityDBM float64
+	// Seed drives the per-transmission randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TxPower == 0 {
+		c.TxPower = -25
+	}
+	if c.PathLossExponent == 0 {
+		c.PathLossExponent = 2.7
+	}
+	if c.ReferenceLoss == 0 {
+		c.ReferenceLoss = 30
+	}
+	if c.ShadowingSigma == 0 {
+		c.ShadowingSigma = 3
+	}
+	if c.SensitivityDBM == 0 {
+		c.SensitivityDBM = -96
+	}
+	return c
+}
+
+// Medium simulates the shared wireless channel. It is not safe for
+// concurrent use; the simulator drives it from one goroutine.
+type Medium struct {
+	cfg   Config
+	rng   *rand.Rand
+	field *env.Field
+	// shadow caches the static shadowing term per directed link so a link
+	// has a stable quality bias, as in real deployments.
+	shadow map[[2]int]float64
+}
+
+// NewMedium constructs a Medium over the given environment field.
+func NewMedium(cfg Config, field *env.Field) *Medium {
+	cfg = cfg.withDefaults()
+	return &Medium{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		field:  field,
+		shadow: make(map[[2]int]float64),
+	}
+}
+
+// linkShadow returns the stable shadowing bias for the a→b link.
+func (m *Medium) linkShadow(a, b int) float64 {
+	key := [2]int{a, b}
+	if s, ok := m.shadow[key]; ok {
+		return s
+	}
+	// Symmetric links share the bias, as physical obstructions do.
+	rev := [2]int{b, a}
+	if s, ok := m.shadow[rev]; ok {
+		m.shadow[key] = s
+		return s
+	}
+	s := m.rng.NormFloat64() * m.cfg.ShadowingSigma
+	m.shadow[key] = s
+	return s
+}
+
+// RSSI returns the received signal strength in dBm for a transmission from
+// position src (node a) to dst (node b), including stable link shadowing and
+// fast fading.
+func (m *Medium) RSSI(a, b int, src, dst env.Position) float64 {
+	d := src.Distance(dst)
+	if d < 1 {
+		d = 1
+	}
+	pl := m.cfg.ReferenceLoss + 10*m.cfg.PathLossExponent*math.Log10(d)
+	fading := m.rng.NormFloat64() * 1.0
+	return m.cfg.TxPower - pl + m.linkShadow(a, b) + fading
+}
+
+// PRR maps an RSSI and local noise floor to a packet reception ratio via a
+// logistic curve on SNR, the standard empirical CC2420 shape: near-zero
+// below ~3 dB SNR, near-one above ~8 dB.
+func (m *Medium) PRR(rssi, noiseFloor float64) float64 {
+	if rssi < m.cfg.SensitivityDBM {
+		return 0
+	}
+	snr := rssi - noiseFloor
+	return 1 / (1 + math.Exp(-(snr-5.5)*1.3))
+}
+
+// DegradeLink adds a persistent attenuation (positive dB) to the a↔b link,
+// used by fault injection to create link-degradation events.
+func (m *Medium) DegradeLink(a, b int, attenuationDB float64) {
+	m.shadow[[2]int{a, b}] = m.linkShadow(a, b) - attenuationDB
+	m.shadow[[2]int{b, a}] = m.shadow[[2]int{a, b}]
+}
+
+// TxOutcome reports what happened to one link-layer unicast attempt
+// sequence (up to MaxRetries tries).
+type TxOutcome struct {
+	// Delivered reports whether the receiver got at least one copy.
+	Delivered bool
+	// Acked reports whether the sender got an ACK (success from the
+	// sender's point of view).
+	Acked bool
+	// Attempts is the number of transmissions performed (1..MaxRetries).
+	Attempts int
+	// NoAckRetries counts retransmissions caused by a missing ACK
+	// (= Attempts-1 when the sequence ends, 0 on first-try success).
+	NoAckRetries int
+	// Duplicates counts extra copies the receiver accepted because a
+	// data frame got through but its ACK was lost.
+	Duplicates int
+	// Backoffs counts CSMA backoff events under contention.
+	Backoffs int
+}
+
+// Unicast simulates a full link-layer unicast exchange from node a at src
+// to node b at dst, with channel contention level in [0,1] raising backoff
+// and loss. rxUp reports whether the receiver is powered and able to accept
+// frames; a down receiver yields pure NOACK retransmissions.
+func (m *Medium) Unicast(a, b int, src, dst env.Position, contention float64, rxUp bool) TxOutcome {
+	var out TxOutcome
+	noise := m.field.NoiseFloor(dst)
+	noiseRev := m.field.NoiseFloor(src)
+	if contention < 0 {
+		contention = 0
+	}
+	if contention > 1 {
+		contention = 1
+	}
+	for out.Attempts < MaxRetries {
+		out.Attempts++
+		// CSMA: under contention the sender may back off before each try.
+		if m.rng.Float64() < contention {
+			out.Backoffs++
+		}
+		rssi := m.RSSI(a, b, src, dst)
+		// Contention also collides frames in the air.
+		prr := m.PRR(rssi, noise) * (1 - 0.6*contention)
+		dataThrough := rxUp && m.rng.Float64() < prr
+		if dataThrough {
+			if out.Delivered {
+				out.Duplicates++
+			}
+			out.Delivered = true
+			// ACK travels the reverse link; ACK frames are short, so give
+			// them a small reliability edge.
+			ackRssi := m.RSSI(b, a, dst, src)
+			ackPrr := m.PRR(ackRssi, noiseRev) * (1 - 0.4*contention)
+			ackPrr = math.Min(1, ackPrr*1.1)
+			if m.rng.Float64() < ackPrr {
+				out.Acked = true
+				out.NoAckRetries = out.Attempts - 1
+				return out
+			}
+		}
+		// No ACK: retry.
+	}
+	out.NoAckRetries = out.Attempts - 1
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (o TxOutcome) String() string {
+	return fmt.Sprintf("TxOutcome{delivered=%t acked=%t attempts=%d noack=%d dup=%d backoff=%d}",
+		o.Delivered, o.Acked, o.Attempts, o.NoAckRetries, o.Duplicates, o.Backoffs)
+}

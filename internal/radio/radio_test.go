@@ -1,0 +1,251 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/env"
+)
+
+func newTestMedium(seed int64) (*Medium, *env.Field) {
+	field := env.New(env.Config{Seed: seed, NoiseSigma: 0.001})
+	m := NewMedium(Config{Seed: seed}, field)
+	return m, field
+}
+
+func TestRSSIDecreasesWithDistance(t *testing.T) {
+	m, _ := newTestMedium(1)
+	src := env.Position{X: 0, Y: 0}
+	var near, far float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		near += m.RSSI(1, 2, src, env.Position{X: 10, Y: 0})
+		far += m.RSSI(1, 3, src, env.Position{X: 100, Y: 0})
+	}
+	if near/n <= far/n {
+		t.Errorf("RSSI near (%.1f) should exceed far (%.1f)", near/n, far/n)
+	}
+}
+
+func TestRSSIShadowStablePerLink(t *testing.T) {
+	m, _ := newTestMedium(2)
+	a := m.linkShadow(1, 2)
+	b := m.linkShadow(1, 2)
+	if a != b {
+		t.Error("link shadow not stable")
+	}
+	if m.linkShadow(2, 1) != a {
+		t.Error("link shadow not symmetric")
+	}
+}
+
+func TestPRRMonotoneInSNR(t *testing.T) {
+	m, _ := newTestMedium(3)
+	noise := -98.0
+	prev := -1.0
+	for rssi := -94.0; rssi <= -60; rssi += 2 {
+		prr := m.PRR(rssi, noise)
+		if prr < prev {
+			t.Fatalf("PRR not monotone at rssi=%v: %v < %v", rssi, prr, prev)
+		}
+		if prr < 0 || prr > 1 {
+			t.Fatalf("PRR %v out of [0,1]", prr)
+		}
+		prev = prr
+	}
+}
+
+func TestPRRBelowSensitivityIsZero(t *testing.T) {
+	m, _ := newTestMedium(4)
+	if got := m.PRR(-97, -120); got != 0 {
+		t.Errorf("PRR below sensitivity = %v, want 0", got)
+	}
+}
+
+func TestPRRHighSNRNearOne(t *testing.T) {
+	m, _ := newTestMedium(5)
+	if got := m.PRR(-60, -98); got < 0.99 {
+		t.Errorf("PRR at 38dB SNR = %v, want ~1", got)
+	}
+}
+
+func TestUnicastGoodLinkSucceedsQuickly(t *testing.T) {
+	m, _ := newTestMedium(6)
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 15, Y: 0}
+	var attempts int
+	const n = 300
+	for i := 0; i < n; i++ {
+		out := m.Unicast(1, 2, src, dst, 0, true)
+		if !out.Acked {
+			t.Fatalf("good link failed: %v", out)
+		}
+		attempts += out.Attempts
+	}
+	if avg := float64(attempts) / n; avg > 1.5 {
+		t.Errorf("average attempts on good link = %v, want close to 1", avg)
+	}
+}
+
+func TestUnicastDownReceiverNeverDelivers(t *testing.T) {
+	m, _ := newTestMedium(7)
+	out := m.Unicast(1, 2, env.Position{X: 0, Y: 0}, env.Position{X: 10, Y: 0}, 0, false)
+	if out.Delivered || out.Acked {
+		t.Errorf("delivered to a down receiver: %v", out)
+	}
+	if out.Attempts != MaxRetries {
+		t.Errorf("attempts = %d, want MaxRetries=%d", out.Attempts, MaxRetries)
+	}
+	if out.NoAckRetries != MaxRetries-1 {
+		t.Errorf("NoAckRetries = %d, want %d", out.NoAckRetries, MaxRetries-1)
+	}
+}
+
+func TestUnicastFarLinkFails(t *testing.T) {
+	m, _ := newTestMedium(8)
+	var acked int
+	for i := 0; i < 100; i++ {
+		out := m.Unicast(1, 2, env.Position{X: 0, Y: 0}, env.Position{X: 5000, Y: 0}, 0, true)
+		if out.Acked {
+			acked++
+		}
+	}
+	if acked > 2 {
+		t.Errorf("%d/100 unicasts acked on a 5km link at -25dBm", acked)
+	}
+}
+
+func TestUnicastContentionCausesBackoffs(t *testing.T) {
+	m, _ := newTestMedium(9)
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 15, Y: 0}
+	var quiet, busy int
+	const n = 400
+	for i := 0; i < n; i++ {
+		quiet += m.Unicast(1, 2, src, dst, 0, true).Backoffs
+		busy += m.Unicast(1, 2, src, dst, 0.8, true).Backoffs
+	}
+	if busy <= quiet {
+		t.Errorf("contention backoffs (%d) should exceed quiet backoffs (%d)", busy, quiet)
+	}
+}
+
+func TestUnicastContentionIncreasesRetries(t *testing.T) {
+	m, _ := newTestMedium(10)
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 20, Y: 0}
+	var quiet, busy int
+	const n = 400
+	for i := 0; i < n; i++ {
+		quiet += m.Unicast(1, 2, src, dst, 0, true).NoAckRetries
+		busy += m.Unicast(1, 2, src, dst, 0.9, true).NoAckRetries
+	}
+	if busy <= quiet {
+		t.Errorf("contention retries (%d) should exceed quiet retries (%d)", busy, quiet)
+	}
+}
+
+func TestUnicastDuplicatesWhenAckLost(t *testing.T) {
+	// A marginal link with contention loses ACKs while some data frames get
+	// through, which must register duplicates over enough trials.
+	m, _ := newTestMedium(11)
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 28, Y: 0}
+	var dups int
+	for i := 0; i < 2000; i++ {
+		dups += m.Unicast(1, 2, src, dst, 0.5, true).Duplicates
+	}
+	if dups == 0 {
+		t.Error("no duplicates generated on a lossy contended link in 2000 exchanges")
+	}
+}
+
+func TestDegradeLinkReducesDelivery(t *testing.T) {
+	m, _ := newTestMedium(12)
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 15, Y: 0}
+	const n = 300
+	acked := func() int {
+		var c int
+		for i := 0; i < n; i++ {
+			if m.Unicast(1, 2, src, dst, 0, true).Acked {
+				c++
+			}
+		}
+		return c
+	}
+	before := acked()
+	m.DegradeLink(1, 2, 40)
+	after := acked()
+	if after >= before {
+		t.Errorf("degraded link acked %d ≥ %d before degradation", after, before)
+	}
+}
+
+func TestMediumDeterministic(t *testing.T) {
+	run := func() []TxOutcome {
+		field := env.New(env.Config{Seed: 5})
+		m := NewMedium(Config{Seed: 5}, field)
+		var outs []TxOutcome
+		for i := 0; i < 50; i++ {
+			if err := field.Advance(time.Minute); err != nil {
+				t.Fatalf("Advance: %v", err)
+			}
+			outs = append(outs, m.Unicast(1, 2, env.Position{X: 0, Y: 0}, env.Position{X: 22, Y: 0}, 0.3, true))
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("radio not deterministic at exchange %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTxOutcomeString(t *testing.T) {
+	s := TxOutcome{Delivered: true, Acked: true, Attempts: 2, NoAckRetries: 1}.String()
+	if !containsAll(s, "delivered=true", "attempts=2", "noack=1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestUnicastContentionClamped(t *testing.T) {
+	m, _ := newTestMedium(13)
+	// Out-of-range contention must not panic or produce nonsense.
+	out := m.Unicast(1, 2, env.Position{X: 0, Y: 0}, env.Position{X: 10, Y: 0}, 5, true)
+	if out.Attempts < 1 || out.Attempts > MaxRetries {
+		t.Errorf("attempts = %d out of range", out.Attempts)
+	}
+	out = m.Unicast(1, 2, env.Position{X: 0, Y: 0}, env.Position{X: 10, Y: 0}, -3, true)
+	if out.Attempts < 1 {
+		t.Errorf("attempts = %d", out.Attempts)
+	}
+}
+
+func TestPRRZeroNoiseBoundary(t *testing.T) {
+	m, _ := newTestMedium(14)
+	// Exactly at sensitivity: PRR should be finite and in range.
+	prr := m.PRR(-96+1e-9, -98)
+	if math.IsNaN(prr) || prr < 0 || prr > 1 {
+		t.Errorf("PRR at sensitivity boundary = %v", prr)
+	}
+}

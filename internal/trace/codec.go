@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// WriteCSV writes the dataset as CSV with a header row:
+// node,epoch,<metric names...>. Rows are ordered by (node, epoch).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"node", "epoch"}, metricspec.Names()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, id := range d.Nodes() {
+		for _, rec := range d.byNode[id] {
+			row[0] = strconv.Itoa(int(rec.Node))
+			row[1] = strconv.Itoa(rec.Epoch)
+			for k, v := range rec.Vector {
+				row[2+k] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	want := 2 + metricspec.MetricCount
+	if len(header) != want {
+		return nil, fmt.Errorf("%w: header has %d columns, want %d", ErrVectorLength, len(header), want)
+	}
+	d := NewDataset()
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv line %d: %w", line, err)
+		}
+		line++
+		node, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d node: %w", line, err)
+		}
+		epoch, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d epoch: %w", line, err)
+		}
+		vec := make([]float64, metricspec.MetricCount)
+		for k := range vec {
+			vec[k], err = strconv.ParseFloat(rec[2+k], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d metric %d: %w", line, k, err)
+			}
+		}
+		if err := d.Add(Record{Node: packet.NodeID(node), Epoch: epoch, Vector: vec}); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}
+
+// datasetJSON is the serialized dataset form.
+type datasetJSON struct {
+	Records []Record `json:"records"`
+}
+
+// WriteJSON writes the dataset as a JSON document.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	var dj datasetJSON
+	for _, id := range d.Nodes() {
+		dj.Records = append(dj.Records, d.byNode[id]...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dj)
+}
+
+// ReadJSON parses a dataset produced by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var dj datasetJSON
+	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+		return nil, fmt.Errorf("decode dataset: %w", err)
+	}
+	d := NewDataset()
+	for _, rec := range dj.Records {
+		if err := d.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

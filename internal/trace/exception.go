@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultExceptionThreshold is the paper's cutoff: a state u is an
+// exception when εᵤ/max(εᵤ) ≥ 0.01 (Section IV-B).
+const DefaultExceptionThreshold = 0.01
+
+// zClip bounds a single metric's standardized deviation so that one
+// colossal excursion (e.g. a counter reset of tens of thousands after a
+// reboot) cannot raise max(ε) so far that every other anomaly class falls
+// below the 1% cutoff. The paper's raw-unit rule works because its metrics
+// share comparable scales; clipping restores that property here.
+const zClip = 100.0
+
+// ExceptionResult holds the output of the Section IV-B exception detector.
+type ExceptionResult struct {
+	// Indices are positions into the input states slice, ascending, of the
+	// states flagged as exceptions.
+	Indices []int
+	// Scores is the normalized deviation εᵤ/max(εᵤ) per input state.
+	Scores []float64
+	// Center is the robust per-metric center (median) of the state deltas.
+	Center []float64
+	// Scale is the robust per-metric spread (99th-percentile absolute
+	// deviation, floored) used to standardize deviations.
+	Scale []float64
+}
+
+// Exceptions returns the flagged states themselves.
+func (r *ExceptionResult) Exceptions(states []StateVector) []StateVector {
+	out := make([]StateVector, 0, len(r.Indices))
+	for _, i := range r.Indices {
+		out = append(out, states[i])
+	}
+	return out
+}
+
+// DetectExceptions implements the paper's detector: for each state u
+// compute its deviation εᵤ from the typical state, and flag u when
+// εᵤ/max(εᵤ) ≥ threshold. Deviations are standardized per metric with a
+// robust center/scale (median and MAD) and clipped, so that a 0.1 V voltage
+// drop, a 500-count retransmit burst and a 30000-second uptime reset are
+// all visible to the same rule — the property the paper's raw-unit rule
+// gets from its comparable metric scales.
+//
+// A threshold ≤ 0 uses DefaultExceptionThreshold.
+func DetectExceptions(states []StateVector, threshold float64) (*ExceptionResult, error) {
+	if len(states) == 0 {
+		return nil, ErrEmpty
+	}
+	if threshold <= 0 {
+		threshold = DefaultExceptionThreshold
+	}
+	m := len(states[0].Delta)
+	for i, s := range states {
+		if len(s.Delta) != m {
+			return nil, fmt.Errorf("%w: state %d has %d metrics, want %d", ErrVectorLength, i, len(s.Delta), m)
+		}
+	}
+
+	center := make([]float64, m)
+	scale := make([]float64, m)
+	col := make([]float64, len(states))
+	for k := 0; k < m; k++ {
+		for i, s := range states {
+			col[i] = s.Delta[k]
+		}
+		center[k] = median(col)
+		for i, s := range states {
+			col[i] = math.Abs(s.Delta[k] - center[k])
+		}
+		// The 99th-percentile deviation is the "routine tail" of the
+		// metric: normal churn (retry bursts, table updates) lands at
+		// z ≤ ~1 while genuine anomalies stand 10-100× above it. It is
+		// robust to a small anomaly fraction, unlike the standard
+		// deviation, and unlike the MAD it does not declare a heavy-tailed
+		// metric's own tail anomalous. The floor keeps constant metrics
+		// harmless.
+		scale[k] = percentile(col, 0.99)
+		if scale[k] < 1e-9 {
+			scale[k] = 1e-9
+		}
+	}
+
+	res := &ExceptionResult{
+		Scores: make([]float64, len(states)),
+		Center: center,
+		Scale:  scale,
+	}
+	maxEps := 0.0
+	for i, s := range states {
+		var eps float64
+		for k, v := range s.Delta {
+			z := math.Abs(v-center[k]) / scale[k]
+			if z > zClip {
+				z = zClip
+			}
+			eps += z * z
+		}
+		res.Scores[i] = eps
+		if eps > maxEps {
+			maxEps = eps
+		}
+	}
+	if maxEps == 0 {
+		// Perfectly uniform data: nothing deviates, nothing is an
+		// exception.
+		return res, nil
+	}
+	for i := range res.Scores {
+		res.Scores[i] /= maxEps
+		if res.Scores[i] >= threshold {
+			res.Indices = append(res.Indices, i)
+		}
+	}
+	return res, nil
+}
+
+// median returns the median of v, sorting a copy.
+func median(v []float64) float64 {
+	tmp := make([]float64, len(v))
+	copy(tmp, v)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// percentile returns the p-th quantile (p in [0,1]) of v, sorting a copy.
+func percentile(v []float64, p float64) float64 {
+	tmp := make([]float64, len(v))
+	copy(tmp, v)
+	sort.Float64s(tmp)
+	idx := int(p * float64(len(tmp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}

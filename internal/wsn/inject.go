@@ -1,0 +1,185 @@
+package wsn
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/env"
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// EventType classifies a ground-truth event in the simulation log.
+type EventType int
+
+// Event types recorded by the simulator.
+const (
+	// EventFail marks an injected node failure (testbed: node removed).
+	EventFail EventType = iota + 1
+	// EventReboot marks a node power-cycle (testbed: node put back).
+	EventReboot
+	// EventEnergyDepleted marks a battery-driven failure (voltage < 2.8 V).
+	EventEnergyDepleted
+	// EventLoopInjected marks the start of a forced routing loop.
+	EventLoopInjected
+	// EventLoopCleared marks forced parents being released.
+	EventLoopCleared
+	// EventLinkDegraded marks an injected link attenuation.
+	EventLinkDegraded
+	// EventInterference marks an injected interference burst.
+	EventInterference
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventFail:
+		return "node-failure"
+	case EventReboot:
+		return "node-reboot"
+	case EventEnergyDepleted:
+		return "energy-depleted"
+	case EventLoopInjected:
+		return "loop-injected"
+	case EventLoopCleared:
+		return "loop-cleared"
+	case EventLinkDegraded:
+		return "link-degraded"
+	case EventInterference:
+		return "interference"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is one ground-truth entry: what was injected (or emerged) and when.
+type Event struct {
+	Epoch int
+	Type  EventType
+	Node  packet.NodeID // primary node involved; 0 for area events
+}
+
+func (n *Network) record(e Event) { n.events = append(n.events, e) }
+
+// Events returns a copy of the ground-truth event log.
+func (n *Network) Events() []Event {
+	out := make([]Event, len(n.events))
+	copy(out, n.events)
+	return out
+}
+
+// EventsOfType filters the log by type.
+func (n *Network) EventsOfType(t EventType) []Event {
+	var out []Event
+	for _, e := range n.events {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FailNode powers a node off, as removing it from the testbed does.
+func (n *Network) FailNode(id packet.NodeID) error {
+	nd, err := n.node(id)
+	if err != nil {
+		return err
+	}
+	if nd.isSink() {
+		return ErrSinkImmutable
+	}
+	if nd.up {
+		nd.fail()
+		n.record(Event{Epoch: n.epoch, Type: EventFail, Node: id})
+	}
+	return nil
+}
+
+// RebootNode power-cycles a node: volatile state clears and it rejoins the
+// network, as putting a removed node back does.
+func (n *Network) RebootNode(id packet.NodeID) error {
+	nd, err := n.node(id)
+	if err != nil {
+		return err
+	}
+	if nd.isSink() {
+		return ErrSinkImmutable
+	}
+	nd.reboot()
+	n.record(Event{Epoch: n.epoch, Type: EventReboot, Node: id})
+	return nil
+}
+
+// InjectLoop forces a routing cycle through the given nodes: each node's
+// parent is pinned to the next, and the last to the first. At least two
+// nodes are required. Data entering any of them circulates until TTL
+// expiry, producing the loop/duplicate/overflow signature of Section IV-C.
+func (n *Network) InjectLoop(ids ...packet.NodeID) error {
+	if len(ids) < 2 {
+		return fmt.Errorf("wsn: loop needs >= 2 nodes, got %d", len(ids))
+	}
+	for _, id := range ids {
+		nd, err := n.node(id)
+		if err != nil {
+			return err
+		}
+		if nd.isSink() {
+			return ErrSinkImmutable
+		}
+	}
+	for i, id := range ids {
+		next := ids[(i+1)%len(ids)]
+		parent := next
+		n.nodes[id].forcedParent = &parent
+	}
+	n.record(Event{Epoch: n.epoch, Type: EventLoopInjected, Node: ids[0]})
+	return nil
+}
+
+// ClearForcedParents releases all loop injections.
+func (n *Network) ClearForcedParents() {
+	cleared := false
+	for _, nd := range n.nodes {
+		if nd.forcedParent != nil {
+			nd.forcedParent = nil
+			cleared = true
+		}
+	}
+	if cleared {
+		n.record(Event{Epoch: n.epoch, Type: EventLoopCleared})
+	}
+}
+
+// DegradeLink attenuates the radio link between two nodes by the given
+// positive dB amount for the rest of the run.
+func (n *Network) DegradeLink(a, b packet.NodeID, attenuationDB float64) error {
+	if _, err := n.node(a); err != nil {
+		return err
+	}
+	if _, err := n.node(b); err != nil {
+		return err
+	}
+	n.medium.DegradeLink(int(a), int(b), attenuationDB)
+	n.record(Event{Epoch: n.epoch, Type: EventLinkDegraded, Node: a})
+	return nil
+}
+
+// InjectInterference starts an interference burst centered at pos for the
+// given duration, raising the local noise floor and creating contention.
+func (n *Network) InjectInterference(pos env.Position, d time.Duration) {
+	n.field.InjectBurst(pos, d)
+	n.record(Event{Epoch: n.epoch, Type: EventInterference})
+}
+
+// DrainBattery reduces a node's voltage by dv, modelling accelerated energy
+// consumption; the node fails once it crosses the threshold.
+func (n *Network) DrainBattery(id packet.NodeID, dv float64) error {
+	nd, err := n.node(id)
+	if err != nil {
+		return err
+	}
+	if nd.isSink() {
+		return ErrSinkImmutable
+	}
+	nd.voltage -= dv
+	return nil
+}

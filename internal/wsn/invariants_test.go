@@ -1,0 +1,201 @@
+package wsn
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// TestCounterInvariants checks the structural properties every C3 counter
+// stream must satisfy in a running network: counters are non-decreasing
+// between reboots, uptime grows by exactly the epoch length, and the
+// forward/self-transmit split accounts for all transmissions initiated.
+func TestCounterInvariants(t *testing.T) {
+	topo, err := GridTopology(4, 4, 11)
+	if err != nil {
+		t.Fatalf("GridTopology: %v", err)
+	}
+	n, err := New(Config{Seed: 77, Topology: topo})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ds := trace.NewDataset()
+	for i := 0; i < 12; i++ {
+		er, err := n.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		for _, rep := range er.Reports {
+			if err := ds.AddReport(er.Epoch, rep); err != nil {
+				t.Fatalf("AddReport: %v", err)
+			}
+		}
+	}
+	counterIDs := []metricspec.ID{
+		metricspec.TransmitCounter, metricspec.ReceiveCounter,
+		metricspec.SelfTransmitCounter, metricspec.ForwardCounter,
+		metricspec.OverflowDropCounter, metricspec.LoopCounter,
+		metricspec.NOACKRetransmitCounter, metricspec.DuplicateCounter,
+		metricspec.DropPacketCounter, metricspec.MacBackoffCounter,
+		metricspec.BeaconCounter,
+	}
+	checked := 0
+	for _, id := range ds.Nodes() {
+		recs := ds.Records(id)
+		for i := 1; i < len(recs); i++ {
+			prev, cur := recs[i-1].Vector, recs[i].Vector
+			rebooted := cur[metricspec.Uptime] < prev[metricspec.Uptime]
+			if rebooted {
+				continue // volatile counters legitimately reset
+			}
+			checked++
+			for _, cid := range counterIDs {
+				if cur[cid] < prev[cid] {
+					t.Fatalf("node %d epoch %d: counter %d regressed %v -> %v without a reboot",
+						id, recs[i].Epoch, cid, prev[cid], cur[cid])
+				}
+			}
+			// Transmissions are at least one attempt per packet initiated.
+			dTx := cur[metricspec.TransmitCounter] - prev[metricspec.TransmitCounter]
+			dSelf := cur[metricspec.SelfTransmitCounter] - prev[metricspec.SelfTransmitCounter]
+			dFwd := cur[metricspec.ForwardCounter] - prev[metricspec.ForwardCounter]
+			if dTx < dSelf+dFwd {
+				t.Fatalf("node %d epoch %d: %v transmissions for %v initiated packets",
+					id, recs[i].Epoch, dTx, dSelf+dFwd)
+			}
+			// RadioOnTime is non-decreasing.
+			if cur[metricspec.RadioOnTime] < prev[metricspec.RadioOnTime] {
+				t.Fatalf("node %d: radio-on time regressed", id)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no consecutive report pairs checked")
+	}
+}
+
+// TestRebootVisibleInUptime checks that an injected reboot shows up as an
+// uptime regression in the report stream — the signal VN2's reboot root
+// cause keys on.
+func TestRebootVisibleInUptime(t *testing.T) {
+	n := newTestNetwork(t, 78)
+	ds := trace.NewDataset()
+	step := func() {
+		er, err := n.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		for _, rep := range er.Reports {
+			if err := ds.AddReport(er.Epoch, rep); err != nil {
+				t.Fatalf("AddReport: %v", err)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	const victim packet.NodeID = 4
+	if err := n.RebootNode(victim); err != nil {
+		t.Fatalf("RebootNode: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	recs := ds.Records(victim)
+	sawRegression := false
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Vector[metricspec.Uptime] < recs[i-1].Vector[metricspec.Uptime] {
+			sawRegression = true
+		}
+	}
+	if !sawRegression {
+		t.Error("reboot produced no uptime regression in the report stream")
+	}
+}
+
+// TestPRRBounds checks 0 ≤ PRR ≤ 1 and delivered ≤ generated cumulatively.
+func TestPRRBounds(t *testing.T) {
+	n := newTestNetwork(t, 79)
+	var gen, del int
+	for i := 0; i < 10; i++ {
+		er, err := n.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if er.PRR < 0 || er.PRR > 1 {
+			t.Fatalf("PRR %v out of [0,1]", er.PRR)
+		}
+		gen += er.Generated
+		del += er.Delivered
+	}
+	if del > gen {
+		t.Fatalf("cumulative delivered %d exceeds generated %d", del, gen)
+	}
+}
+
+func TestSnapshotReflectsState(t *testing.T) {
+	n := newTestNetwork(t, 80)
+	warmUp(t, n, 4)
+	snap, err := n.Snapshot(3)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if !snap.Up || snap.ID != 3 {
+		t.Errorf("snapshot header = %+v", snap)
+	}
+	if snap.Transmit == 0 {
+		t.Error("no transmissions after 4 epochs")
+	}
+	if snap.Neighbors == 0 {
+		t.Error("empty routing table at steady state")
+	}
+	if snap.Voltage <= 2.8 || snap.Voltage > 3.0 {
+		t.Errorf("voltage = %v", snap.Voltage)
+	}
+	if _, err := n.Snapshot(200); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node err = %v", err)
+	}
+	all := n.Snapshots()
+	if len(all) != n.NumNodes() {
+		t.Fatalf("Snapshots = %d, want %d", len(all), n.NumNodes())
+	}
+	for i, s := range all {
+		if int(s.ID) != i {
+			t.Fatalf("Snapshots out of order at %d", i)
+		}
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	n := newTestNetwork(t, 81)
+	warmUp(t, n, 4)
+	// Every up node must have a finite route at steady state.
+	for id := packet.NodeID(1); int(id) < n.NumNodes(); id++ {
+		d, err := n.TreeDepth(id)
+		if err != nil {
+			t.Fatalf("TreeDepth(%d): %v", id, err)
+		}
+		if d < 1 || d > 8 {
+			t.Errorf("node %d depth = %d, implausible for a 3x3 grid", id, d)
+		}
+	}
+	// The sink is depth 0.
+	if d, _ := n.TreeDepth(packet.SinkID); d != 0 {
+		t.Errorf("sink depth = %d", d)
+	}
+	// A forced cycle reports -1.
+	if err := n.InjectLoop(4, 5); err != nil {
+		t.Fatalf("InjectLoop: %v", err)
+	}
+	if d, _ := n.TreeDepth(4); d != -1 {
+		t.Errorf("looped node depth = %d, want -1", d)
+	}
+	// A failed node's children eventually lose their route or reroute;
+	// unknown node errors.
+	if _, err := n.TreeDepth(200); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node err = %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package wsn
+
+import (
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/ctp"
+	"github.com/wsn-tools/vn2/internal/env"
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// dataPacket is an in-flight data unit traveling hop-by-hop to the sink.
+type dataPacket struct {
+	origin packet.NodeID
+	// incarnation distinguishes packets from different boots of the same
+	// node: sequence numbers restart at zero after a reboot, and without
+	// the incarnation the sink's duplicate cache would silently absorb the
+	// entire post-reboot stream.
+	incarnation uint8
+	seq         uint32
+	ttl         int
+}
+
+// key identifies a packet for duplicate suppression and loop detection.
+func (p dataPacket) key() uint64 {
+	return uint64(p.incarnation)<<48 | uint64(p.origin)<<32 | uint64(p.seq)
+}
+
+// counters mirrors the C3 payload as native integers.
+type counters struct {
+	parentChange    uint32
+	transmit        uint32
+	receive         uint32
+	selfTransmit    uint32
+	forward         uint32
+	overflowDrop    uint32
+	loop            uint32
+	noackRetransmit uint32
+	duplicate       uint32
+	dropPacket      uint32
+	macBackoff      uint32
+	noParent        uint32
+	beacon          uint32
+	queuePeak       uint8
+}
+
+// node is one simulated mote.
+type node struct {
+	id  packet.NodeID
+	pos env.Position
+
+	up      bool
+	voltage float64
+	uptime  time.Duration
+	radioOn float64 // cumulative seconds
+
+	table *ctp.Table
+	queue []dataPacket
+	seq   uint32
+	// incarnation counts boots; folded into every packet key.
+	incarnation uint8
+
+	ctr counters
+
+	// seen caches recently handled packet keys for duplicate suppression
+	// and loop detection (a node re-receiving a packet it forwarded).
+	seen map[uint64]bool
+	// seenOrder bounds the cache.
+	seenOrder []uint64
+
+	// forcedParent overrides CTP parent selection (loop injection).
+	forcedParent *packet.NodeID
+
+	// epochTx counts transmission attempts in the current epoch for
+	// contention and battery accounting.
+	epochTx int
+}
+
+const seenCacheSize = 4096
+
+func newNode(id packet.NodeID, pos env.Position, cfg Config) *node {
+	return &node{
+		id:      id,
+		pos:     pos,
+		up:      true,
+		voltage: cfg.InitialVoltage,
+		table:   ctp.NewTable(id),
+		seen:    make(map[uint64]bool, seenCacheSize),
+	}
+}
+
+// isSink reports whether this node is the collection root.
+func (nd *node) isSink() bool { return nd.id == packet.SinkID }
+
+// remember records a packet key with bounded memory.
+func (nd *node) remember(k uint64) {
+	if nd.seen[k] {
+		return
+	}
+	nd.seen[k] = true
+	nd.seenOrder = append(nd.seenOrder, k)
+	if len(nd.seenOrder) > seenCacheSize {
+		evict := nd.seenOrder[0]
+		nd.seenOrder = nd.seenOrder[1:]
+		delete(nd.seen, evict)
+	}
+}
+
+// reboot power-cycles the node: volatile state (routing table, counters,
+// queue, caches, uptime) clears; the battery does not recover.
+func (nd *node) reboot() {
+	nd.up = true
+	nd.uptime = 0
+	nd.radioOn = 0
+	nd.table.Reset()
+	nd.queue = nil
+	nd.ctr = counters{}
+	nd.seen = make(map[uint64]bool, seenCacheSize)
+	nd.seenOrder = nil
+	nd.seq = 0
+	nd.incarnation++
+	nd.forcedParent = nil
+}
+
+// fail powers the node off.
+func (nd *node) fail() {
+	nd.up = false
+	nd.queue = nil
+}
+
+// parentFor returns the next hop honoring a forced parent.
+func (nd *node) parent() packet.NodeID {
+	if nd.forcedParent != nil {
+		return *nd.forcedParent
+	}
+	return nd.table.Parent()
+}
+
+// enqueue appends a packet, returning false on overflow.
+func (nd *node) enqueue(p dataPacket, capacity int) bool {
+	if len(nd.queue) >= capacity {
+		nd.ctr.overflowDrop++
+		return false
+	}
+	nd.queue = append(nd.queue, p)
+	if len(nd.queue) > int(nd.ctr.queuePeak) {
+		nd.ctr.queuePeak = uint8(len(nd.queue))
+	}
+	return true
+}
+
+// buildReport assembles the node's current C1/C2/C3 report for an epoch.
+func (nd *node) buildReport(f *env.Field) packet.Report {
+	c2entries := nd.table.C2Entries()
+	pathLen := uint8(0)
+	if nd.table.Parent() != ctp.NoParent {
+		// Path length is approximated from path-ETX: roughly one hop per
+		// 1.5 ETX units, matching good links of ETX ~1.5 per hop.
+		pathLen = uint8(nd.table.PathETX()/1.5) + 1
+	}
+	report := packet.Report{
+		C1: packet.C1{
+			Node:        nd.id,
+			Seq:         nd.seq,
+			Temperature: f.Temperature(nd.pos),
+			Humidity:    f.Humidity(nd.pos),
+			Light:       f.Light(nd.pos),
+			Voltage:     nd.voltage,
+			PathETX:     nd.table.PathETX(),
+			PathLength:  pathLen,
+			RadioOnTime: nd.radioOn,
+			NeighborNum: uint8(nd.table.Len()),
+		},
+		C2: packet.C2{Node: nd.id, Seq: nd.seq, Entries: c2entries},
+		C3: packet.C3{
+			Node:            nd.id,
+			Seq:             nd.seq,
+			ParentChange:    nd.table.ParentChanges(),
+			Transmit:        nd.ctr.transmit,
+			Receive:         nd.ctr.receive,
+			SelfTransmit:    nd.ctr.selfTransmit,
+			Forward:         nd.ctr.forward,
+			OverflowDrop:    nd.ctr.overflowDrop,
+			Loop:            nd.ctr.loop,
+			NOACKRetransmit: nd.ctr.noackRetransmit,
+			Duplicate:       nd.ctr.duplicate,
+			DropPacket:      nd.ctr.dropPacket,
+			MacBackoff:      nd.ctr.macBackoff,
+			NoParent:        nd.table.NoParentTicks(),
+			Beacon:          nd.ctr.beacon,
+			QueuePeak:       nd.ctr.queuePeak,
+			Uptime:          uint32(nd.uptime / time.Second),
+		},
+	}
+	return report
+}

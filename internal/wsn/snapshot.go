@@ -1,0 +1,97 @@
+package wsn
+
+import (
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/ctp"
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// NodeSnapshot is a read-only view of one node's live state, for operator
+// tooling and debugging. It is a value copy; mutating it does not affect
+// the simulation.
+type NodeSnapshot struct {
+	ID      packet.NodeID
+	Up      bool
+	Voltage float64
+	Uptime  time.Duration
+	// Parent is the current next hop (forced parent included), or
+	// ctp.NoParent.
+	Parent packet.NodeID
+	// QueueLen is the current forwarding-queue occupancy.
+	QueueLen int
+	// Neighbors is the routing-table occupancy.
+	Neighbors int
+	// PathETX is the node's advertised cost to the sink.
+	PathETX float64
+	// Counters snapshot (cumulative since last reboot).
+	Transmit, Receive, Forward, SelfTransmit uint32
+	NOACKRetransmit, Duplicate, Loop         uint32
+	OverflowDrop, DropPacket, MacBackoff     uint32
+	ParentChanges, NoParentTicks             uint32
+}
+
+// Snapshot returns the live state of one node.
+func (n *Network) Snapshot(id packet.NodeID) (NodeSnapshot, error) {
+	nd, err := n.node(id)
+	if err != nil {
+		return NodeSnapshot{}, err
+	}
+	return NodeSnapshot{
+		ID:              nd.id,
+		Up:              nd.up,
+		Voltage:         nd.voltage,
+		Uptime:          nd.uptime,
+		Parent:          nd.parent(),
+		QueueLen:        len(nd.queue),
+		Neighbors:       nd.table.Len(),
+		PathETX:         nd.table.PathETX(),
+		Transmit:        nd.ctr.transmit,
+		Receive:         nd.ctr.receive,
+		Forward:         nd.ctr.forward,
+		SelfTransmit:    nd.ctr.selfTransmit,
+		NOACKRetransmit: nd.ctr.noackRetransmit,
+		Duplicate:       nd.ctr.duplicate,
+		Loop:            nd.ctr.loop,
+		OverflowDrop:    nd.ctr.overflowDrop,
+		DropPacket:      nd.ctr.dropPacket,
+		MacBackoff:      nd.ctr.macBackoff,
+		ParentChanges:   nd.table.ParentChanges(),
+		NoParentTicks:   nd.table.NoParentTicks(),
+	}, nil
+}
+
+// Snapshots returns the live state of every node (sink included), in ID
+// order.
+func (n *Network) Snapshots() []NodeSnapshot {
+	out := make([]NodeSnapshot, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		snap, _ := n.Snapshot(nd.id) // IDs from the topology are always valid
+		out = append(out, snap)
+	}
+	return out
+}
+
+// TreeDepth returns the hop distance from id to the sink following current
+// parents, or -1 when the node has no route (parentless chain or cycle).
+func (n *Network) TreeDepth(id packet.NodeID) (int, error) {
+	if _, err := n.node(id); err != nil {
+		return 0, err
+	}
+	depth := 0
+	cur := id
+	visited := make(map[packet.NodeID]bool, len(n.nodes))
+	for cur != packet.SinkID {
+		if visited[cur] {
+			return -1, nil // routing cycle
+		}
+		visited[cur] = true
+		next := n.nodes[cur].parent()
+		if next == ctp.NoParent || int(next) >= len(n.nodes) {
+			return -1, nil
+		}
+		cur = next
+		depth++
+	}
+	return depth, nil
+}

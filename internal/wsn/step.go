@@ -1,0 +1,375 @@
+package wsn
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/ctp"
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// initialTTL bounds how many hops a data packet may travel; looped packets
+// circulate until it expires, inflating the loop/duplicate/transmit
+// counters exactly as Section IV-C describes.
+const initialTTL = 16
+
+// contentionPacketsPerSecond is the effective per-neighborhood channel
+// share of a duty-cycled low-power MAC: a neighborhood can move roughly
+// this many frames per second before CSMA pressure builds.
+const contentionPacketsPerSecond = 20.0
+
+// EpochResult summarizes one reporting epoch.
+type EpochResult struct {
+	// Epoch is the 1-based epoch number.
+	Epoch int
+	// Reports are the C1/C2/C3 report bundles that reached the sink.
+	Reports []packet.Report
+	// Generated is the number of data packets created this epoch.
+	Generated int
+	// Delivered is the number of unique data packets the sink received
+	// this epoch (possibly generated in earlier epochs).
+	Delivered int
+	// PRR is Delivered/Generated for the epoch (1 when nothing was
+	// generated).
+	PRR float64
+}
+
+// Step advances the simulation by one reporting epoch.
+func (n *Network) Step() (*EpochResult, error) {
+	n.epoch++
+	if err := n.field.Advance(n.cfg.ReportInterval); err != nil {
+		return nil, fmt.Errorf("advance environment: %w", err)
+	}
+
+	res := &EpochResult{Epoch: n.epoch}
+	n.epochDelivered = make(map[packet.NodeID]bool, len(n.nodes))
+
+	n.agePower()
+	n.beaconPhase()
+	n.routingPhase()
+	res.Generated, res.Delivered = n.trafficPhase()
+	n.collectReports(res)
+	n.accountEnergy()
+
+	if res.Generated > 0 {
+		res.PRR = float64(res.Delivered) / float64(res.Generated)
+		if res.PRR > 1 {
+			res.PRR = 1
+		}
+	} else {
+		res.PRR = 1
+	}
+	return res, nil
+}
+
+// Run executes count epochs, returning their results.
+func (n *Network) Run(count int) ([]*EpochResult, error) {
+	out := make([]*EpochResult, 0, count)
+	for i := 0; i < count; i++ {
+		r, err := n.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// agePower advances uptime, applies spontaneous reboots, and fails nodes
+// whose battery crossed the threshold.
+func (n *Network) agePower() {
+	for _, nd := range n.nodes[1:] {
+		if !nd.up {
+			continue
+		}
+		nd.uptime += n.cfg.ReportInterval
+		if nd.voltage < n.cfg.VoltageFailThreshold {
+			nd.fail()
+			n.record(Event{Epoch: n.epoch, Type: EventEnergyDepleted, Node: nd.id})
+			continue
+		}
+		if n.cfg.RandomRebootProb > 0 && n.rng.Float64() < n.cfg.RandomRebootProb {
+			nd.reboot()
+			n.record(Event{Epoch: n.epoch, Type: EventReboot, Node: nd.id})
+		}
+	}
+}
+
+// beaconPhase broadcasts one routing beacon per up node; receivers within
+// range probabilistically hear it and refresh their routing tables.
+func (n *Network) beaconPhase() {
+	for i, nd := range n.nodes {
+		if !nd.up {
+			continue
+		}
+		var adv float64
+		if nd.isSink() {
+			adv = 0
+		} else {
+			adv = nd.table.PathETX()
+		}
+		nd.ctr.beacon++
+		nd.epochTx++
+		for _, j := range n.candidates[i] {
+			rx := n.nodes[j]
+			if !rx.up || rx.isSink() {
+				continue
+			}
+			rssi := n.medium.RSSI(i, j, nd.pos, rx.pos)
+			prr := n.medium.PRR(rssi, n.field.NoiseFloor(rx.pos))
+			if n.rng.Float64() < prr {
+				// Hearing our own beacon is impossible by construction
+				// (candidates exclude self), so the error is unreachable.
+				_ = rx.table.HearBeacon(nd.id, rssi, adv)
+			}
+		}
+	}
+}
+
+// routingPhase ages tables and re-selects parents.
+func (n *Network) routingPhase() {
+	for _, nd := range n.nodes[1:] {
+		if !nd.up {
+			continue
+		}
+		nd.table.Tick(n.cfg.NeighborStaleEpochs)
+		nd.table.SelectParent()
+	}
+}
+
+// trafficPhase generates the epoch's self traffic on a staggered schedule
+// and forwards it hop-by-hop across fine-grained channel passes. In each
+// pass a node transmits at most one queued packet — the CSMA fair-share a
+// mote gets of the channel — so queues only back up when a genuine
+// bottleneck (loop, contention, dead parent) forms, not as an artifact of
+// batch processing.
+func (n *Network) trafficPhase() (generated, delivered int) {
+	passes := n.passesPerEpoch()
+	injectWindow := passes * 3 / 4
+	if injectWindow < 1 {
+		injectWindow = 1
+	}
+
+	type pending struct {
+		node *node
+		pkt  dataPacket
+	}
+	schedule := make([][]pending, passes)
+	remaining := 0
+	for _, nd := range n.nodes[1:] {
+		if !nd.up {
+			continue
+		}
+		packets := n.cfg.PacketsPerEpoch + n.clockSkewDelta(nd)
+		for k := 0; k < packets; k++ {
+			p := dataPacket{origin: nd.id, incarnation: nd.incarnation, seq: nd.seq, ttl: initialTTL}
+			nd.seq++
+			generated++
+			// Deterministic stagger: spread each node's packets across the
+			// injection window, offset by node ID.
+			pass := (int(nd.id)*37 + k*injectWindow/n.cfg.PacketsPerEpoch) % injectWindow
+			schedule[pass] = append(schedule[pass], pending{node: nd, pkt: p})
+			remaining++
+		}
+	}
+
+	contention := n.computeContention()
+	order := n.forwardOrder()
+	for pass := 0; pass < passes; pass++ {
+		for _, pd := range schedule[pass] {
+			pd.node.enqueue(pd.pkt, n.cfg.QueueCapacity)
+			remaining--
+		}
+		progress := len(schedule[pass]) > 0
+		for _, i := range order {
+			nd := n.nodes[i]
+			if !nd.up || nd.isSink() || len(nd.queue) == 0 {
+				continue
+			}
+			if n.sendOne(nd, contention[i], &delivered) {
+				progress = true
+			}
+		}
+		if !progress && remaining == 0 {
+			break
+		}
+	}
+	return generated, delivered
+}
+
+// clockSkewDelta implements the Table I temperature hazard: an unstable
+// hardware clock makes a hot or cold node send too fast (+1 packet) or too
+// slow (−1), with probability proportional to its temperature deviation.
+func (n *Network) clockSkewDelta(nd *node) int {
+	if n.cfg.ClockSkewPerDegree <= 0 {
+		return 0
+	}
+	dev := n.field.Temperature(nd.pos) - 25
+	if dev < 0 {
+		dev = -dev
+	}
+	p := n.cfg.ClockSkewPerDegree * dev
+	if p <= 0 || n.rng.Float64() >= p {
+		return 0
+	}
+	// Fast and slow clocks are equally likely; a slow clock cannot push
+	// generation below zero.
+	if n.rng.Float64() < 0.5 && n.cfg.PacketsPerEpoch > 0 {
+		return -1
+	}
+	return 1
+}
+
+// passesPerEpoch sizes the channel: enough passes for every packet to
+// transit the sink-adjacent bottleneck once, plus slack for retries and
+// multi-hop pipelines.
+func (n *Network) passesPerEpoch() int {
+	if n.cfg.MaxForwardRounds > 0 {
+		return n.cfg.MaxForwardRounds
+	}
+	return (len(n.nodes)-1)*n.cfg.PacketsPerEpoch + 50
+}
+
+// sendOne transmits the head-of-line packet toward the node's parent. It
+// reports whether a transmission was attempted.
+func (n *Network) sendOne(nd *node, contention float64, delivered *int) bool {
+	parentID := nd.parent()
+	if parentID == ctp.NoParent || int(parentID) >= len(n.nodes) {
+		return false
+	}
+	parent := n.nodes[parentID]
+	p := nd.queue[0]
+	nd.queue = nd.queue[1:]
+	p.ttl--
+	if p.ttl <= 0 {
+		nd.ctr.dropPacket++
+		return true
+	}
+	out := n.medium.Unicast(int(nd.id), int(parentID), nd.pos, parent.pos, contention, parent.up)
+	nd.ctr.transmit += uint32(out.Attempts)
+	nd.ctr.noackRetransmit += uint32(out.NoAckRetries)
+	nd.ctr.macBackoff += uint32(out.Backoffs)
+	nd.epochTx += out.Attempts
+	if p.origin == nd.id {
+		nd.ctr.selfTransmit++
+	} else {
+		nd.ctr.forward++
+	}
+	nd.markSent(p)
+	// Feed the link estimator; a forced parent may be absent from the
+	// routing table, which is fine to ignore.
+	_ = nd.table.ReportTx(parentID, out.Acked, out.Attempts)
+	if !out.Acked {
+		nd.ctr.dropPacket++
+	}
+	if out.Delivered && parent.up {
+		n.receive(parent, p, out.Duplicates, delivered)
+	}
+	return true
+}
+
+// markSent records that nd transmitted packet p, enabling loop detection
+// when the same packet comes back.
+func (nd *node) markSent(p dataPacket) {
+	nd.remember(p.key() | sentBit)
+}
+
+// sentBit disambiguates "received" from "transmitted" entries in the seen
+// cache. Packet keys use the low 48 bits only.
+const sentBit = uint64(1) << 63
+
+func (nd *node) wasSent(p dataPacket) bool     { return nd.seen[p.key()|sentBit] }
+func (nd *node) wasReceived(p dataPacket) bool { return nd.seen[p.key()] }
+
+// receive processes a delivery at the parent (or sink).
+func (n *Network) receive(rx *node, p dataPacket, extraCopies int, delivered *int) {
+	rx.ctr.receive++
+	rx.ctr.duplicate += uint32(extraCopies)
+	switch {
+	case rx.wasSent(p):
+		// The node already forwarded this packet and it came back: a
+		// routing loop. Count it and keep it circulating (TTL bounds it).
+		rx.ctr.loop++
+		rx.ctr.duplicate++
+		rx.enqueue(p, n.cfg.QueueCapacity)
+	case rx.wasReceived(p):
+		// A retransmission duplicate (our ACK was lost earlier); absorb it.
+		rx.ctr.duplicate++
+	default:
+		rx.remember(p.key())
+		if rx.isSink() {
+			*delivered++
+			n.epochDelivered[p.origin] = true
+		} else {
+			rx.enqueue(p, n.cfg.QueueCapacity)
+		}
+	}
+}
+
+// computeContention derives each node's channel contention in [0,1] from
+// its neighborhood's transmission attempts last epoch, relative to the
+// epoch's channel capacity.
+func (n *Network) computeContention() []float64 {
+	capacity := contentionPacketsPerSecond * n.cfg.ReportInterval.Seconds()
+	out := make([]float64, len(n.nodes))
+	for i := range n.nodes {
+		total := n.perEpochTx[i]
+		for _, j := range n.candidates[i] {
+			total += n.perEpochTx[j]
+		}
+		c := float64(total) / capacity
+		if c > 1 {
+			c = 1
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// forwardOrder returns node indices sorted by descending path-ETX so that
+// leaves transmit before their ancestors within a round.
+func (n *Network) forwardOrder() []int {
+	order := make([]int, 0, len(n.nodes)-1)
+	for i := 1; i < len(n.nodes); i++ {
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return n.nodes[order[a]].table.PathETX() > n.nodes[order[b]].table.PathETX()
+	})
+	return order
+}
+
+// collectReports assembles the epoch's report bundles. A node's report
+// reaches the sink when at least one of its self-generated packets was
+// delivered this epoch — report traffic rides the same lossy collection
+// tree as everything else.
+func (n *Network) collectReports(res *EpochResult) {
+	for _, nd := range n.nodes[1:] {
+		if !nd.up {
+			continue
+		}
+		if n.epochDelivered[nd.id] {
+			res.Reports = append(res.Reports, nd.buildReport(n.field))
+		}
+	}
+	sort.Slice(res.Reports, func(i, j int) bool {
+		return res.Reports[i].C1.Node < res.Reports[j].C1.Node
+	})
+}
+
+// accountEnergy applies battery drain and radio-on time for the epoch's
+// activity, then rolls the per-epoch transmission counters.
+func (n *Network) accountEnergy() {
+	const (
+		txSecondsPerAttempt = 0.004
+		idleDutyCycle       = 0.02
+	)
+	for i, nd := range n.nodes {
+		if nd.up && !nd.isSink() {
+			nd.voltage -= n.cfg.BaseDrainPerEpoch + n.cfg.TxDrainPerPacket*float64(nd.epochTx)
+			nd.radioOn += float64(nd.epochTx)*txSecondsPerAttempt + idleDutyCycle*n.cfg.ReportInterval.Seconds()
+		}
+		n.perEpochTx[i] = nd.epochTx
+		nd.epochTx = 0
+	}
+}

@@ -1,0 +1,88 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/wsn-tools/vn2/internal/env"
+)
+
+// GridTopology builds a rows×cols grid with the given spacing in meters,
+// sink at the grid origin. This is the paper's 9×5 testbed layout shape.
+func GridTopology(rows, cols int, spacing float64) ([]env.Position, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("wsn: grid %dx%d invalid", rows, cols)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("wsn: grid spacing %v invalid", spacing)
+	}
+	out := make([]env.Position, 0, rows*cols+1)
+	out = append(out, env.Position{X: 0, Y: 0}) // sink
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, env.Position{
+				X: float64(c+1) * spacing,
+				Y: float64(r) * spacing,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RandomTopology scatters count nodes uniformly over a fieldSize×fieldSize
+// area with the sink at the center, as an urban CitySee-like deployment.
+// The same seed yields the same topology.
+func RandomTopology(count int, fieldSize float64, seed int64) ([]env.Position, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("wsn: topology needs >= 1 node, got %d", count)
+	}
+	if fieldSize <= 0 {
+		return nil, fmt.Errorf("wsn: field size %v invalid", fieldSize)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]env.Position, 0, count+1)
+	out = append(out, env.Position{X: fieldSize / 2, Y: fieldSize / 2}) // sink
+	for i := 0; i < count; i++ {
+		out = append(out, env.Position{
+			X: rng.Float64() * fieldSize,
+			Y: rng.Float64() * fieldSize,
+		})
+	}
+	return out, nil
+}
+
+// ClusteredTopology scatters nodes around cluster centers, producing the
+// uneven density of a street-deployed network: some key nodes carry large
+// subtrees (the NeighborNum hazard in Table I).
+func ClusteredTopology(clusters, perCluster int, fieldSize, clusterRadius float64, seed int64) ([]env.Position, error) {
+	if clusters < 1 || perCluster < 1 {
+		return nil, fmt.Errorf("wsn: clusters %dx%d invalid", clusters, perCluster)
+	}
+	if fieldSize <= 0 || clusterRadius <= 0 {
+		return nil, fmt.Errorf("wsn: field %v / radius %v invalid", fieldSize, clusterRadius)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]env.Position, 0, clusters*perCluster+1)
+	out = append(out, env.Position{X: fieldSize / 2, Y: fieldSize / 2}) // sink
+	for c := 0; c < clusters; c++ {
+		cx := rng.Float64() * fieldSize
+		cy := rng.Float64() * fieldSize
+		for i := 0; i < perCluster; i++ {
+			out = append(out, env.Position{
+				X: clampCoord(cx+rng.NormFloat64()*clusterRadius, fieldSize),
+				Y: clampCoord(cy+rng.NormFloat64()*clusterRadius, fieldSize),
+			})
+		}
+	}
+	return out, nil
+}
+
+func clampCoord(v, max float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

@@ -1,0 +1,190 @@
+package vn2
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+	"github.com/wsn-tools/vn2/internal/nnls"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// RankedCause is one root cause with its inferred strength.
+type RankedCause struct {
+	// Cause indexes the model's root causes [0, Rank).
+	Cause int `json:"cause"`
+	// Strength is the non-negative correlation strength w_j.
+	Strength float64 `json:"strength"`
+}
+
+// Diagnosis is the result of projecting one node state onto Ψ (Problem 3).
+type Diagnosis struct {
+	// Weights is the full correlation-strength vector w (length Rank).
+	Weights []float64 `json:"weights"`
+	// Ranked lists causes with non-zero strength, strongest first.
+	Ranked []RankedCause `json:"ranked"`
+	// Residual is ‖s − wΨ‖ in the normalized space: how much of the state
+	// the basis could not explain.
+	Residual float64 `json:"residual"`
+}
+
+// Normal reports whether the state needed essentially no root cause: the
+// diagnosis of a healthy node, where "the variation xj ≈ 0" for all j.
+func (d *Diagnosis) Normal(tol float64) bool {
+	for _, w := range d.Weights {
+		if w > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominant returns the strongest cause, or -1 for an all-zero diagnosis.
+func (d *Diagnosis) Dominant() int {
+	if len(d.Ranked) == 0 {
+		return -1
+	}
+	return d.Ranked[0].Cause
+}
+
+// DiagnoseConfig tunes inference.
+type DiagnoseConfig struct {
+	// Solver selects the NNLS algorithm; zero-value uses the
+	// multiplicative solver.
+	Solver nnls.Solver
+	// MaxIter bounds solver iterations; 0 uses 500.
+	MaxIter int
+	// MinStrength zeroes weights below it in the ranking; ≤0 uses 1e-6.
+	MinStrength float64
+	// Workers parallelizes batch diagnosis across this many goroutines;
+	// 0 keeps it sequential and 1 or more fans out (negative uses
+	// GOMAXPROCS). Results are identical for any value.
+	Workers int
+}
+
+func (c DiagnoseConfig) withDefaults() DiagnoseConfig {
+	if c.MinStrength <= 0 {
+		c.MinStrength = 1e-6
+	}
+	return c
+}
+
+// Diagnose solves Problem 3 for one state with default configuration.
+func (m *Model) Diagnose(state trace.StateVector) (*Diagnosis, error) {
+	return m.DiagnoseWith(state, DiagnoseConfig{})
+}
+
+// DiagnoseWith solves argmin_w ‖s − wΨ‖² s.t. w ≥ 0 for one state and
+// ranks the correlated root causes by strength.
+func (m *Model) DiagnoseWith(state trace.StateVector, cfg DiagnoseConfig) (*Diagnosis, error) {
+	if !m.trained() {
+		return nil, ErrNotTrained
+	}
+	cfg = cfg.withDefaults()
+	s, err := m.normalize(state.Delta)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := nnls.Solve(s, m.Psi, nnls.Config{Solver: cfg.Solver, MaxIter: cfg.MaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("project state: %w", err)
+	}
+	return rankDiagnosis(sol.W, sol.Residual, cfg.MinStrength), nil
+}
+
+// DiagnoseBatch diagnoses many states, returning one Diagnosis per state.
+func (m *Model) DiagnoseBatch(states []trace.StateVector, cfg DiagnoseConfig) ([]*Diagnosis, error) {
+	if !m.trained() {
+		return nil, ErrNotTrained
+	}
+	if len(states) == 0 {
+		return nil, ErrNoStates
+	}
+	cfg = cfg.withDefaults()
+	sm, err := statesMatrix(states, m.Scale)
+	if err != nil {
+		return nil, err
+	}
+	solverCfg := nnls.Config{Solver: cfg.Solver, MaxIter: cfg.MaxIter}
+	var weights *mat.Dense
+	var residuals []float64
+	if cfg.Workers != 0 {
+		weights, residuals, err = nnls.SolveBatchParallel(sm, m.Psi, solverCfg, cfg.Workers)
+	} else {
+		weights, residuals, err = nnls.SolveBatch(sm, m.Psi, solverCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("project states: %w", err)
+	}
+	out := make([]*Diagnosis, len(states))
+	for i := range states {
+		out[i] = rankDiagnosis(weights.Row(i), residuals[i], cfg.MinStrength)
+	}
+	return out, nil
+}
+
+func rankDiagnosis(w []float64, residual, minStrength float64) *Diagnosis {
+	d := &Diagnosis{
+		Weights:  append([]float64(nil), w...),
+		Residual: residual,
+	}
+	for j, v := range w {
+		if v >= minStrength {
+			d.Ranked = append(d.Ranked, RankedCause{Cause: j, Strength: v})
+		}
+	}
+	sort.Slice(d.Ranked, func(a, b int) bool {
+		if d.Ranked[a].Strength != d.Ranked[b].Strength {
+			return d.Ranked[a].Strength > d.Ranked[b].Strength
+		}
+		return d.Ranked[a].Cause < d.Ranked[b].Cause
+	})
+	return d
+}
+
+// CauseDistribution aggregates diagnoses into a per-cause total strength
+// vector — the root-causes distribution plotted in Fig. 5(g–i) and
+// Fig. 6(b).
+func CauseDistribution(diagnoses []*Diagnosis, rank int) []float64 {
+	out := make([]float64, rank)
+	for _, d := range diagnoses {
+		for _, rc := range d.Ranked {
+			if rc.Cause < rank {
+				out[rc.Cause] += rc.Strength
+			}
+		}
+	}
+	return out
+}
+
+// NormalizeDistribution scales a distribution to sum to 1 (when non-zero),
+// making train/test distributions comparable as in Fig. 5(h)/(i).
+func NormalizeDistribution(dist []float64) []float64 {
+	var total float64
+	for _, v := range dist {
+		total += v
+	}
+	out := make([]float64, len(dist))
+	if total == 0 {
+		return out
+	}
+	for i, v := range dist {
+		out[i] = v / total
+	}
+	return out
+}
+
+// CorrelationMatrix computes the exception×cause strength matrix for a set
+// of states — the scatter data behind Fig. 3(c) and Fig. 5(b): entry (i,j)
+// is the strength of cause j on exception i.
+func (m *Model) CorrelationMatrix(states []trace.StateVector, cfg DiagnoseConfig) (*mat.Dense, error) {
+	diags, err := m.DiagnoseBatch(states, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := mat.MustNew(len(diags), m.Rank)
+	for i, d := range diags {
+		out.SetRow(i, d.Weights)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package vn2
+
+import (
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// EpochDiagnosis is a network-level combination diagnosis: the aggregate
+// view of one reporting epoch across all nodes — the "combination
+// diagnosis" direction the paper lists as future work.
+type EpochDiagnosis struct {
+	// Epoch is the diagnosed reporting epoch.
+	Epoch int `json:"epoch"`
+	// States is how many node states contributed.
+	States int `json:"states"`
+	// Distribution is the per-cause total strength across the epoch.
+	Distribution []float64 `json:"distribution"`
+	// AffectedNodes lists, per cause, the nodes it was material for,
+	// strongest first.
+	AffectedNodes map[int][]packet.NodeID `json:"affected_nodes"`
+	// Combination lists the causes active at network scale, strongest
+	// first — the multi-cause picture of the whole epoch.
+	Combination []RankedCause `json:"combination"`
+}
+
+// epochCombinationShare is the fraction of the strongest cause's strength
+// a cause needs to be part of the epoch's combination.
+const epochCombinationShare = 0.15
+
+// DiagnoseEpochs groups states by epoch, diagnoses each, and produces one
+// combination diagnosis per epoch, ascending.
+func (m *Model) DiagnoseEpochs(states []trace.StateVector, cfg DiagnoseConfig) ([]*EpochDiagnosis, error) {
+	if !m.trained() {
+		return nil, ErrNotTrained
+	}
+	if len(states) == 0 {
+		return nil, ErrNoStates
+	}
+	diags, err := m.DiagnoseBatch(states, cfg)
+	if err != nil {
+		return nil, err
+	}
+	byEpoch := make(map[int]*EpochDiagnosis)
+	type nodeStrength struct {
+		node     packet.NodeID
+		strength float64
+	}
+	perCauseNodes := make(map[int]map[int][]nodeStrength) // epoch → cause → nodes
+	for i, s := range states {
+		ed := byEpoch[s.Epoch]
+		if ed == nil {
+			ed = &EpochDiagnosis{
+				Epoch:         s.Epoch,
+				Distribution:  make([]float64, m.Rank),
+				AffectedNodes: make(map[int][]packet.NodeID),
+			}
+			byEpoch[s.Epoch] = ed
+			perCauseNodes[s.Epoch] = make(map[int][]nodeStrength)
+		}
+		ed.States++
+		for _, rc := range diags[i].Ranked {
+			ed.Distribution[rc.Cause] += rc.Strength
+			perCauseNodes[s.Epoch][rc.Cause] = append(perCauseNodes[s.Epoch][rc.Cause],
+				nodeStrength{node: s.Node, strength: rc.Strength})
+		}
+	}
+	out := make([]*EpochDiagnosis, 0, len(byEpoch))
+	for epoch, ed := range byEpoch {
+		// Build the network-scale combination.
+		max := 0.0
+		for _, v := range ed.Distribution {
+			if v > max {
+				max = v
+			}
+		}
+		for j, v := range ed.Distribution {
+			if max > 0 && v >= epochCombinationShare*max {
+				ed.Combination = append(ed.Combination, RankedCause{Cause: j, Strength: v})
+			}
+		}
+		sort.Slice(ed.Combination, func(a, b int) bool {
+			return ed.Combination[a].Strength > ed.Combination[b].Strength
+		})
+		// Affected nodes per combination cause, strongest first.
+		for _, rc := range ed.Combination {
+			nodes := perCauseNodes[epoch][rc.Cause]
+			sort.Slice(nodes, func(a, b int) bool { return nodes[a].strength > nodes[b].strength })
+			for _, ns := range nodes {
+				ed.AffectedNodes[rc.Cause] = append(ed.AffectedNodes[rc.Cause], ns.node)
+			}
+		}
+		out = append(out, ed)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Epoch < out[b].Epoch })
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package vn2_test
+
+import (
+	"fmt"
+
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// ExampleCauseDistribution shows how per-state diagnoses aggregate into the
+// distribution plotted in Fig. 5(g–i) and Fig. 6(b).
+func ExampleCauseDistribution() {
+	diagnoses := []*vn2.Diagnosis{
+		{Ranked: []vn2.RankedCause{{Cause: 0, Strength: 2.0}, {Cause: 2, Strength: 0.5}}},
+		{Ranked: []vn2.RankedCause{{Cause: 0, Strength: 1.0}}},
+		{Ranked: []vn2.RankedCause{{Cause: 1, Strength: 0.5}}},
+	}
+	dist := vn2.CauseDistribution(diagnoses, 3)
+	fmt.Println(dist)
+	fmt.Println(vn2.NormalizeDistribution(dist))
+	// Output:
+	// [3 0.5 0.5]
+	// [0.75 0.125 0.125]
+}
+
+// ExampleDiagnosis_Dominant shows the ranked view of a diagnosis.
+func ExampleDiagnosis_Dominant() {
+	d := &vn2.Diagnosis{
+		Weights: []float64{0.1, 2.4, 0},
+		Ranked: []vn2.RankedCause{
+			{Cause: 1, Strength: 2.4},
+			{Cause: 0, Strength: 0.1},
+		},
+	}
+	fmt.Println(d.Dominant())
+	fmt.Println(d.Normal(3.0))
+	// Output:
+	// 1
+	// true
+}

@@ -1,0 +1,171 @@
+package vn2
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+)
+
+// MetricContribution is one metric's role in a root-cause vector.
+type MetricContribution struct {
+	// Metric indexes the state vector; Name is its label.
+	Metric int    `json:"metric"`
+	Name   string `json:"name"`
+	// Weight is the non-negative basis weight (Ψ row entry).
+	Weight float64 `json:"weight"`
+	// Signed is the [-1,1] signature value: direction and relative size of
+	// the metric's variation under this root cause.
+	Signed float64 `json:"signed"`
+}
+
+// Category groups root causes the way Fig. 4 does.
+type Category int
+
+const (
+	// CategoryPhysical — dominated by C1 sensor metrics (environment,
+	// voltage): reboots, energy events, environmental change.
+	CategoryPhysical Category = iota + 1
+	// CategoryLink — dominated by per-neighbor RSSI/ETX metrics: link
+	// quality and dynamics.
+	CategoryLink
+	// CategoryProtocol — dominated by C3 counters: loops, contention,
+	// retransmission storms, queue overflow.
+	CategoryProtocol
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CategoryPhysical:
+		return "physical"
+	case CategoryLink:
+		return "link"
+	case CategoryProtocol:
+		return "protocol"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Explanation interprets one root-cause vector (Problem 2).
+type Explanation struct {
+	// Cause is the root-cause index.
+	Cause int `json:"cause"`
+	// Label is the expert label attached to the cause, when one exists.
+	Label string `json:"label,omitempty"`
+	// Top lists the strongest metric contributions, descending.
+	Top []MetricContribution `json:"top"`
+	// Category classifies the vector per its dominant metrics.
+	Category Category `json:"category"`
+	// Hazards collects the Table I catalog entries matching the top
+	// metrics, when the model uses the canonical 43-metric set.
+	Hazards []metricspec.Hazard `json:"hazards"`
+}
+
+// Explain interprets root cause j via its strongest topK metrics, their
+// Table I hazards, and a Fig. 4-style category.
+func (m *Model) Explain(j, topK int) (*Explanation, error) {
+	if !m.trained() {
+		return nil, ErrNotTrained
+	}
+	if j < 0 || j >= m.Rank {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadCause, j, m.Rank)
+	}
+	if topK <= 0 {
+		topK = 5
+	}
+	row := m.Psi.Row(j)
+	var signed []float64
+	if m.Signatures != nil {
+		signed = m.Signatures.Row(j)
+	} else {
+		signed = make([]float64, len(row))
+	}
+
+	contribs := make([]MetricContribution, len(row))
+	for k, w := range row {
+		contribs[k] = MetricContribution{
+			Metric: k,
+			Name:   m.MetricNames[k],
+			Weight: w,
+			Signed: signed[k],
+		}
+	}
+	sort.Slice(contribs, func(a, b int) bool {
+		if contribs[a].Weight != contribs[b].Weight {
+			return contribs[a].Weight > contribs[b].Weight
+		}
+		return contribs[a].Metric < contribs[b].Metric
+	})
+	if topK > len(contribs) {
+		topK = len(contribs)
+	}
+	exp := &Explanation{Cause: j, Label: m.Label(j), Top: contribs[:topK]}
+	exp.Category = categorize(exp.Top)
+	if len(m.MetricNames) == metricspec.MetricCount {
+		seen := make(map[metricspec.ID]bool)
+		for _, c := range exp.Top {
+			id := metricspec.ID(c.Metric)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			exp.Hazards = append(exp.Hazards, metricspec.HazardsFor(id)...)
+		}
+	}
+	return exp, nil
+}
+
+// categorize votes each top metric's packet class, weighted by its basis
+// weight, matching Fig. 4's three groups.
+func categorize(top []MetricContribution) Category {
+	var physical, link, protocol float64
+	for _, c := range top {
+		sp, err := metricspec.Lookup(metricspec.ID(c.Metric))
+		if err != nil {
+			continue
+		}
+		switch sp.Packet {
+		case metricspec.PacketC1:
+			physical += c.Weight
+		case metricspec.PacketC2:
+			link += c.Weight
+		case metricspec.PacketC3:
+			protocol += c.Weight
+		}
+	}
+	switch {
+	case link >= physical && link >= protocol:
+		return CategoryLink
+	case protocol >= physical:
+		return CategoryProtocol
+	default:
+		return CategoryPhysical
+	}
+}
+
+// Summary renders a one-line human-readable interpretation.
+func (e *Explanation) Summary() string {
+	var parts []string
+	for _, c := range e.Top {
+		if c.Weight <= 0 {
+			continue
+		}
+		dir := "+"
+		if c.Signed < 0 {
+			dir = "-"
+		}
+		parts = append(parts, fmt.Sprintf("%s%s(%.2f)", dir, c.Name, math.Abs(c.Signed)))
+		if len(parts) == 3 {
+			break
+		}
+	}
+	name := fmt.Sprintf("cause %d", e.Cause)
+	if e.Label != "" {
+		name = fmt.Sprintf("cause %d %q", e.Cause, e.Label)
+	}
+	return fmt.Sprintf("%s [%s]: %s", name, e.Category, strings.Join(parts, " "))
+}

@@ -1,0 +1,49 @@
+package vn2
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelFileVersion guards the serialized format.
+const modelFileVersion = 1
+
+// modelFile is the on-disk JSON envelope.
+type modelFile struct {
+	Version int    `json:"version"`
+	Model   *Model `json:"model"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	if !m.trained() {
+		return ErrNotTrained
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(modelFile{Version: modelFileVersion, Model: m}); err != nil {
+		return fmt.Errorf("encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("vn2: unsupported model version %d", mf.Version)
+	}
+	if !mf.Model.trained() {
+		return nil, ErrNotTrained
+	}
+	if mf.Model.Psi.Rows() != mf.Model.Rank {
+		return nil, fmt.Errorf("vn2: basis has %d rows, rank says %d", mf.Model.Psi.Rows(), mf.Model.Rank)
+	}
+	if mf.Model.Psi.Cols() != len(mf.Model.Scale) {
+		return nil, fmt.Errorf("vn2: basis has %d columns, scale has %d", mf.Model.Psi.Cols(), len(mf.Model.Scale))
+	}
+	return mf.Model, nil
+}

@@ -1,0 +1,113 @@
+package vn2
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+// ErrEstimatorNotFitted reports prediction before Fit.
+var ErrEstimatorNotFitted = errors.New("vn2: PRR estimator not fitted")
+
+// PRREstimator maps an epoch's root-cause strength distribution to the
+// system packet-reception ratio — the "protocol performance estimation"
+// direction the paper lists as future work. It fits a ridge-regularized
+// linear model PRR ≈ β₀ + Σⱼ βⱼ·strengthⱼ on historical epochs.
+type PRREstimator struct {
+	// Beta holds the fitted coefficients: Beta[0] is the intercept,
+	// Beta[1..Rank] the per-cause slopes.
+	Beta []float64 `json:"beta"`
+	// Rank is the model's cause count.
+	Rank int `json:"rank"`
+	// Lambda is the ridge regularization used at fit time.
+	Lambda float64 `json:"lambda"`
+}
+
+// FitPRR builds an estimator from per-epoch cause distributions and the
+// corresponding observed PRR values. lambda ≤ 0 uses a small default
+// suitable for collinear cause activity.
+func FitPRR(distributions [][]float64, prr []float64, lambda float64) (*PRREstimator, error) {
+	if len(distributions) == 0 {
+		return nil, ErrNoStates
+	}
+	if len(distributions) != len(prr) {
+		return nil, fmt.Errorf("%w: %d distributions vs %d PRR points",
+			ErrStateLength, len(distributions), len(prr))
+	}
+	rank := len(distributions[0])
+	if rank == 0 {
+		return nil, ErrNoStates
+	}
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	// Design matrix with an intercept column.
+	a := mat.MustNew(len(distributions), rank+1)
+	for i, d := range distributions {
+		if len(d) != rank {
+			return nil, fmt.Errorf("%w: distribution %d has %d causes, want %d",
+				ErrStateLength, i, len(d), rank)
+		}
+		row := a.RawRow(i)
+		row[0] = 1
+		copy(row[1:], d)
+	}
+	beta, err := mat.LeastSquares(a, prr, lambda)
+	if err != nil {
+		return nil, fmt.Errorf("fit PRR model: %w", err)
+	}
+	return &PRREstimator{Beta: beta, Rank: rank, Lambda: lambda}, nil
+}
+
+// Predict estimates the PRR for one epoch's cause distribution, clamped to
+// [0, 1].
+func (e *PRREstimator) Predict(distribution []float64) (float64, error) {
+	if e == nil || len(e.Beta) == 0 {
+		return 0, ErrEstimatorNotFitted
+	}
+	if len(distribution) != e.Rank {
+		return 0, fmt.Errorf("%w: distribution %d, estimator %d",
+			ErrStateLength, len(distribution), e.Rank)
+	}
+	p := e.Beta[0]
+	for j, v := range distribution {
+		p += e.Beta[j+1] * v
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// Score returns the coefficient of determination R² of the estimator on a
+// labeled set — 1 is perfect, 0 no better than the mean.
+func (e *PRREstimator) Score(distributions [][]float64, prr []float64) (float64, error) {
+	if len(distributions) != len(prr) || len(prr) == 0 {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrStateLength, len(distributions), len(prr))
+	}
+	var mean float64
+	for _, p := range prr {
+		mean += p
+	}
+	mean /= float64(len(prr))
+	var ssRes, ssTot float64
+	for i, d := range distributions {
+		pred, err := e.Predict(d)
+		if err != nil {
+			return 0, err
+		}
+		ssRes += (prr[i] - pred) * (prr[i] - pred)
+		ssTot += (prr[i] - mean) * (prr[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

@@ -1,0 +1,97 @@
+package vn2
+
+import (
+	"fmt"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+	"github.com/wsn-tools/vn2/internal/nmf"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// Update retrains the representative matrix incrementally from a fresh
+// batch of states, warm-starting the factorization from the current Ψ —
+// the long-lived-deployment workflow where yesterday's model seeds
+// today's. The receiver is not modified; a new model is returned.
+//
+// The original normalization scale is kept so that diagnoses before and
+// after the update remain comparable; rank and keep fraction carry over
+// unless overridden in cfg.
+func (m *Model) Update(states []trace.StateVector, cfg TrainConfig) (*Model, *TrainReport, error) {
+	if !m.trained() {
+		return nil, nil, ErrNotTrained
+	}
+	cfg = cfg.withDefaults()
+	if len(states) == 0 {
+		return nil, nil, ErrNoStates
+	}
+
+	det, err := trace.DetectExceptions(states, cfg.ExceptionThreshold)
+	if err != nil {
+		return nil, nil, fmt.Errorf("detect exceptions: %w", err)
+	}
+	report := &TrainReport{TotalStates: len(states)}
+	var workingStates []trace.StateVector
+	if cfg.CompressAllStates {
+		workingStates = states
+		report.ExceptionIndices = make([]int, len(states))
+		for i := range states {
+			report.ExceptionIndices[i] = i
+		}
+	} else {
+		workingStates = det.Exceptions(states)
+		report.ExceptionIndices = append([]int(nil), det.Indices...)
+	}
+	report.ExceptionStates = len(workingStates)
+	if len(workingStates) == 0 {
+		return nil, nil, fmt.Errorf("%w: no exceptions above threshold", ErrNoStates)
+	}
+
+	e, err := statesMatrix(workingStates, m.Scale)
+	if err != nil {
+		return nil, nil, fmt.Errorf("build matrix: %w", err)
+	}
+	rank := m.Rank
+	if max := minInt(e.Rows(), e.Cols()); rank > max {
+		return nil, nil, fmt.Errorf("%w: %d new exceptions cannot support rank %d",
+			ErrNoStates, e.Rows(), rank)
+	}
+	report.SelectedRank = rank
+
+	// Warm start: fresh per-state strengths, yesterday's basis.
+	w0 := mat.MustNew(e.Rows(), rank)
+	w0.Fill(1.0 / float64(rank))
+	res, err := nmf.Resume(e, w0, m.Psi, nmf.Config{
+		Rank:    rank,
+		MaxIter: cfg.MaxIter,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("resume factorization: %w", err)
+	}
+	report.Iterations = res.Iterations
+	if report.Accuracy, err = res.Accuracy(e); err != nil {
+		return nil, nil, fmt.Errorf("accuracy: %w", err)
+	}
+	keep := m.Keep
+	if cfg.Keep > 0 {
+		keep = cfg.Keep
+	}
+	sparseW, err := nmf.Sparsify(res.W, keep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sparsify: %w", err)
+	}
+	if report.SparseAccuracy, err = nmf.Accuracy(e, sparseW, res.Psi); err != nil {
+		return nil, nil, fmt.Errorf("sparse accuracy: %w", err)
+	}
+	report.W = sparseW
+
+	updated := &Model{
+		Psi:         res.Psi,
+		Scale:       append([]float64(nil), m.Scale...),
+		MetricNames: append([]string(nil), m.MetricNames...),
+		Rank:        rank,
+		Keep:        keep,
+		TrainStates: len(workingStates),
+	}
+	updated.Signatures = signedSignatures(workingStates, sparseW, updated.Scale)
+	return updated, report, nil
+}
