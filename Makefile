@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the full pre-commit gate:
+# vet + build + tests + race detector over the concurrent packages.
+
+GO ?= go
+
+# Packages refactored onto internal/par; the race detector must stay clean
+# on them for any worker count.
+RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/...
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -546,6 +547,96 @@ func BenchmarkDiagnoseBatchParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Parallel compute layer ---------------------------------------------------
+
+// parallelWorkerGrid is the worker ladder the parallel benchmarks sweep;
+// "seq" baselines use the sequential kernels directly.
+var parallelWorkerGrid = []int{1, 2, 4, 8}
+
+// BenchmarkMulParallel compares the sequential matmul kernel against the
+// row-partitioned parallel variant across worker counts.
+func BenchmarkMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	const n, k, m = 600, 64, 200
+	a, err := mat.RandomPositive(n, k, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := mat.RandomPositive(k, m, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := mat.MustNew(n, m)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.MulInto(dst, a, x)
+		}
+	})
+	for _, workers := range parallelWorkerGrid {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.MulIntoP(dst, a, x, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkFactorizeParallel measures NMF training on the CitySee-scale
+// exception matrix across worker counts, with a fixed sweep budget so every
+// sub-run does identical arithmetic.
+func BenchmarkFactorizeParallel(b *testing.B) {
+	f := sharedFixtures(b)
+	e := exceptionMatrix(b, f)
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			res, err := nmf.Factorize(e, nmf.Config{
+				Rank: 10, MaxIter: 60, Seed: 17, Tolerance: -1, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Iterations != 60 {
+				b.Fatalf("iterations = %d", res.Iterations)
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 0) })
+	for _, workers := range parallelWorkerGrid {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) { run(b, workers) })
+	}
+}
+
+// BenchmarkWSNStepParallel measures per-epoch simulation cost at CitySee
+// scale across worker counts for the per-node phases.
+func BenchmarkWSNStepParallel(b *testing.B) {
+	topo, err := wsn.RandomTopology(286, 1200, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, workers int) {
+		n, err := wsn.New(wsn.Config{Seed: 17, Topology: topo, PacketsPerEpoch: 1, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.Run(3); err != nil { // warm the routing tree
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := n.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 0) })
+	for _, workers := range parallelWorkerGrid {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) { run(b, workers) })
 	}
 }
 

@@ -124,6 +124,7 @@ func cmdTrain(args []string) error {
 	rank := fs.Int("rank", 0, "compression factor r (0 = automatic sweep)")
 	allStates := fs.Bool("all-states", false, "compress all states instead of extracting exceptions")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "training goroutines (0 sequential, -1 all cores); output is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,6 +144,7 @@ func cmdTrain(args []string) error {
 		Rank:              *rank,
 		CompressAllStates: *allStates,
 		Seed:              *seed,
+		Workers:           *workers,
 	})
 	if err != nil {
 		return fmt.Errorf("train: %w", err)
@@ -167,6 +169,7 @@ func cmdDiagnose(args []string) error {
 	in := fs.String("in", "", "input trace CSV (required)")
 	top := fs.Int("top", 3, "causes to print per state")
 	exceptionsOnly := fs.Bool("exceptions-only", true, "diagnose only detected exceptions")
+	workers := fs.Int("workers", 0, "diagnosis goroutines (0 sequential, -1 all cores); output is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,7 +206,7 @@ func cmdDiagnose(args []string) error {
 		fmt.Println("no states to diagnose")
 		return nil
 	}
-	diags, err := model.DiagnoseBatch(states, vn2.DiagnoseConfig{})
+	diags, err := model.DiagnoseBatch(states, vn2.DiagnoseConfig{Workers: *workers})
 	if err != nil {
 		return fmt.Errorf("diagnose: %w", err)
 	}
@@ -237,6 +240,7 @@ func cmdSimulate(args []string) error {
 	nodes := fs.Int("nodes", 45, "node count (grid)")
 	epochs := fs.Int("epochs", 20, "epochs to run")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "per-node phase goroutines (0 sequential, -1 all cores); output is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -246,7 +250,7 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	n, err := wsn.New(wsn.Config{Seed: *seed, Topology: topo})
+	n, err := wsn.New(wsn.Config{Seed: *seed, Topology: topo, Workers: *workers})
 	if err != nil {
 		return err
 	}

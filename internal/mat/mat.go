@@ -193,19 +193,32 @@ func Mul(a, b *Dense) (*Dense, error) {
 }
 
 // MulInto computes dst = a*b without allocating. dst must be a.rows×b.cols
-// and must not alias a or b. Dimensions are assumed validated by the caller.
+// and must not alias a or b (aliasing panics). Dimensions are assumed
+// validated by the caller.
 func MulInto(dst, a, b *Dense) {
+	checkMulInto(dst, a, b)
+	mulIntoRows(dst, a, b, 0, dst.rows)
+}
+
+func checkMulInto(dst, a, b *Dense) {
 	if dst.rows != a.rows || dst.cols != b.cols || a.cols != b.rows {
 		panic(fmt.Sprintf("mat: MulInto shapes %dx%d = %dx%d * %dx%d",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
-	for i := range dst.data {
-		dst.data[i] = 0
-	}
-	// ikj loop order keeps the inner loop streaming over contiguous rows.
-	for i := 0; i < a.rows; i++ {
-		aRow := a.data[i*a.cols : (i+1)*a.cols]
+	guardAlias("MulInto", dst, a, b)
+}
+
+// mulIntoRows computes rows [i0, i1) of dst = a*b. The ikj loop order keeps
+// the inner loop streaming over contiguous rows; per-element accumulation
+// order is independent of the row range, so any row partition of dst is
+// bit-identical to the full sequential pass.
+func mulIntoRows(dst, a, b *Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range dRow {
+			dRow[j] = 0
+		}
+		aRow := a.data[i*a.cols : (i+1)*a.cols]
 		for k, av := range aRow {
 			if av == 0 {
 				continue
@@ -228,19 +241,37 @@ func MulATB(a, b *Dense) (*Dense, error) {
 	return out, nil
 }
 
-// MulATBInto computes dst = aᵀ*b without allocating.
+// MulATBInto computes dst = aᵀ*b without allocating. dst must not alias a
+// or b (aliasing panics); a and b may alias each other (Gram products).
 func MulATBInto(dst, a, b *Dense) {
+	checkMulATBInto(dst, a, b)
+	mulATBIntoRows(dst, a, b, 0, dst.rows)
+}
+
+func checkMulATBInto(dst, a, b *Dense) {
 	if dst.rows != a.cols || dst.cols != b.cols || a.rows != b.rows {
 		panic(fmt.Sprintf("mat: MulATBInto shapes %dx%d = (%dx%d)^T * %dx%d",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
-	for i := range dst.data {
-		dst.data[i] = 0
+	guardAlias("MulATBInto", dst, a, b)
+}
+
+// mulATBIntoRows computes rows [i0, i1) of dst = aᵀ*b — i.e. columns
+// [i0, i1) of a. Accumulation runs over k ascending for every dst element
+// regardless of the row range, keeping any partition bit-identical to the
+// sequential pass.
+func mulATBIntoRows(dst, a, b *Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range dRow {
+			dRow[j] = 0
+		}
 	}
 	for k := 0; k < a.rows; k++ {
 		aRow := a.data[k*a.cols : (k+1)*a.cols]
 		bRow := b.data[k*b.cols : (k+1)*b.cols]
-		for i, av := range aRow {
+		for i := i0; i < i1; i++ {
+			av := aRow[i]
 			if av == 0 {
 				continue
 			}
@@ -262,13 +293,24 @@ func MulABT(a, b *Dense) (*Dense, error) {
 	return out, nil
 }
 
-// MulABTInto computes dst = a*bᵀ without allocating.
+// MulABTInto computes dst = a*bᵀ without allocating. dst must not alias a
+// or b (aliasing panics); a and b may alias each other (Gram products).
 func MulABTInto(dst, a, b *Dense) {
+	checkMulABTInto(dst, a, b)
+	mulABTIntoRows(dst, a, b, 0, dst.rows)
+}
+
+func checkMulABTInto(dst, a, b *Dense) {
 	if dst.rows != a.rows || dst.cols != b.rows || a.cols != b.cols {
 		panic(fmt.Sprintf("mat: MulABTInto shapes %dx%d = %dx%d * (%dx%d)^T",
 			dst.rows, dst.cols, a.rows, a.cols, b.rows, b.cols))
 	}
-	for i := 0; i < a.rows; i++ {
+	guardAlias("MulABTInto", dst, a, b)
+}
+
+// mulABTIntoRows computes rows [i0, i1) of dst = a*bᵀ.
+func mulABTIntoRows(dst, a, b *Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		aRow := a.data[i*a.cols : (i+1)*a.cols]
 		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
 		for j := 0; j < b.rows; j++ {

@@ -1,0 +1,65 @@
+package mat
+
+import (
+	"unsafe"
+
+	"github.com/wsn-tools/vn2/internal/par"
+)
+
+// slicesOverlap reports whether two float64 slices share any backing memory.
+func slicesOverlap(x, y []float64) bool {
+	if len(x) == 0 || len(y) == 0 {
+		return false
+	}
+	x0 := uintptr(unsafe.Pointer(&x[0]))
+	x1 := x0 + uintptr(len(x))*unsafe.Sizeof(float64(0))
+	y0 := uintptr(unsafe.Pointer(&y[0]))
+	y1 := y0 + uintptr(len(y))*unsafe.Sizeof(float64(0))
+	return x0 < y1 && y0 < x1
+}
+
+// guardAlias panics when dst shares backing storage with a or b: every Into
+// kernel both reads its inputs and overwrites dst, so an aliased call would
+// silently corrupt the product. Failing loudly here turns that misuse into
+// an immediate programmer-error panic. a aliasing b is legal (Gram
+// products such as WᵀW pass the same matrix twice).
+func guardAlias(op string, dst, a, b *Dense) {
+	if slicesOverlap(dst.data, a.data) {
+		panic("mat: " + op + ": dst aliases a")
+	}
+	if slicesOverlap(dst.data, b.data) {
+		panic("mat: " + op + ": dst aliases b")
+	}
+}
+
+// MulIntoP is MulInto with the rows of dst statically partitioned across at
+// most workers goroutines (par.Workers semantics: 0 sequential, negative
+// GOMAXPROCS). Writes are disjoint per row and each element accumulates in
+// the same order as the sequential kernel, so the result is bit-identical
+// to MulInto for any worker count.
+func MulIntoP(dst, a, b *Dense, workers int) {
+	checkMulInto(dst, a, b)
+	par.For(dst.rows, workers, func(i0, i1 int) {
+		mulIntoRows(dst, a, b, i0, i1)
+	})
+}
+
+// MulATBIntoP is MulATBInto with dst rows (a's columns) statically
+// partitioned across at most workers goroutines. Bit-identical to
+// MulATBInto for any worker count.
+func MulATBIntoP(dst, a, b *Dense, workers int) {
+	checkMulATBInto(dst, a, b)
+	par.For(dst.rows, workers, func(i0, i1 int) {
+		mulATBIntoRows(dst, a, b, i0, i1)
+	})
+}
+
+// MulABTIntoP is MulABTInto with dst rows statically partitioned across at
+// most workers goroutines. Bit-identical to MulABTInto for any worker
+// count.
+func MulABTIntoP(dst, a, b *Dense, workers int) {
+	checkMulABTInto(dst, a, b)
+	par.For(dst.rows, workers, func(i0, i1 int) {
+		mulABTIntoRows(dst, a, b, i0, i1)
+	})
+}

@@ -1,0 +1,146 @@
+package mat
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func randomDense(t *testing.T, r, c int, rng *rand.Rand) *Dense {
+	t.Helper()
+	m := MustNew(r, c)
+	m.Apply(func(_, _ int, _ float64) float64 { return rng.NormFloat64() })
+	return m
+}
+
+// workerCounts is the determinism grid the ISSUE mandates.
+func workerCounts() []int {
+	return []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+}
+
+func TestMulIntoPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomDense(t, 57, 43, rng)
+	b := randomDense(t, 43, 25, rng)
+	want := MustNew(57, 25)
+	MulInto(want, a, b)
+	for _, w := range workerCounts() {
+		got := MustNew(57, 25)
+		MulIntoP(got, a, b, w)
+		if !Equal(want, got, 0) {
+			t.Fatalf("MulIntoP(workers=%d) differs from MulInto", w)
+		}
+	}
+}
+
+func TestMulATBIntoPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomDense(t, 61, 17, rng)
+	b := randomDense(t, 61, 29, rng)
+	want := MustNew(17, 29)
+	MulATBInto(want, a, b)
+	for _, w := range workerCounts() {
+		got := MustNew(17, 29)
+		MulATBIntoP(got, a, b, w)
+		if !Equal(want, got, 0) {
+			t.Fatalf("MulATBIntoP(workers=%d) differs from MulATBInto", w)
+		}
+	}
+}
+
+func TestMulABTIntoPBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomDense(t, 33, 43, rng)
+	b := randomDense(t, 25, 43, rng)
+	want := MustNew(33, 25)
+	MulABTInto(want, a, b)
+	for _, w := range workerCounts() {
+		got := MustNew(33, 25)
+		MulABTIntoP(got, a, b, w)
+		if !Equal(want, got, 0) {
+			t.Fatalf("MulABTIntoP(workers=%d) differs from MulABTInto", w)
+		}
+	}
+}
+
+func TestParallelGramAllowsInputAliasing(t *testing.T) {
+	// a aliasing b is legal: Gram products pass the same matrix twice.
+	rng := rand.New(rand.NewSource(14))
+	w := randomDense(t, 40, 7, rng)
+	want := MustNew(7, 7)
+	MulATBInto(want, w, w)
+	got := MustNew(7, 7)
+	MulATBIntoP(got, w, w, 4)
+	if !Equal(want, got, 0) {
+		t.Fatal("parallel Gram product differs")
+	}
+}
+
+func TestMulIntoPanicsOnDstAliasingA(t *testing.T) {
+	m := MustNew(4, 4)
+	b := MustNew(4, 4)
+	assertAliasPanic(t, "dst aliases a", func() { MulInto(m, m, b) })
+}
+
+func TestMulIntoPanicsOnDstAliasingB(t *testing.T) {
+	m := MustNew(4, 4)
+	a := MustNew(4, 4)
+	assertAliasPanic(t, "dst aliases b", func() { MulInto(m, a, m) })
+}
+
+func TestMulATBIntoPanicsOnAliasedDst(t *testing.T) {
+	m := MustNew(4, 4)
+	b := MustNew(4, 4)
+	assertAliasPanic(t, "dst aliases a", func() { MulATBInto(m, m, b) })
+}
+
+func TestMulABTIntoPanicsOnAliasedDst(t *testing.T) {
+	m := MustNew(4, 4)
+	a := MustNew(4, 4)
+	assertAliasPanic(t, "dst aliases b", func() { MulABTInto(m, a, m) })
+}
+
+func TestParallelVariantsPanicOnAliasedDst(t *testing.T) {
+	m := MustNew(4, 4)
+	other := MustNew(4, 4)
+	assertAliasPanic(t, "dst aliases a", func() { MulIntoP(m, m, other, 2) })
+	assertAliasPanic(t, "dst aliases a", func() { MulATBIntoP(m, m, other, 2) })
+	assertAliasPanic(t, "dst aliases a", func() { MulABTIntoP(m, m, other, 2) })
+}
+
+func assertAliasPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic on aliased dst")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want mention of %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestSlicesOverlap(t *testing.T) {
+	backing := make([]float64, 10)
+	cases := []struct {
+		name string
+		x, y []float64
+		want bool
+	}{
+		{"identical", backing, backing, true},
+		{"disjoint", backing[:4], backing[6:], false},
+		{"partial", backing[:6], backing[4:], true},
+		{"adjacent", backing[:5], backing[5:], false},
+		{"separate allocations", backing, make([]float64, 10), false},
+		{"empty", nil, backing, false},
+	}
+	for _, c := range cases {
+		if got := slicesOverlap(c.x, c.y); got != c.want {
+			t.Errorf("%s: slicesOverlap = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

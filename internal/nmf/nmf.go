@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/wsn-tools/vn2/internal/mat"
+	"github.com/wsn-tools/vn2/internal/par"
 )
 
 // Objective selects the divergence minimized by the multiplicative updates.
@@ -71,6 +72,13 @@ type Config struct {
 	Objective Objective
 	// Seed seeds the random initialization of W and Ψ.
 	Seed int64
+	// Workers bounds the goroutines used by the update sweeps (matrix
+	// products and row-wise multiplicative updates run through
+	// internal/par): 0 keeps the sweeps sequential, ≥1 fans out across
+	// that many workers, negative uses GOMAXPROCS. Row partitioning is
+	// static and writes are disjoint, so results are bit-identical to the
+	// sequential path for any value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,7 +148,7 @@ func Factorize(e *mat.Dense, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{W: w, Psi: psi, History: make([]float64, 0, cfg.MaxIter)}
-	st := newUpdateState(n, m, cfg.Rank)
+	st := newUpdateState(n, m, cfg.Rank, cfg.Workers)
 	prev := math.Inf(1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		switch cfg.Objective {
@@ -169,9 +177,12 @@ type updateState struct {
 	wtW         *mat.Dense // r×r Gram matrix of W
 	psiPsiT     *mat.Dense // r×r Gram matrix of Ψ
 	approx      *mat.Dense // n×m cache of WΨ for objective evaluation
+	ratio       *mat.Dense // n×m cache of E/(WΨ+ε) for the KL sweep
+	klSum       []float64  // length-r KL column/row sums of W / Ψ
+	workers     int        // goroutine bound for sweeps (par.Workers norm)
 }
 
-func newUpdateState(n, m, r int) *updateState {
+func newUpdateState(n, m, r, workers int) *updateState {
 	return &updateState{
 		wtE:     mat.MustNew(r, m),
 		wtWPsi:  mat.MustNew(r, m),
@@ -180,6 +191,9 @@ func newUpdateState(n, m, r int) *updateState {
 		wtW:     mat.MustNew(r, r),
 		psiPsiT: mat.MustNew(r, r),
 		approx:  mat.MustNew(n, m),
+		ratio:   mat.MustNew(n, m),
+		klSum:   make([]float64, r),
+		workers: par.Workers(workers),
 	}
 }
 
@@ -187,73 +201,114 @@ func newUpdateState(n, m, r int) *updateState {
 //
 //	Ψij ← Ψij (WᵀE)ij / (WᵀWΨ)ij
 //	Wij ← Wij (EΨᵀ)ij / (WΨΨᵀ)ij
+//
+// Matrix products and the row-wise multiplicative updates are row-
+// partitioned across st.workers; every row's arithmetic is independent of
+// the partition, so the sweep is bit-identical for any worker count.
 func (st *updateState) sweepEuclidean(e, w, psi *mat.Dense) {
 	// Ψ update.
-	mat.MulATBInto(st.wtE, w, e)
-	mat.MulATBInto(st.wtW, w, w)
-	mat.MulInto(st.wtWPsi, st.wtW, psi)
+	mat.MulATBIntoP(st.wtE, w, e, st.workers)
+	mat.MulATBIntoP(st.wtW, w, w, st.workers)
+	mat.MulIntoP(st.wtWPsi, st.wtW, psi, st.workers)
 	r, m := psi.Dims()
-	for i := 0; i < r; i++ {
-		pRow := psi.RawRow(i)
-		num := st.wtE.RawRow(i)
-		den := st.wtWPsi.RawRow(i)
-		for j := 0; j < m; j++ {
-			pRow[j] *= num[j] / (den[j] + epsDiv)
+	par.For(r, st.workers, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			pRow := psi.RawRow(i)
+			num := st.wtE.RawRow(i)
+			den := st.wtWPsi.RawRow(i)
+			for j := 0; j < m; j++ {
+				pRow[j] *= num[j] / (den[j] + epsDiv)
+			}
 		}
-	}
+	})
 	// W update, using the freshly updated Ψ.
-	mat.MulABTInto(st.ePsiT, e, psi)
-	mat.MulABTInto(st.psiPsiT, psi, psi)
-	mat.MulInto(st.wPP, w, st.psiPsiT)
+	mat.MulABTIntoP(st.ePsiT, e, psi, st.workers)
+	mat.MulABTIntoP(st.psiPsiT, psi, psi, st.workers)
+	mat.MulIntoP(st.wPP, w, st.psiPsiT, st.workers)
 	n, _ := w.Dims()
-	for i := 0; i < n; i++ {
-		wRow := w.RawRow(i)
-		num := st.ePsiT.RawRow(i)
-		den := st.wPP.RawRow(i)
-		for j := 0; j < r; j++ {
-			wRow[j] *= num[j] / (den[j] + epsDiv)
+	par.For(n, st.workers, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			wRow := w.RawRow(i)
+			num := st.ePsiT.RawRow(i)
+			den := st.wPP.RawRow(i)
+			for j := 0; j < r; j++ {
+				wRow[j] *= num[j] / (den[j] + epsDiv)
+			}
 		}
-	}
+	})
 }
 
-// sweepKL performs one pass of the KL-divergence update rules.
+// fillRatio caches R = E/(WΨ+ε) element-wise into st.ratio, assuming
+// st.approx already holds WΨ.
+func (st *updateState) fillRatio(e *mat.Dense) {
+	n, m := e.Dims()
+	par.For(n, st.workers, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			eRow := e.RawRow(i)
+			aRow := st.approx.RawRow(i)
+			rRow := st.ratio.RawRow(i)
+			for j := 0; j < m; j++ {
+				rRow[j] = eRow[j] / (aRow[j] + epsDiv)
+			}
+		}
+	})
+}
+
+// sweepKL performs one pass of the KL-divergence update rules, expressed
+// over the ratio matrix R = E/(WΨ+ε) so both halves reduce to fused
+// transpose-products over contiguous rows instead of the strided At(i,a)
+// column walks the first implementation used:
+//
+//	Ψaj ← Ψaj · (WᵀR)aj / Σi Wia
+//	Wia ← Wia · (RΨᵀ)ia / Σj Ψaj
 func (st *updateState) sweepKL(e, w, psi *mat.Dense) {
 	n, m := e.Dims()
 	r := psi.Rows()
-	mat.MulInto(st.approx, w, psi)
-	// Ψ update: Ψaj ← Ψaj · Σi Wia·Eij/(WΨ)ij / Σi Wia
-	for a := 0; a < r; a++ {
-		pRow := psi.RawRow(a)
-		var colSum float64
-		for i := 0; i < n; i++ {
-			colSum += w.At(i, a)
-		}
-		for j := 0; j < m; j++ {
-			var num float64
-			for i := 0; i < n; i++ {
-				num += w.At(i, a) * e.At(i, j) / (st.approx.At(i, j) + epsDiv)
-			}
-			pRow[j] *= num / (colSum + epsDiv)
+	// Ψ update.
+	mat.MulIntoP(st.approx, w, psi, st.workers)
+	st.fillRatio(e)
+	mat.MulATBIntoP(st.wtE, w, st.ratio, st.workers)
+	colSum := st.klSum
+	for a := range colSum {
+		colSum[a] = 0
+	}
+	for i := 0; i < n; i++ {
+		wRow := w.RawRow(i)
+		for a, v := range wRow {
+			colSum[a] += v
 		}
 	}
-	mat.MulInto(st.approx, w, psi)
-	// W update: Wia ← Wia · Σj Ψaj·Eij/(WΨ)ij / Σj Ψaj
-	for a := 0; a < r; a++ {
-		pRow := psi.RawRow(a)
-		var rowSum float64
-		for j := 0; j < m; j++ {
-			rowSum += pRow[j]
-		}
-		for i := 0; i < n; i++ {
-			var num float64
-			aRow := st.approx.RawRow(i)
-			eRow := e.RawRow(i)
+	par.For(r, st.workers, func(a0, a1 int) {
+		for a := a0; a < a1; a++ {
+			pRow := psi.RawRow(a)
+			num := st.wtE.RawRow(a)
 			for j := 0; j < m; j++ {
-				num += pRow[j] * eRow[j] / (aRow[j] + epsDiv)
+				pRow[j] *= num[j] / (colSum[a] + epsDiv)
 			}
-			w.Set(i, a, w.At(i, a)*num/(rowSum+epsDiv))
 		}
+	})
+	// W update, against the freshly updated Ψ.
+	mat.MulIntoP(st.approx, w, psi, st.workers)
+	st.fillRatio(e)
+	mat.MulABTIntoP(st.ePsiT, st.ratio, psi, st.workers)
+	rowSum := st.klSum
+	for a := 0; a < r; a++ {
+		pRow := psi.RawRow(a)
+		var s float64
+		for _, v := range pRow {
+			s += v
+		}
+		rowSum[a] = s
 	}
+	par.For(n, st.workers, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			wRow := w.RawRow(i)
+			num := st.ePsiT.RawRow(i)
+			for a := 0; a < r; a++ {
+				wRow[a] *= num[a] / (rowSum[a] + epsDiv)
+			}
+		}
+	})
 }
 
 func objective(o Objective, e, w, psi *mat.Dense, st *updateState) float64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/wsn-tools/vn2/internal/mat"
+	"github.com/wsn-tools/vn2/internal/par"
 )
 
 // RankPoint is one row of the Fig. 3(b) sweep: the approximation accuracy at
@@ -27,6 +28,13 @@ type SweepConfig struct {
 	Keep float64
 	// Base configures each factorization (Rank is overwritten per point).
 	Base Config
+	// Workers bounds the goroutines running sweep points concurrently:
+	// each rank's factorization is an independent, seeded computation, so
+	// points are perfectly parallel. 0 keeps the sweep sequential, ≥1 fans
+	// out, negative uses GOMAXPROCS. Points are bit-identical for any
+	// value; combine with a sequential Base (Base.Workers = 0) to avoid
+	// oversubscription.
+	Workers int
 }
 
 // SweepRanks factorizes e at each rank in [MinRank, MaxRank] and reports the
@@ -42,34 +50,54 @@ func SweepRanks(e *mat.Dense, cfg SweepConfig) ([]RankPoint, error) {
 	if cfg.MinRank < 1 || cfg.MaxRank < cfg.MinRank {
 		return nil, fmt.Errorf("%w: sweep [%d,%d]", ErrBadRank, cfg.MinRank, cfg.MaxRank)
 	}
-	var points []RankPoint
+	var ranks []int
 	for r := cfg.MinRank; r <= cfg.MaxRank; r += cfg.Step {
-		fc := cfg.Base
-		fc.Rank = r
-		res, err := Factorize(e, fc)
-		if err != nil {
-			return nil, fmt.Errorf("sweep rank %d: %w", r, err)
+		ranks = append(ranks, r)
+	}
+	points := make([]RankPoint, len(ranks))
+	err := par.ForErr(len(ranks), cfg.Workers, func(i0, i1 int) error {
+		for idx := i0; idx < i1; idx++ {
+			p, err := sweepPoint(e, cfg, ranks[idx])
+			if err != nil {
+				return err
+			}
+			points[idx] = p
 		}
-		acc, err := res.Accuracy(e)
-		if err != nil {
-			return nil, fmt.Errorf("sweep rank %d accuracy: %w", r, err)
-		}
-		sparseW, err := Sparsify(res.W, cfg.Keep)
-		if err != nil {
-			return nil, fmt.Errorf("sweep rank %d sparsify: %w", r, err)
-		}
-		sparseAcc, err := Accuracy(e, sparseW, res.Psi)
-		if err != nil {
-			return nil, fmt.Errorf("sweep rank %d sparse accuracy: %w", r, err)
-		}
-		points = append(points, RankPoint{
-			Rank:           r,
-			Accuracy:       acc,
-			SparseAccuracy: sparseAcc,
-			Iterations:     res.Iterations,
-		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
+}
+
+// sweepPoint computes one Fig. 3(b) point: factorize at rank r, sparsify,
+// and measure both accuracies.
+func sweepPoint(e *mat.Dense, cfg SweepConfig, r int) (RankPoint, error) {
+	fc := cfg.Base
+	fc.Rank = r
+	res, err := Factorize(e, fc)
+	if err != nil {
+		return RankPoint{}, fmt.Errorf("sweep rank %d: %w", r, err)
+	}
+	acc, err := res.Accuracy(e)
+	if err != nil {
+		return RankPoint{}, fmt.Errorf("sweep rank %d accuracy: %w", r, err)
+	}
+	sparseW, err := Sparsify(res.W, cfg.Keep)
+	if err != nil {
+		return RankPoint{}, fmt.Errorf("sweep rank %d sparsify: %w", r, err)
+	}
+	sparseAcc, err := Accuracy(e, sparseW, res.Psi)
+	if err != nil {
+		return RankPoint{}, fmt.Errorf("sweep rank %d sparse accuracy: %w", r, err)
+	}
+	return RankPoint{
+		Rank:           r,
+		Accuracy:       acc,
+		SparseAccuracy: sparseAcc,
+		Iterations:     res.Iterations,
+	}, nil
 }
 
 // selectDescentFraction is the share of the sweep's total accuracy descent

@@ -211,21 +211,7 @@ func solvePG(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
 
 // SolveBatch solves one NNLS problem per row of states, returning an
 // n×r weight matrix and per-row residuals. states is n×m, psi is r×m.
+// It is the single-worker case of SolveBatchParallel.
 func SolveBatch(states, psi *mat.Dense, cfg Config) (*mat.Dense, []float64, error) {
-	n, m := states.Dims()
-	r, pm := psi.Dims()
-	if m != pm {
-		return nil, nil, fmt.Errorf("%w: states %dx%d, basis %dx%d", ErrShape, n, m, r, pm)
-	}
-	weights := mat.MustNew(n, r)
-	residuals := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sol, err := Solve(states.RawRow(i), psi, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("row %d: %w", i, err)
-		}
-		weights.SetRow(i, sol.W)
-		residuals[i] = sol.Residual
-	}
-	return weights, residuals, nil
+	return SolveBatchParallel(states, psi, cfg, 1)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -248,7 +249,7 @@ func TestSolveBatchParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SolveBatch: %v", err)
 	}
-	for _, workers := range []int{0, 1, 3, 64} {
+	for _, workers := range []int{0, 1, 2, 3, 4, runtime.GOMAXPROCS(0), 64} {
 		parW, parR, err := SolveBatchParallel(states, psi, Config{}, workers)
 		if err != nil {
 			t.Fatalf("SolveBatchParallel(%d): %v", workers, err)

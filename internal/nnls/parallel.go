@@ -3,15 +3,18 @@ package nnls
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"github.com/wsn-tools/vn2/internal/mat"
+	"github.com/wsn-tools/vn2/internal/par"
 )
 
-// SolveBatchParallel is SolveBatch with a bounded worker pool: rows are
-// independent NNLS problems, so a sink processing hundreds of node states
-// per epoch can fan them out. workers ≤ 0 uses GOMAXPROCS. Results are
-// identical to the sequential path for any worker count.
+// SolveBatchParallel is SolveBatch with the rows statically partitioned
+// across a bounded set of workers (internal/par): rows are independent NNLS
+// problems, so a sink processing hundreds of node states per epoch can fan
+// them out. workers ≤ 0 uses GOMAXPROCS. Each row's solve is identical to
+// the sequential path and writes only its own output row, so results are
+// bit-identical to SolveBatch for any worker count; on failure the error of
+// the lowest failing row index is returned, exactly as SolveBatch would.
 func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.Dense, []float64, error) {
 	n, m := states.Dims()
 	r, pm := psi.Dims()
@@ -21,41 +24,21 @@ func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.D
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
-	}
 	weights := mat.MustNew(n, r)
 	residuals := make([]float64, n)
-	errs := make([]error, workers)
-
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range rows {
-				sol, err := Solve(states.RawRow(i), psi, cfg)
-				if err != nil {
-					if errs[worker] == nil {
-						errs[worker] = fmt.Errorf("row %d: %w", i, err)
-					}
-					continue
-				}
-				weights.SetRow(i, sol.W)
-				residuals[i] = sol.Residual
+	err := par.ForErr(n, workers, func(start, end int) error {
+		for i := start; i < end; i++ {
+			sol, err := Solve(states.RawRow(i), psi, cfg)
+			if err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
 			}
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+			weights.SetRow(i, sol.W)
+			residuals[i] = sol.Residual
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return weights, residuals, nil
 }

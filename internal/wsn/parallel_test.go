@@ -1,0 +1,70 @@
+package wsn
+
+import (
+	"testing"
+	"time"
+)
+
+// run45 simulates a 45-node grid (the ISSUE's determinism fixture) for the
+// given epoch count and worker bound, returning epoch results and the final
+// node snapshots.
+func run45(t *testing.T, workers, epochs int) ([]*EpochResult, []NodeSnapshot) {
+	t.Helper()
+	topo, err := GridTopology(9, 5, 12)
+	if err != nil {
+		t.Fatalf("GridTopology: %v", err)
+	}
+	n, err := New(Config{
+		Seed:           42,
+		Topology:       topo,
+		ReportInterval: 3 * time.Minute,
+		Workers:        workers,
+	})
+	if err != nil {
+		t.Fatalf("New(workers=%d): %v", workers, err)
+	}
+	res, err := n.Run(epochs)
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return res, n.Snapshots()
+}
+
+func TestStepBitIdenticalAcrossWorkers(t *testing.T) {
+	const epochs = 6
+	wantRes, wantSnaps := run45(t, 0, epochs)
+	for _, w := range []int{1, 2, 4, -1} {
+		gotRes, gotSnaps := run45(t, w, epochs)
+		for e := range wantRes {
+			a, b := wantRes[e], gotRes[e]
+			if a.Generated != b.Generated || a.Delivered != b.Delivered || a.PRR != b.PRR {
+				t.Fatalf("workers=%d epoch %d: %+v vs sequential %+v", w, e+1, b, a)
+			}
+			if len(a.Reports) != len(b.Reports) {
+				t.Fatalf("workers=%d epoch %d: %d reports, want %d", w, e+1, len(b.Reports), len(a.Reports))
+			}
+			for j := range a.Reports {
+				va, err := a.Reports[j].Vector()
+				if err != nil {
+					t.Fatalf("Vector: %v", err)
+				}
+				vb, err := b.Reports[j].Vector()
+				if err != nil {
+					t.Fatalf("Vector: %v", err)
+				}
+				for k := range va {
+					if va[k] != vb[k] {
+						t.Fatalf("workers=%d epoch %d node %d metric %d: %v vs %v",
+							w, e+1, b.Reports[j].C1.Node, k, vb[k], va[k])
+					}
+				}
+			}
+		}
+		for i := range wantSnaps {
+			if gotSnaps[i] != wantSnaps[i] {
+				t.Fatalf("workers=%d: node %d final state differs:\n got %+v\nwant %+v",
+					w, i, gotSnaps[i], wantSnaps[i])
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/wsn-tools/vn2/internal/ctp"
 	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/par"
 )
 
 // initialTTL bounds how many hops a data packet may travel; looped packets
@@ -126,15 +127,21 @@ func (n *Network) beaconPhase() {
 	}
 }
 
-// routingPhase ages tables and re-selects parents.
+// routingPhase ages tables and re-selects parents. Each node mutates only
+// its own routing table and consumes no shared randomness, so the phase
+// fans out across workers with results bit-identical to the sequential
+// pass for any worker count.
 func (n *Network) routingPhase() {
-	for _, nd := range n.nodes[1:] {
-		if !nd.up {
-			continue
+	par.For(len(n.nodes)-1, n.workers, func(start, end int) {
+		for i := 1 + start; i < 1+end; i++ {
+			nd := n.nodes[i]
+			if !nd.up {
+				continue
+			}
+			nd.table.Tick(n.cfg.NeighborStaleEpochs)
+			nd.table.SelectParent()
 		}
-		nd.table.Tick(n.cfg.NeighborStaleEpochs)
-		nd.table.SelectParent()
-	}
+	})
 }
 
 // trafficPhase generates the epoch's self traffic on a staggered schedule
@@ -358,18 +365,23 @@ func (n *Network) collectReports(res *EpochResult) {
 }
 
 // accountEnergy applies battery drain and radio-on time for the epoch's
-// activity, then rolls the per-epoch transmission counters.
+// activity, then rolls the per-epoch transmission counters. Pure per-node
+// arithmetic with disjoint writes (node state plus perEpochTx[i]), so the
+// phase fans out across workers bit-identically to the sequential pass.
 func (n *Network) accountEnergy() {
 	const (
 		txSecondsPerAttempt = 0.004
 		idleDutyCycle       = 0.02
 	)
-	for i, nd := range n.nodes {
-		if nd.up && !nd.isSink() {
-			nd.voltage -= n.cfg.BaseDrainPerEpoch + n.cfg.TxDrainPerPacket*float64(nd.epochTx)
-			nd.radioOn += float64(nd.epochTx)*txSecondsPerAttempt + idleDutyCycle*n.cfg.ReportInterval.Seconds()
+	par.For(len(n.nodes), n.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			nd := n.nodes[i]
+			if nd.up && !nd.isSink() {
+				nd.voltage -= n.cfg.BaseDrainPerEpoch + n.cfg.TxDrainPerPacket*float64(nd.epochTx)
+				nd.radioOn += float64(nd.epochTx)*txSecondsPerAttempt + idleDutyCycle*n.cfg.ReportInterval.Seconds()
+			}
+			n.perEpochTx[i] = nd.epochTx
+			nd.epochTx = 0
 		}
-		n.perEpochTx[i] = nd.epochTx
-		nd.epochTx = 0
-	}
+	})
 }

@@ -24,6 +24,7 @@ import (
 
 	"github.com/wsn-tools/vn2/internal/env"
 	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/par"
 	"github.com/wsn-tools/vn2/internal/radio"
 )
 
@@ -83,6 +84,13 @@ type Config struct {
 	Radio radio.Config
 	// Env configures the environment; Env.Seed is derived from Seed when 0.
 	Env env.Config
+	// Workers bounds the goroutines used for the per-node phases of each
+	// epoch (routing-table maintenance and energy accounting, where nodes
+	// are independent within a tick): 0 keeps them sequential, ≥1 fans
+	// out, negative uses GOMAXPROCS. The beacon, traffic, and report
+	// phases consume the shared simulation rng and therefore always run
+	// sequentially; simulations are bit-identical for any Workers value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,13 +129,14 @@ func (c Config) withDefaults() Config {
 
 // Network is the simulator state.
 type Network struct {
-	cfg    Config
-	rng    *rand.Rand
-	field  *env.Field
-	medium *radio.Medium
-	nodes  []*node // index == NodeID; nodes[0] is the sink
-	epoch  int
-	events []Event
+	cfg     Config
+	rng     *rand.Rand
+	field   *env.Field
+	medium  *radio.Medium
+	nodes   []*node // index == NodeID; nodes[0] is the sink
+	epoch   int
+	events  []Event
+	workers int // goroutine bound for per-node phases (par.Workers norm)
 
 	// candidates[i] lists node indices within plausible radio range of i,
 	// precomputed from static positions.
@@ -155,6 +164,7 @@ func New(cfg Config) (*Network, error) {
 		field:      field,
 		medium:     radio.NewMedium(cfg.Radio, field),
 		perEpochTx: make([]int, len(cfg.Topology)),
+		workers:    par.Workers(cfg.Workers),
 	}
 	n.nodes = make([]*node, len(cfg.Topology))
 	for i, pos := range cfg.Topology {

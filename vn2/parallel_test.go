@@ -1,0 +1,67 @@
+package vn2
+
+import (
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+func TestTrainBitIdenticalAcrossWorkers(t *testing.T) {
+	states := synthStates(1500, 11)
+	train := func(workers int) (*Model, *TrainReport) {
+		model, report, err := Train(states, TrainConfig{Rank: 5, Seed: 7, MaxIter: 120, Workers: workers})
+		if err != nil {
+			t.Fatalf("Train(workers=%d): %v", workers, err)
+		}
+		return model, report
+	}
+	wantM, wantR := train(0)
+	for _, w := range []int{1, 2, 4, -1} {
+		gotM, gotR := train(w)
+		if !mat.Equal(wantM.Psi, gotM.Psi, 0) {
+			t.Fatalf("workers=%d: Psi differs from sequential", w)
+		}
+		if !mat.Equal(wantM.Signatures, gotM.Signatures, 0) {
+			t.Fatalf("workers=%d: signatures differ from sequential", w)
+		}
+		if !mat.Equal(wantR.W, gotR.W, 0) {
+			t.Fatalf("workers=%d: correlation matrix differs from sequential", w)
+		}
+		if gotR.Accuracy != wantR.Accuracy || gotR.SparseAccuracy != wantR.SparseAccuracy {
+			t.Fatalf("workers=%d: accuracies (%v, %v) differ from sequential (%v, %v)",
+				w, gotR.Accuracy, gotR.SparseAccuracy, wantR.Accuracy, wantR.SparseAccuracy)
+		}
+	}
+}
+
+func TestTrainAutoRankBitIdenticalAcrossWorkers(t *testing.T) {
+	states := synthStates(1200, 12)
+	train := func(workers int) (*Model, *TrainReport) {
+		model, report, err := Train(states, TrainConfig{
+			Seed: 3, SweepMin: 2, SweepMax: 8, SweepStep: 2, MaxIter: 60, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("Train(workers=%d): %v", workers, err)
+		}
+		return model, report
+	}
+	wantM, wantR := train(0)
+	for _, w := range []int{2, 4} {
+		gotM, gotR := train(w)
+		if gotM.Rank != wantM.Rank {
+			t.Fatalf("workers=%d: selected rank %d, sequential picked %d", w, gotM.Rank, wantM.Rank)
+		}
+		if len(gotR.RankSweep) != len(wantR.RankSweep) {
+			t.Fatalf("workers=%d: %d sweep points, want %d", w, len(gotR.RankSweep), len(wantR.RankSweep))
+		}
+		for i := range wantR.RankSweep {
+			if gotR.RankSweep[i] != wantR.RankSweep[i] {
+				t.Fatalf("workers=%d: sweep point %d = %+v, want %+v",
+					w, i, gotR.RankSweep[i], wantR.RankSweep[i])
+			}
+		}
+		if !mat.Equal(wantM.Psi, gotM.Psi, 0) {
+			t.Fatalf("workers=%d: Psi differs from sequential", w)
+		}
+	}
+}

@@ -34,6 +34,12 @@ type TrainConfig struct {
 	MaxIter int
 	// Seed drives NMF initialization.
 	Seed int64
+	// Workers bounds the goroutines used by training compute (the rank-
+	// selection sweep runs its independent factorizations concurrently and
+	// the final factorization parallelizes its update sweeps): 0 keeps
+	// training sequential, ≥1 fans out, negative uses GOMAXPROCS. The
+	// trained model is bit-identical for any value.
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -135,6 +141,7 @@ func Train(states []trace.StateVector, cfg TrainConfig) (*Model, *TrainReport, e
 		Rank:    rank,
 		MaxIter: cfg.MaxIter,
 		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("factorize: %w", err)
@@ -198,11 +205,15 @@ func populationScale(states []trace.StateVector) []float64 {
 func selectRank(e *mat.Dense, cfg TrainConfig) (int, []nmf.RankPoint, error) {
 	maxRank := minInt(minInt(e.Rows(), e.Cols()), cfg.SweepMax)
 	minRank := minInt(cfg.SweepMin, maxRank)
+	// Parallelism goes to the sweep points (independent factorizations,
+	// the Fig. 3(b) fan-out); each point's factorization stays sequential
+	// so cfg.Workers bounds the total goroutine count.
 	points, err := nmf.SweepRanks(e, nmf.SweepConfig{
 		MinRank: minRank,
 		MaxRank: maxRank,
 		Step:    cfg.SweepStep,
 		Keep:    cfg.Keep,
+		Workers: cfg.Workers,
 		Base: nmf.Config{
 			MaxIter: cfg.MaxIter,
 			Seed:    cfg.Seed,
