@@ -4,10 +4,19 @@
 GO ?= go
 
 # Packages refactored onto internal/par; the race detector must stay clean
-# on them for any worker count.
-RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/...
+# on them for any worker count. radio and env are included because the
+# parallel wsn phases call into them concurrently (keyed link draws and
+# pure environment queries).
+RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/...
 
-.PHONY: check vet build test race bench
+# The simulator scaling ladder `make bench` runs: per-epoch cost at CitySee
+# scale, the worker sweep, and end-to-end trace generation at 60/120/286
+# nodes.
+BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining
+BENCH_TXT     ?= bench.txt
+BENCH_JSON    ?= BENCH_2.json
+
+.PHONY: check vet build test race bench bench-all
 
 check: vet build test race
 
@@ -23,5 +32,14 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# bench runs the simulator scaling ladder with -benchmem, keeping the raw
+# benchstat-compatible text in $(BENCH_TXT) and a machine-readable summary
+# in $(BENCH_JSON).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee $(BENCH_TXT)
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) $(BENCH_TXT)
+
+# bench-all runs the entire benchmark suite (paper tables, figures,
+# ablations) without archiving the output.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem .

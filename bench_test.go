@@ -640,6 +640,37 @@ func BenchmarkWSNStepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCitySeeTraining measures end-to-end trace generation (one
+// simulated day) across the deployment-size ladder, sequentially and with
+// every core. This is the headline scaling benchmark for the simulator: it
+// exercises the spatial link pruning, the dense link cache, and the
+// parallel beacon/traffic phases together.
+func BenchmarkCitySeeTraining(b *testing.B) {
+	for _, nodes := range []int{60, 120, 286} {
+		for _, workers := range []int{0, -1} {
+			nodes, workers := nodes, workers
+			mode := "seq"
+			if workers != 0 {
+				mode = "allcores"
+			}
+			b.Run(fmt.Sprintf("nodes%d/%s", nodes, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := tracegen.CitySeeTraining(tracegen.CitySeeOptions{
+						Seed: 17, Days: 1, Nodes: nodes, Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Dataset.Len() == 0 {
+						b.Fatal("empty dataset")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkModelUpdate measures the incremental vn2 retraining path.
 func BenchmarkModelUpdate(b *testing.B) {
 	f := sharedFixtures(b)

@@ -83,6 +83,7 @@ func cmdTracegen(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	days := fs.Int("days", 0, "CitySee days (default 7, september 14)")
 	nodes := fs.Int("nodes", 0, "CitySee node count (default 286)")
+	workers := fs.Int("workers", 0, "simulation goroutines (0 sequential, -1 all cores); output is identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,13 +92,13 @@ func cmdTracegen(args []string) error {
 	var err error
 	switch *scenario {
 	case "citysee":
-		res, err = tracegen.CitySeeTraining(tracegen.CitySeeOptions{Seed: *seed, Days: *days, Nodes: *nodes})
+		res, err = tracegen.CitySeeTraining(tracegen.CitySeeOptions{Seed: *seed, Days: *days, Nodes: *nodes, Workers: *workers})
 	case "september":
-		res, _, err = tracegen.CitySeeSeptember(tracegen.CitySeeOptions{Seed: *seed, Days: *days, Nodes: *nodes})
+		res, _, err = tracegen.CitySeeSeptember(tracegen.CitySeeOptions{Seed: *seed, Days: *days, Nodes: *nodes, Workers: *workers})
 	case "testbed-local":
-		res, err = tracegen.Testbed(tracegen.TestbedOptions{Seed: *seed, Scenario: tracegen.ScenarioLocal})
+		res, err = tracegen.Testbed(tracegen.TestbedOptions{Seed: *seed, Scenario: tracegen.ScenarioLocal, Workers: *workers})
 	case "testbed-expansive":
-		res, err = tracegen.Testbed(tracegen.TestbedOptions{Seed: *seed, Scenario: tracegen.ScenarioExpansive})
+		res, err = tracegen.Testbed(tracegen.TestbedOptions{Seed: *seed, Scenario: tracegen.ScenarioExpansive, Workers: *workers})
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}

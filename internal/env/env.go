@@ -10,6 +10,13 @@
 //   - the link-quality variation (through the noise floor and path-loss
 //     shadowing) that produces RSSI/ETX dynamics in C2 packets and the
 //     retransmission behaviour counted in C3 packets.
+//
+// Query methods (Temperature, Humidity, Light, NoiseFloor) are pure
+// functions of (seed, simulation time, position): their stochastic jitter
+// comes from counter-based streams (internal/rng), not shared generator
+// state. Queries may therefore run concurrently, be cached, reordered or
+// skipped without changing any other reading. Only Advance mutates the
+// field (clock, burst spawning) and must be serialized.
 package env
 
 import (
@@ -17,6 +24,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"github.com/wsn-tools/vn2/internal/rng"
 )
 
 // Position is a 2-D deployment coordinate in meters.
@@ -91,8 +100,9 @@ type burst struct {
 }
 
 // Field is the deterministic environment model. It is advanced in
-// simulation time via Advance and queried for readings. Field is not safe
-// for concurrent use; the simulator drives it from a single goroutine.
+// simulation time via Advance and queried for readings. Queries are pure
+// and safe to call concurrently; Advance (and InjectBurst) mutate the field
+// and must not race with queries or each other.
 type Field struct {
 	cfg    Config
 	rng    *rand.Rand
@@ -159,12 +169,29 @@ func (f *Field) localPhase(p Position) float64 {
 	return float64(h%1000) / 1000.0 * 0.05 // up to 5% of a day
 }
 
+// Stream tags separating the jitter families of each sensed quantity.
+const (
+	streamTemperature uint64 = iota + 1
+	streamHumidity
+	streamLight
+	streamNoise
+)
+
+// jitter draws the standard-normal measurement noise for one quantity at
+// one (time, position) query point. The draw is a pure function of its key,
+// so repeated queries at the same instant and place agree — as two readings
+// of the same physical spot would.
+func (f *Field) jitter(tag uint64, p Position) float64 {
+	s := rng.New(uint64(f.cfg.Seed), tag, uint64(f.now), rng.Bits(p.X), rng.Bits(p.Y))
+	return s.NormFloat64()
+}
+
 // Temperature returns the temperature in °C at position p.
 func (f *Field) Temperature(p Position) float64 {
 	// Peak at 14:00, trough at 02:00.
 	phase := f.dayFraction() + f.localPhase(p)
 	diurnal := math.Sin(2 * math.Pi * (phase - 0.3333))
-	return f.cfg.BaseTemperature + f.cfg.TemperatureSwing*diurnal + f.rng.NormFloat64()*0.3
+	return f.cfg.BaseTemperature + f.cfg.TemperatureSwing*diurnal + f.jitter(streamTemperature, p)*0.3
 }
 
 // Humidity returns relative humidity in %. It moves inversely with the
@@ -172,7 +199,7 @@ func (f *Field) Temperature(p Position) float64 {
 func (f *Field) Humidity(p Position) float64 {
 	phase := f.dayFraction() + f.localPhase(p)
 	diurnal := math.Sin(2 * math.Pi * (phase - 0.3333))
-	h := 60 - 20*diurnal + f.rng.NormFloat64()*2
+	h := 60 - 20*diurnal + f.jitter(streamHumidity, p)*2
 	return clamp(h, 5, 100)
 }
 
@@ -180,14 +207,14 @@ func (f *Field) Humidity(p Position) float64 {
 func (f *Field) Light(p Position) float64 {
 	phase := f.dayFraction() + f.localPhase(p)
 	day := math.Sin(math.Pi * clamp((phase-0.25)*2, 0, 1))
-	lux := 1000*day*day + f.rng.NormFloat64()*10
+	lux := 1000*day*day + f.jitter(streamLight, p)*10
 	return clamp(lux, 0, 1200)
 }
 
 // NoiseFloor returns the RF noise floor in dBm at position p, including any
 // active interference bursts covering it.
 func (f *Field) NoiseFloor(p Position) float64 {
-	n := f.cfg.BaseNoiseFloor + f.rng.NormFloat64()*f.cfg.NoiseSigma
+	n := f.cfg.BaseNoiseFloor + f.jitter(streamNoise, p)*f.cfg.NoiseSigma
 	for _, b := range f.bursts {
 		d := p.Distance(b.center)
 		if d < f.cfg.InterferenceRadius {

@@ -115,16 +115,53 @@ func TestHumidityBounds(t *testing.T) {
 }
 
 func TestNoiseFloorBaseline(t *testing.T) {
-	f := New(Config{Seed: 6, BaseNoiseFloor: -98, NoiseSigma: 1})
+	f := New(Config{Seed: 6, BaseNoiseFloor: -98, NoiseSigma: 1, InterferenceRate: 1e-12})
 	p := Position{50, 50}
 	var sum float64
 	const n = 500
 	for i := 0; i < n; i++ {
+		// Queries are pure per (time, position); advance the clock to draw
+		// fresh jitter each sample.
+		if err := f.Advance(time.Second); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
 		sum += f.NoiseFloor(p)
 	}
 	mean := sum / n
 	if math.Abs(mean-(-98)) > 0.5 {
 		t.Errorf("mean noise floor = %v, want ~-98", mean)
+	}
+}
+
+func TestQueriesPurePerInstant(t *testing.T) {
+	// Two reads of the same quantity at the same instant and position must
+	// agree, regardless of what was queried in between — the contract that
+	// lets the simulator cache and parallelize environment reads.
+	f := New(Config{Seed: 11})
+	p, q := Position{10, 20}, Position{300, 400}
+	if err := f.Advance(42 * time.Minute); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	temp := f.Temperature(p)
+	noise := f.NoiseFloor(p)
+	f.Temperature(q)
+	f.NoiseFloor(q)
+	f.Light(q)
+	if got := f.Temperature(p); got != temp {
+		t.Errorf("Temperature changed on re-query: %v vs %v", got, temp)
+	}
+	if got := f.NoiseFloor(p); got != noise {
+		t.Errorf("NoiseFloor changed on re-query: %v vs %v", got, noise)
+	}
+	// And distinct positions/instants must decorrelate.
+	if f.NoiseFloor(q) == noise {
+		t.Error("distinct positions drew identical noise jitter")
+	}
+	if err := f.Advance(time.Second); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if f.NoiseFloor(p) == noise {
+		t.Error("distinct instants drew identical noise jitter")
 	}
 }
 

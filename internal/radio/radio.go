@@ -6,107 +6,326 @@
 // NOACK retransmissions when data or ACK frames are lost, duplicates when
 // the data frame arrives but its ACK does not, backoffs under contention,
 // and packet drops after the retry limit (30 in CitySee).
+//
+// # Randomness model
+//
+// All stochastic draws are counter-based (internal/rng): every transmission
+// draws from a stream keyed by (seed, epoch, phase, link, sequence), never
+// from a shared generator. Consequences the simulator relies on:
+//
+//   - a link's draws are independent of which other links transmit, so the
+//     beacon and traffic phases may be computed concurrently per link and
+//     out-of-range links may be skipped entirely without perturbing the
+//     surviving links' randomness;
+//   - draws are bounded: fading never exceeds ±FadeClampDB and shadowing
+//     never exceeds ±ShadowClampSigma·σ, so "below sensitivity even with
+//     the maximum possible fade" is an exact zero-reception guarantee, not
+//     a statistical one.
+//
+// # Link cache
+//
+// SetTopology precomputes a dense per-directed-link table of the
+// deterministic received power (tx power − path loss + shadowing −
+// injected attenuation), eliminating map lookups and math.Log10 from the
+// per-transmission path. DegradeLink and SetPosition invalidate the
+// affected entries in place.
 package radio
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/wsn-tools/vn2/internal/env"
+	"github.com/wsn-tools/vn2/internal/rng"
 )
 
 // MaxRetries is the CitySee retransmission bound: "any packet is tried to
 // sent out for 30 times at most".
 const MaxRetries = 30
 
+// Defaults for Config fields left at zero. A field can be forced to a true
+// zero with the Zero sentinel.
+const (
+	// DefaultTxPower is CC2420 power level 2, about -25 dBm; testbeds use
+	// low power to create multihop topologies.
+	DefaultTxPower = -25.0
+	// DefaultPathLossExponent for log-distance urban propagation.
+	DefaultPathLossExponent = 2.7
+	// DefaultReferenceLoss is the path loss at 1 m in dB.
+	DefaultReferenceLoss = 30.0
+	// DefaultShadowingSigma is log-normal shadowing in dB.
+	DefaultShadowingSigma = 3.0
+	// DefaultSensitivityDBM is the CC2420-class receive sensitivity floor.
+	DefaultSensitivityDBM = -96.0
+)
+
+// Zero marks a Config field as "really zero". WithDefaults replaces
+// zero-valued fields with their Default* constant, so a plain 0 cannot
+// express values like "no shadowing"; set the field to Zero instead and
+// WithDefaults maps it to exact 0. The sentinel is the smallest subnormal
+// float — indistinguishable from 0 for every physical quantity in the
+// model, and never a meaningful dB value.
+const Zero = math.SmallestNonzeroFloat64
+
+// defaulted resolves one Config field against its default.
+func defaulted(v, def float64) float64 {
+	switch v {
+	case 0:
+		return def
+	case Zero:
+		return 0
+	default:
+		return v
+	}
+}
+
+// FadeClampDB bounds per-transmission fast fading. Draws come from a
+// bounded-support normal (rng.NormMax σ) with σ = 1 dB, so no fade ever
+// exceeds this; links whose deterministic budget is below sensitivity by
+// more than FadeClampDB can never deliver a frame.
+const FadeClampDB = rng.NormMax * fadeSigmaDB
+
+// fadeSigmaDB is the fast-fading standard deviation in dB.
+const fadeSigmaDB = 1.0
+
+// ShadowClampSigma bounds the stable per-link shadowing draw in σ units:
+// shadowing lies in [-ShadowClampSigma·σ, +ShadowClampSigma·σ]. Together
+// with FadeClampDB it yields a finite maximum radio range for any
+// configuration — the bound spatial indexes prune against.
+const ShadowClampSigma = 3.0
+
 // Config parametrizes the radio model.
 type Config struct {
-	// TxPower is the transmit power in dBm. CC2420 power level 2 is about
-	// -25 dBm; testbeds use low power to create multihop topologies.
-	// Default -25.
+	// TxPower is the transmit power in dBm. Default DefaultTxPower.
 	TxPower float64
-	// PathLossExponent for log-distance propagation. Default 2.7.
+	// PathLossExponent for log-distance propagation. Default
+	// DefaultPathLossExponent.
 	PathLossExponent float64
-	// ReferenceLoss is the path loss at 1 m in dB. Default 30.
+	// ReferenceLoss is the path loss at 1 m in dB. Default
+	// DefaultReferenceLoss.
 	ReferenceLoss float64
-	// ShadowingSigma is log-normal shadowing in dB. Default 3.
+	// ShadowingSigma is log-normal shadowing in dB. Default
+	// DefaultShadowingSigma; use Zero for a shadowing-free deterministic
+	// link budget.
 	ShadowingSigma float64
-	// SensitivityDBM is the receive sensitivity floor. Default -96.
+	// SensitivityDBM is the receive sensitivity floor. Default
+	// DefaultSensitivityDBM.
 	SensitivityDBM float64
 	// Seed drives the per-transmission randomness.
 	Seed int64
 }
 
-func (c Config) withDefaults() Config {
-	if c.TxPower == 0 {
-		c.TxPower = -25
-	}
-	if c.PathLossExponent == 0 {
-		c.PathLossExponent = 2.7
-	}
-	if c.ReferenceLoss == 0 {
-		c.ReferenceLoss = 30
-	}
-	if c.ShadowingSigma == 0 {
-		c.ShadowingSigma = 3
-	}
-	if c.SensitivityDBM == 0 {
-		c.SensitivityDBM = -96
-	}
+// WithDefaults resolves zero-valued fields to the package defaults (and
+// Zero sentinels to true zeros). Exported so layers embedding a radio
+// Config (the simulator's range planning) resolve identical values.
+func (c Config) WithDefaults() Config {
+	c.TxPower = defaulted(c.TxPower, DefaultTxPower)
+	c.PathLossExponent = defaulted(c.PathLossExponent, DefaultPathLossExponent)
+	c.ReferenceLoss = defaulted(c.ReferenceLoss, DefaultReferenceLoss)
+	c.ShadowingSigma = defaulted(c.ShadowingSigma, DefaultShadowingSigma)
+	c.SensitivityDBM = defaulted(c.SensitivityDBM, DefaultSensitivityDBM)
 	return c
 }
 
-// Medium simulates the shared wireless channel. It is not safe for
-// concurrent use; the simulator drives it from one goroutine.
+// MaxRange returns the distance beyond which no frame can ever be received
+// under this configuration: even a maximally lucky shadowing and fading
+// draw leaves the signal below sensitivity. Both draw families are bounded,
+// so this is exact, not a confidence bound.
+func (c Config) MaxRange() float64 {
+	c = c.WithDefaults()
+	budget := c.TxPower - c.ReferenceLoss + ShadowClampSigma*c.ShadowingSigma + FadeClampDB - c.SensitivityDBM
+	return math.Pow(10, budget/(10*c.PathLossExponent))
+}
+
+// Stream phase tags keep the per-link draw families disjoint.
+const (
+	streamShadow uint64 = iota + 1
+	streamFade
+	streamBeacon
+	streamUnicast
+)
+
+// linkState is one directed link's cached state.
+type linkState struct {
+	// rxBase is the deterministic received power in dBm: tx power − path
+	// loss + shadowing − injected attenuation. Fading is added per draw.
+	rxBase float64
+	// seq counts draw sessions (RSSI samples, unicast exchanges) on this
+	// link within the current epoch; epoch tags it for lazy reset.
+	seq   uint32
+	epoch int32
+}
+
+// Medium simulates the shared wireless channel. Draws are counter-based
+// per link, so after SetTopology the read-side methods (RSSI, PRR, Beacon,
+// Unicast) may be called concurrently for links with distinct transmitters;
+// topology mutation (SetTopology, SetPosition, DegradeLink, BeginEpoch)
+// must be serialized with all other calls.
 type Medium struct {
 	cfg   Config
-	rng   *rand.Rand
 	field *env.Field
-	// shadow caches the static shadowing term per directed link so a link
-	// has a stable quality bias, as in real deployments.
-	shadow map[[2]int]float64
+	epoch int
+
+	// Dense per-link cache, built by SetTopology (links[a*n+b] is a→b).
+	n     int
+	links []linkState
+	pos   []env.Position
+
+	// adhoc carries per-link state for media used without SetTopology
+	// (direct API use, tests).
+	adhoc map[[2]int]*linkState
+
+	// degraded accumulates DegradeLink attenuation per directed link so a
+	// topology rebuild preserves injected faults.
+	degraded map[[2]int]float64
 }
 
 // NewMedium constructs a Medium over the given environment field.
 func NewMedium(cfg Config, field *env.Field) *Medium {
-	cfg = cfg.withDefaults()
 	return &Medium{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		field:  field,
-		shadow: make(map[[2]int]float64),
+		cfg:      cfg.WithDefaults(),
+		field:    field,
+		adhoc:    make(map[[2]int]*linkState),
+		degraded: make(map[[2]int]float64),
 	}
 }
 
-// linkShadow returns the stable shadowing bias for the a→b link.
-func (m *Medium) linkShadow(a, b int) float64 {
-	key := [2]int{a, b}
-	if s, ok := m.shadow[key]; ok {
-		return s
+// SetTopology registers the node positions (index == node ID) and builds
+// the dense per-link cache: path loss and shadowing are computed once per
+// directed link instead of on every transmission. Previously injected
+// DegradeLink attenuation is preserved.
+func (m *Medium) SetTopology(positions []env.Position) {
+	m.n = len(positions)
+	m.pos = append(m.pos[:0], positions...)
+	m.links = make([]linkState, m.n*m.n)
+	for a := 0; a < m.n; a++ {
+		for b := 0; b < m.n; b++ {
+			if a == b {
+				continue
+			}
+			m.links[a*m.n+b].rxBase = m.computeRxBase(a, b, positions[a], positions[b])
+		}
 	}
-	// Symmetric links share the bias, as physical obstructions do.
-	rev := [2]int{b, a}
-	if s, ok := m.shadow[rev]; ok {
-		m.shadow[key] = s
-		return s
-	}
-	s := m.rng.NormFloat64() * m.cfg.ShadowingSigma
-	m.shadow[key] = s
-	return s
 }
 
-// RSSI returns the received signal strength in dBm for a transmission from
-// position src (node a) to dst (node b), including stable link shadowing and
-// fast fading.
-func (m *Medium) RSSI(a, b int, src, dst env.Position) float64 {
+// SetPosition moves node i (mobility) and recomputes every cached link
+// entry involving it. Panics if no topology is registered.
+func (m *Medium) SetPosition(i int, pos env.Position) {
+	if m.links == nil {
+		panic("radio: SetPosition before SetTopology")
+	}
+	m.pos[i] = pos
+	for j := 0; j < m.n; j++ {
+		if j == i {
+			continue
+		}
+		m.links[i*m.n+j].rxBase = m.computeRxBase(i, j, pos, m.pos[j])
+		m.links[j*m.n+i].rxBase = m.computeRxBase(j, i, m.pos[j], pos)
+	}
+}
+
+// computeRxBase evaluates the deterministic link budget a→b.
+func (m *Medium) computeRxBase(a, b int, src, dst env.Position) float64 {
 	d := src.Distance(dst)
 	if d < 1 {
 		d = 1
 	}
 	pl := m.cfg.ReferenceLoss + 10*m.cfg.PathLossExponent*math.Log10(d)
-	fading := m.rng.NormFloat64() * 1.0
-	return m.cfg.TxPower - pl + m.linkShadow(a, b) + fading
+	return m.cfg.TxPower - pl + m.linkShadow(a, b) - m.degraded[[2]int{a, b}]
+}
+
+// linkShadow returns the stable shadowing bias for the a→b link: a
+// counter-based draw keyed by the undirected link, so it is symmetric (as
+// physical obstructions are), independent of query order, and clamped to
+// ±ShadowClampSigma·σ.
+func (m *Medium) linkShadow(a, b int) float64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	s := rng.New(rng.I(int(m.cfg.Seed)), streamShadow, rng.I(lo), rng.I(hi))
+	draw := s.NormFloat64()
+	if draw > ShadowClampSigma {
+		draw = ShadowClampSigma
+	} else if draw < -ShadowClampSigma {
+		draw = -ShadowClampSigma
+	}
+	return draw * m.cfg.ShadowingSigma
+}
+
+// BeginEpoch advances the medium to a new reporting epoch: subsequent
+// draws are keyed by this epoch and per-link draw sequences restart.
+func (m *Medium) BeginEpoch(epoch int) {
+	m.epoch = epoch
+	for _, st := range m.adhoc {
+		st.seq, st.epoch = 0, int32(epoch)
+	}
+	// Dense entries reset lazily via their epoch tag.
+}
+
+// link returns the mutable state for the directed link a→b.
+func (m *Medium) link(a, b int) *linkState {
+	if m.links != nil && a < m.n && b < m.n && a >= 0 && b >= 0 {
+		return &m.links[a*m.n+b]
+	}
+	key := [2]int{a, b}
+	st, ok := m.adhoc[key]
+	if !ok {
+		st = &linkState{rxBase: math.NaN(), epoch: int32(m.epoch)}
+		m.adhoc[key] = st
+	}
+	return st
+}
+
+// nextSeq returns the link's draw-session sequence number for the current
+// epoch and advances it.
+func (m *Medium) nextSeq(st *linkState) uint32 {
+	if st.epoch != int32(m.epoch) {
+		st.epoch = int32(m.epoch)
+		st.seq = 0
+	}
+	s := st.seq
+	st.seq++
+	return s
+}
+
+// rxBase returns the deterministic received power for a→b, using the dense
+// cache when topology is registered and computing from the given positions
+// otherwise.
+func (m *Medium) rxBase(a, b int, src, dst env.Position) float64 {
+	if m.links != nil && a < m.n && b < m.n && a >= 0 && b >= 0 {
+		return m.links[a*m.n+b].rxBase
+	}
+	return m.computeRxBase(a, b, src, dst)
+}
+
+// MeanRSSI returns the deterministic part of the received signal strength
+// for a→b (no fast fading): the quantity range planning and link pruning
+// reason about.
+func (m *Medium) MeanRSSI(a, b int, src, dst env.Position) float64 {
+	return m.rxBase(a, b, src, dst)
+}
+
+// InRange reports whether the a→b link can ever deliver a frame: its
+// deterministic budget plus the maximum possible fade clears sensitivity.
+// Fading is bounded, so out-of-range links have exactly zero reception
+// probability — skipping them cannot change any outcome.
+func (m *Medium) InRange(a, b int, src, dst env.Position) bool {
+	return m.rxBase(a, b, src, dst)+FadeClampDB >= m.cfg.SensitivityDBM
+}
+
+// fade draws one bounded fast-fading value from the stream.
+func fade(s *rng.Stream) float64 {
+	return s.NormFloat64() * fadeSigmaDB
+}
+
+// RSSI returns the received signal strength in dBm for one transmission
+// from node a to node b, including stable link shadowing and fast fading.
+// Each call consumes one per-link draw session.
+func (m *Medium) RSSI(a, b int, src, dst env.Position) float64 {
+	st := m.link(a, b)
+	s := rng.New(rng.I(int(m.cfg.Seed)), rng.I(m.epoch), streamFade, rng.I(a), rng.I(b), uint64(m.nextSeq(st)))
+	return m.rxBase(a, b, src, dst) + fade(&s)
 }
 
 // PRR maps an RSSI and local noise floor to a packet reception ratio via a
@@ -120,11 +339,26 @@ func (m *Medium) PRR(rssi, noiseFloor float64) float64 {
 	return 1 / (1 + math.Exp(-(snr-5.5)*1.3))
 }
 
+// Beacon simulates one broadcast beacon reception attempt on the a→b link
+// against the receiver-side noise floor. Exactly one beacon per directed
+// link per epoch is modelled; the draw is keyed by (epoch, a, b) alone, so
+// receivers may evaluate their incoming links concurrently.
+func (m *Medium) Beacon(a, b int, src, dst env.Position, noiseFloor float64) (rssi float64, heard bool) {
+	s := rng.New(rng.I(int(m.cfg.Seed)), rng.I(m.epoch), streamBeacon, rng.I(a), rng.I(b))
+	rssi = m.rxBase(a, b, src, dst) + fade(&s)
+	return rssi, s.Float64() < m.PRR(rssi, noiseFloor)
+}
+
 // DegradeLink adds a persistent attenuation (positive dB) to the a↔b link,
-// used by fault injection to create link-degradation events.
+// used by fault injection to create link-degradation events. Repeated
+// degradations accumulate. Cached entries are invalidated in place.
 func (m *Medium) DegradeLink(a, b int, attenuationDB float64) {
-	m.shadow[[2]int{a, b}] = m.linkShadow(a, b) - attenuationDB
-	m.shadow[[2]int{b, a}] = m.shadow[[2]int{a, b}]
+	m.degraded[[2]int{a, b}] += attenuationDB
+	m.degraded[[2]int{b, a}] += attenuationDB
+	if m.links != nil && a < m.n && b < m.n && a >= 0 && b >= 0 {
+		m.links[a*m.n+b].rxBase -= attenuationDB
+		m.links[b*m.n+a].rxBase -= attenuationDB
+	}
 }
 
 // TxOutcome reports what happened to one link-layer unicast attempt
@@ -150,27 +384,40 @@ type TxOutcome struct {
 // Unicast simulates a full link-layer unicast exchange from node a at src
 // to node b at dst, with channel contention level in [0,1] raising backoff
 // and loss. rxUp reports whether the receiver is powered and able to accept
-// frames; a down receiver yields pure NOACK retransmissions.
+// frames; a down receiver yields pure NOACK retransmissions. Noise floors
+// are sampled from the environment field; use UnicastNoise when the caller
+// already holds them.
 func (m *Medium) Unicast(a, b int, src, dst env.Position, contention float64, rxUp bool) TxOutcome {
+	return m.UnicastNoise(a, b, src, dst, contention, rxUp, m.field.NoiseFloor(dst), m.field.NoiseFloor(src))
+}
+
+// UnicastNoise is Unicast with caller-supplied noise floors (noiseRx at the
+// receiver, noiseTx at the sender, for the reverse-path ACK). The whole
+// exchange — every retry, both directions — draws from one stream keyed by
+// (seed, epoch, a, b, per-link sequence), so concurrent exchanges with
+// distinct transmitters never interact.
+func (m *Medium) UnicastNoise(a, b int, src, dst env.Position, contention float64, rxUp bool, noiseRx, noiseTx float64) TxOutcome {
 	var out TxOutcome
-	noise := m.field.NoiseFloor(dst)
-	noiseRev := m.field.NoiseFloor(src)
 	if contention < 0 {
 		contention = 0
 	}
 	if contention > 1 {
 		contention = 1
 	}
+	st := m.link(a, b)
+	s := rng.New(rng.I(int(m.cfg.Seed)), rng.I(m.epoch), streamUnicast, rng.I(a), rng.I(b), uint64(m.nextSeq(st)))
+	fwdBase := m.rxBase(a, b, src, dst)
+	revBase := m.rxBase(b, a, dst, src)
 	for out.Attempts < MaxRetries {
 		out.Attempts++
 		// CSMA: under contention the sender may back off before each try.
-		if m.rng.Float64() < contention {
+		if s.Float64() < contention {
 			out.Backoffs++
 		}
-		rssi := m.RSSI(a, b, src, dst)
+		rssi := fwdBase + fade(&s)
 		// Contention also collides frames in the air.
-		prr := m.PRR(rssi, noise) * (1 - 0.6*contention)
-		dataThrough := rxUp && m.rng.Float64() < prr
+		prr := m.PRR(rssi, noiseRx) * (1 - 0.6*contention)
+		dataThrough := rxUp && s.Float64() < prr
 		if dataThrough {
 			if out.Delivered {
 				out.Duplicates++
@@ -178,10 +425,10 @@ func (m *Medium) Unicast(a, b int, src, dst env.Position, contention float64, rx
 			out.Delivered = true
 			// ACK travels the reverse link; ACK frames are short, so give
 			// them a small reliability edge.
-			ackRssi := m.RSSI(b, a, dst, src)
-			ackPrr := m.PRR(ackRssi, noiseRev) * (1 - 0.4*contention)
+			ackRssi := revBase + fade(&s)
+			ackPrr := m.PRR(ackRssi, noiseTx) * (1 - 0.4*contention)
 			ackPrr = math.Min(1, ackPrr*1.1)
-			if m.rng.Float64() < ackPrr {
+			if s.Float64() < ackPrr {
 				out.Acked = true
 				out.NoAckRetries = out.Attempts - 1
 				return out

@@ -249,3 +249,177 @@ func TestPRRZeroNoiseBoundary(t *testing.T) {
 		t.Errorf("PRR at sensitivity boundary = %v", prr)
 	}
 }
+
+func TestWithDefaultsZeroSentinel(t *testing.T) {
+	got := Config{}.WithDefaults()
+	want := Config{
+		TxPower:          DefaultTxPower,
+		PathLossExponent: DefaultPathLossExponent,
+		ReferenceLoss:    DefaultReferenceLoss,
+		ShadowingSigma:   DefaultShadowingSigma,
+		SensitivityDBM:   DefaultSensitivityDBM,
+	}
+	if got != want {
+		t.Errorf("zero config resolved to %+v, want defaults %+v", got, want)
+	}
+	// The regression this guards: an explicit zero must survive resolution
+	// instead of being silently replaced by the default.
+	z := Config{ShadowingSigma: Zero, TxPower: Zero}.WithDefaults()
+	if z.ShadowingSigma != 0 {
+		t.Errorf("ShadowingSigma: Zero resolved to %v, want exact 0", z.ShadowingSigma)
+	}
+	if z.TxPower != 0 {
+		t.Errorf("TxPower: Zero resolved to %v, want exact 0", z.TxPower)
+	}
+	// Explicit non-zero values pass through untouched.
+	v := Config{ShadowingSigma: 1.25}.WithDefaults()
+	if v.ShadowingSigma != 1.25 {
+		t.Errorf("explicit sigma resolved to %v", v.ShadowingSigma)
+	}
+}
+
+func TestZeroSigmaDeterministicLink(t *testing.T) {
+	// With the sentinel, a shadowing-free medium has rxBase equal to the
+	// pure log-distance budget for every link.
+	field := env.New(env.Config{Seed: 3})
+	m := NewMedium(Config{Seed: 3, ShadowingSigma: Zero}, field)
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 10, Y: 0}
+	cfg := m.cfg
+	want := cfg.TxPower - cfg.ReferenceLoss - 10*cfg.PathLossExponent*math.Log10(10)
+	if got := m.MeanRSSI(1, 2, src, dst); got != want {
+		t.Errorf("MeanRSSI with zero shadowing = %v, want %v", got, want)
+	}
+}
+
+func TestLinkDrawsIndependent(t *testing.T) {
+	// The outcome on link 1→2 must not depend on whether link 3→4 also
+	// transmitted — the property the shared-rand design lacked.
+	src, dst := env.Position{X: 0, Y: 0}, env.Position{X: 22, Y: 0}
+	other := env.Position{X: 40, Y: 0}
+	run := func(interleave bool) []TxOutcome {
+		field := env.New(env.Config{Seed: 21})
+		m := NewMedium(Config{Seed: 21}, field)
+		var outs []TxOutcome
+		for i := 0; i < 40; i++ {
+			if interleave {
+				m.Unicast(3, 4, other, env.Position{X: 60, Y: 0}, 0.2, true)
+			}
+			outs = append(outs, m.Unicast(1, 2, src, dst, 0.2, true))
+		}
+		return outs
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link 1→2 exchange %d changed because link 3→4 transmitted: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSetTopologyMatchesAdhoc(t *testing.T) {
+	// The dense cache must agree with the on-the-fly computation.
+	pos := []env.Position{{X: 0, Y: 0}, {X: 15, Y: 0}, {X: 30, Y: 20}}
+	field := env.New(env.Config{Seed: 31})
+	cached := NewMedium(Config{Seed: 31}, field)
+	cached.SetTopology(pos)
+	plain := NewMedium(Config{Seed: 31}, env.New(env.Config{Seed: 31}))
+	for a := range pos {
+		for b := range pos {
+			if a == b {
+				continue
+			}
+			if got, want := cached.MeanRSSI(a, b, pos[a], pos[b]), plain.MeanRSSI(a, b, pos[a], pos[b]); got != want {
+				t.Errorf("cached MeanRSSI(%d,%d) = %v, adhoc = %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDegradeLinkInvalidatesCache(t *testing.T) {
+	pos := []env.Position{{X: 0, Y: 0}, {X: 15, Y: 0}}
+	field := env.New(env.Config{Seed: 32})
+	m := NewMedium(Config{Seed: 32}, field)
+	m.SetTopology(pos)
+	before := m.MeanRSSI(0, 1, pos[0], pos[1])
+	m.DegradeLink(0, 1, 25)
+	if got := m.MeanRSSI(0, 1, pos[0], pos[1]); got != before-25 {
+		t.Errorf("degraded cached link = %v, want %v", got, before-25)
+	}
+	if got := m.MeanRSSI(1, 0, pos[1], pos[0]); got != before-25 {
+		t.Errorf("reverse direction = %v, want symmetric degradation %v", got, before-25)
+	}
+	// Degradation survives a topology rebuild.
+	m.SetTopology(pos)
+	if got := m.MeanRSSI(0, 1, pos[0], pos[1]); got != before-25 {
+		t.Errorf("rebuild dropped degradation: %v, want %v", got, before-25)
+	}
+}
+
+func TestSetPositionInvalidatesCache(t *testing.T) {
+	pos := []env.Position{{X: 0, Y: 0}, {X: 15, Y: 0}, {X: 100, Y: 0}}
+	field := env.New(env.Config{Seed: 33})
+	m := NewMedium(Config{Seed: 33}, field)
+	m.SetTopology(pos)
+	moved := env.Position{X: 60, Y: 0}
+	m.SetPosition(1, moved)
+	plain := NewMedium(Config{Seed: 33}, env.New(env.Config{Seed: 33}))
+	if got, want := m.MeanRSSI(0, 1, pos[0], moved), plain.MeanRSSI(0, 1, pos[0], moved); got != want {
+		t.Errorf("after move MeanRSSI(0,1) = %v, want %v", got, want)
+	}
+	if got, want := m.MeanRSSI(1, 2, moved, pos[2]), plain.MeanRSSI(1, 2, moved, pos[2]); got != want {
+		t.Errorf("after move MeanRSSI(1,2) = %v, want %v", got, want)
+	}
+}
+
+func TestInRangeExact(t *testing.T) {
+	// InRange must be exactly the "PRR can be nonzero" predicate: an
+	// out-of-range link never receives even the luckiest fade.
+	field := env.New(env.Config{Seed: 34})
+	m := NewMedium(Config{Seed: 34}, field)
+	src := env.Position{X: 0, Y: 0}
+	for d := 10.0; d < 2000; d *= 1.5 {
+		dst := env.Position{X: d, Y: 0}
+		if m.InRange(1, 2, src, dst) {
+			continue
+		}
+		// Even with the maximum fade the RSSI stays below sensitivity.
+		if best := m.MeanRSSI(1, 2, src, dst) + FadeClampDB; best >= m.cfg.SensitivityDBM {
+			t.Errorf("d=%v: InRange=false but best-case RSSI %v ≥ sensitivity", d, best)
+		}
+	}
+}
+
+func TestMaxRangeCoversInRange(t *testing.T) {
+	cfg := Config{Seed: 35}
+	field := env.New(env.Config{Seed: 35})
+	m := NewMedium(cfg, field)
+	limit := cfg.MaxRange()
+	src := env.Position{X: 0, Y: 0}
+	// Any in-range link must be within MaxRange, for every shadowing draw.
+	for a := 0; a < 40; a++ {
+		for d := limit * 0.5; d < limit*2; d *= 1.05 {
+			dst := env.Position{X: d, Y: 0}
+			if m.InRange(a, a+1, src, dst) && d > limit {
+				t.Fatalf("link at d=%v in range beyond MaxRange=%v", d, limit)
+			}
+		}
+	}
+}
+
+func TestBeaconDeterministicPerEpoch(t *testing.T) {
+	pos := []env.Position{{X: 0, Y: 0}, {X: 15, Y: 0}}
+	field := env.New(env.Config{Seed: 36})
+	m := NewMedium(Config{Seed: 36}, field)
+	m.SetTopology(pos)
+	m.BeginEpoch(4)
+	r1, h1 := m.Beacon(0, 1, pos[0], pos[1], -98)
+	r2, h2 := m.Beacon(0, 1, pos[0], pos[1], -98)
+	if r1 != r2 || h1 != h2 {
+		t.Error("beacon draw not a pure function of (epoch, link)")
+	}
+	m.BeginEpoch(5)
+	r3, _ := m.Beacon(0, 1, pos[0], pos[1], -98)
+	if r3 == r1 {
+		t.Error("beacon fade identical across epochs")
+	}
+}

@@ -159,6 +159,11 @@ func (n *Network) DegradeLink(a, b packet.NodeID, attenuationDB float64) error {
 		return err
 	}
 	n.medium.DegradeLink(int(a), int(b), attenuationDB)
+	// The attenuation may have pushed the link budget below the exact
+	// reception bound; refilter both endpoints' pruned link lists so the
+	// beacon phase stops (or keeps) iterating the link accordingly.
+	n.refreshCandidates(int(a))
+	n.refreshCandidates(int(b))
 	n.record(Event{Epoch: n.epoch, Type: EventLinkDegraded, Node: a})
 	return nil
 }

@@ -18,6 +18,10 @@ type dataPacket struct {
 	incarnation uint8
 	seq         uint32
 	ttl         int
+	// genEpoch is the epoch the packet was generated in; not part of the
+	// identity key. The sink uses it to attribute a delivery to the epoch
+	// whose PRR it counts toward.
+	genEpoch int
 }
 
 // key identifies a packet for duplicate suppression and loop detection.
@@ -54,7 +58,11 @@ type node struct {
 	radioOn float64 // cumulative seconds
 
 	table *ctp.Table
+	// queue holds the forwarding backlog; qhead indexes its first live
+	// element so pops don't bleed slice capacity (a [1:] reslice would make
+	// every subsequent append reallocate).
 	queue []dataPacket
+	qhead int
 	seq   uint32
 	// incarnation counts boots; folded into every packet key.
 	incarnation uint8
@@ -62,10 +70,13 @@ type node struct {
 	ctr counters
 
 	// seen caches recently handled packet keys for duplicate suppression
-	// and loop detection (a node re-receiving a packet it forwarded).
-	seen map[uint64]bool
-	// seenOrder bounds the cache.
+	// and loop detection (a node re-receiving a packet it forwarded), as
+	// seenRx/seenTx flag bits so one probe answers both questions.
+	seen map[uint64]uint8
+	// seenOrder bounds the cache: a circular buffer of the cached keys in
+	// insertion order, overwritten in place once full.
 	seenOrder []uint64
+	seenHead  int
 
 	// forcedParent overrides CTP parent selection (loop injection).
 	forcedParent *packet.NodeID
@@ -84,25 +95,37 @@ func newNode(id packet.NodeID, pos env.Position, cfg Config) *node {
 		up:      true,
 		voltage: cfg.InitialVoltage,
 		table:   ctp.NewTable(id),
-		seen:    make(map[uint64]bool, seenCacheSize),
+		seen:    make(map[uint64]uint8, seenCacheSize),
 	}
 }
 
 // isSink reports whether this node is the collection root.
 func (nd *node) isSink() bool { return nd.id == packet.SinkID }
 
-// remember records a packet key with bounded memory.
-func (nd *node) remember(k uint64) {
-	if nd.seen[k] {
+// seenRx/seenTx are the per-packet flags in the seen cache.
+const (
+	seenRx = uint8(1) << iota
+	seenTx
+)
+
+// remember ORs a flag into a packet's cache entry with bounded memory.
+// Flags are never zero, so a zero probe means the key is absent.
+func (nd *node) remember(k uint64, flag uint8) {
+	if old := nd.seen[k]; old != 0 {
+		if old&flag == 0 {
+			nd.seen[k] = old | flag
+		}
 		return
 	}
-	nd.seen[k] = true
-	nd.seenOrder = append(nd.seenOrder, k)
-	if len(nd.seenOrder) > seenCacheSize {
-		evict := nd.seenOrder[0]
-		nd.seenOrder = nd.seenOrder[1:]
-		delete(nd.seen, evict)
+	nd.seen[k] = flag
+	if len(nd.seenOrder) < seenCacheSize {
+		nd.seenOrder = append(nd.seenOrder, k)
+		return
 	}
+	evict := nd.seenOrder[nd.seenHead]
+	nd.seenOrder[nd.seenHead] = k
+	nd.seenHead = (nd.seenHead + 1) % seenCacheSize
+	delete(nd.seen, evict)
 }
 
 // reboot power-cycles the node: volatile state (routing table, counters,
@@ -113,9 +136,11 @@ func (nd *node) reboot() {
 	nd.radioOn = 0
 	nd.table.Reset()
 	nd.queue = nil
+	nd.qhead = 0
 	nd.ctr = counters{}
-	nd.seen = make(map[uint64]bool, seenCacheSize)
+	nd.seen = make(map[uint64]uint8, seenCacheSize)
 	nd.seenOrder = nil
+	nd.seenHead = 0
 	nd.seq = 0
 	nd.incarnation++
 	nd.forcedParent = nil
@@ -125,6 +150,7 @@ func (nd *node) reboot() {
 func (nd *node) fail() {
 	nd.up = false
 	nd.queue = nil
+	nd.qhead = 0
 }
 
 // parentFor returns the next hop honoring a forced parent.
@@ -135,15 +161,35 @@ func (nd *node) parent() packet.NodeID {
 	return nd.table.Parent()
 }
 
+// qlen is the number of queued packets.
+func (nd *node) qlen() int { return len(nd.queue) - nd.qhead }
+
+// qpop removes and returns the head-of-line packet.
+func (nd *node) qpop() dataPacket {
+	p := nd.queue[nd.qhead]
+	nd.qhead++
+	if nd.qhead == len(nd.queue) {
+		nd.queue = nd.queue[:0]
+		nd.qhead = 0
+	}
+	return p
+}
+
 // enqueue appends a packet, returning false on overflow.
 func (nd *node) enqueue(p dataPacket, capacity int) bool {
-	if len(nd.queue) >= capacity {
+	if nd.qlen() >= capacity {
 		nd.ctr.overflowDrop++
 		return false
 	}
+	if nd.qhead > 0 && len(nd.queue) == cap(nd.queue) {
+		// Reclaim the popped prefix instead of growing the backing array.
+		k := copy(nd.queue, nd.queue[nd.qhead:])
+		nd.queue = nd.queue[:k]
+		nd.qhead = 0
+	}
 	nd.queue = append(nd.queue, p)
-	if len(nd.queue) > int(nd.ctr.queuePeak) {
-		nd.ctr.queuePeak = uint8(len(nd.queue))
+	if nd.qlen() > int(nd.ctr.queuePeak) {
+		nd.ctr.queuePeak = uint8(nd.qlen())
 	}
 	return true
 }

@@ -33,7 +33,7 @@ func run45(t *testing.T, workers, epochs int) ([]*EpochResult, []NodeSnapshot) {
 func TestStepBitIdenticalAcrossWorkers(t *testing.T) {
 	const epochs = 6
 	wantRes, wantSnaps := run45(t, 0, epochs)
-	for _, w := range []int{1, 2, 4, -1} {
+	for _, w := range []int{1, 2, 4, 8, -1} {
 		gotRes, gotSnaps := run45(t, w, epochs)
 		for e := range wantRes {
 			a, b := wantRes[e], gotRes[e]

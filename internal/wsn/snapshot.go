@@ -43,7 +43,7 @@ func (n *Network) Snapshot(id packet.NodeID) (NodeSnapshot, error) {
 		Voltage:         nd.voltage,
 		Uptime:          nd.uptime,
 		Parent:          nd.parent(),
-		QueueLen:        len(nd.queue),
+		QueueLen:        nd.qlen(),
 		Neighbors:       nd.table.Len(),
 		PathETX:         nd.table.PathETX(),
 		Transmit:        nd.ctr.transmit,

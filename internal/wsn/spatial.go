@@ -1,0 +1,105 @@
+package wsn
+
+import (
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/env"
+)
+
+// grid is a uniform spatial hash over node positions: cells the size of the
+// query radius, so a radius query touches at most the 3×3 block around its
+// cell. It turns the O(n²) all-pairs neighbor construction into O(n·deg),
+// which is what lets the simulator build its link lists at CitySee scale
+// (and beyond) without a quadratic startup cost.
+type grid struct {
+	cell       float64
+	cols, rows int
+	minX, minY float64
+	cells      [][]int32
+}
+
+// newGrid buckets the positions into cells of the given size (the intended
+// query radius). A non-positive cell size collapses to a single cell, which
+// degrades to the all-pairs scan but stays correct.
+func newGrid(positions []env.Position, cell float64) *grid {
+	g := &grid{cell: cell}
+	if len(positions) == 0 {
+		g.cols, g.rows = 1, 1
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	g.minX, g.minY = positions[0].X, positions[0].Y
+	maxX, maxY := g.minX, g.minY
+	for _, p := range positions[1:] {
+		if p.X < g.minX {
+			g.minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < g.minY {
+			g.minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if g.cell <= 0 {
+		g.cell = maxX - g.minX + maxY - g.minY + 1
+	}
+	g.cols = int((maxX-g.minX)/g.cell) + 1
+	g.rows = int((maxY-g.minY)/g.cell) + 1
+	g.cells = make([][]int32, g.cols*g.rows)
+	for i, p := range positions {
+		c := g.cellIndex(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g
+}
+
+func (g *grid) cellIndex(p env.Position) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// neighbors appends to out the indices of all positions within radius of
+// positions[i] (excluding i itself), sorted ascending so callers iterate
+// links in a canonical order regardless of cell layout.
+func (g *grid) neighbors(positions []env.Position, i int, radius float64, out []int) []int {
+	p := positions[i]
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	for dy := -1; dy <= 1; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, j := range g.cells[y*g.cols+x] {
+				if int(j) == i {
+					continue
+				}
+				if p.Distance(positions[j]) <= radius {
+					out = append(out, int(j))
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -28,10 +28,16 @@ type EpochResult struct {
 	// Generated is the number of data packets created this epoch.
 	Generated int
 	// Delivered is the number of unique data packets the sink received
-	// this epoch (possibly generated in earlier epochs).
+	// this epoch. It may exceed Generated when a backlog queued in earlier
+	// epochs drains (e.g. after a routing loop clears).
 	Delivered int
-	// PRR is Delivered/Generated for the epoch (1 when nothing was
-	// generated).
+	// DeliveredCurrent is the subset of Delivered that was also generated
+	// this epoch; structurally ≤ Generated because the sink deduplicates
+	// by packet identity.
+	DeliveredCurrent int
+	// PRR is DeliveredCurrent/Generated for the epoch (1 when nothing was
+	// generated): the fraction of this epoch's traffic that made it to the
+	// sink within the epoch.
 	PRR float64
 }
 
@@ -41,22 +47,23 @@ func (n *Network) Step() (*EpochResult, error) {
 	if err := n.field.Advance(n.cfg.ReportInterval); err != nil {
 		return nil, fmt.Errorf("advance environment: %w", err)
 	}
+	n.medium.BeginEpoch(n.epoch)
 
 	res := &EpochResult{Epoch: n.epoch}
-	n.epochDelivered = make(map[packet.NodeID]bool, len(n.nodes))
+	for i := range n.epochDelivered {
+		n.epochDelivered[i] = false
+	}
+	n.sampleNoise()
 
 	n.agePower()
 	n.beaconPhase()
 	n.routingPhase()
-	res.Generated, res.Delivered = n.trafficPhase()
+	res.Generated, res.Delivered, res.DeliveredCurrent = n.trafficPhase()
 	n.collectReports(res)
 	n.accountEnergy()
 
 	if res.Generated > 0 {
-		res.PRR = float64(res.Delivered) / float64(res.Generated)
-		if res.PRR > 1 {
-			res.PRR = 1
-		}
+		res.PRR = float64(res.DeliveredCurrent) / float64(res.Generated)
 	} else {
 		res.PRR = 1
 	}
@@ -74,6 +81,17 @@ func (n *Network) Run(count int) ([]*EpochResult, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// sampleNoise caches each node's noise floor for the epoch. Environment
+// queries are pure per (time, position), so the fan-out is safe and every
+// phase reads the same per-node value instead of re-querying per link.
+func (n *Network) sampleNoise() {
+	par.For(len(n.nodes), n.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			n.noise[i] = n.field.NoiseFloor(n.nodes[i].pos)
+		}
+	})
 }
 
 // agePower advances uptime, applies spontaneous reboots, and fails nodes
@@ -97,34 +115,49 @@ func (n *Network) agePower() {
 }
 
 // beaconPhase broadcasts one routing beacon per up node; receivers within
-// range probabilistically hear it and refresh their routing tables.
+// range probabilistically hear it and refresh their routing tables. The
+// phase is inverted over receivers: each worker owns a receiver range and
+// writes only those nodes' routing tables, reading a pre-phase snapshot of
+// the advertised path-ETX values. Beacon draws are keyed by (epoch, link),
+// so the fan-out is bit-identical to the sequential pass.
 func (n *Network) beaconPhase() {
 	for i, nd := range n.nodes {
 		if !nd.up {
 			continue
 		}
-		var adv float64
 		if nd.isSink() {
-			adv = 0
+			n.adv[i] = 0
 		} else {
-			adv = nd.table.PathETX()
+			n.adv[i] = nd.table.PathETX()
 		}
 		nd.ctr.beacon++
 		nd.epochTx++
-		for _, j := range n.candidates[i] {
+	}
+	links := n.beaconLinks()
+	par.For(len(n.nodes)-1, n.workers, func(start, end int) {
+		for j := 1 + start; j < 1+end; j++ {
 			rx := n.nodes[j]
-			if !rx.up || rx.isSink() {
+			if !rx.up {
 				continue
 			}
-			rssi := n.medium.RSSI(i, j, nd.pos, rx.pos)
-			prr := n.medium.PRR(rssi, n.field.NoiseFloor(rx.pos))
-			if n.rng.Float64() < prr {
-				// Hearing our own beacon is impossible by construction
-				// (candidates exclude self), so the error is unreachable.
-				_ = rx.table.HearBeacon(nd.id, rssi, adv)
+			noise := n.noise[j]
+			// Link lists are symmetric (path loss, shadowing and injected
+			// degradation all are), so j's outbound list is also its
+			// inbound sender list.
+			for _, i := range links[j] {
+				tx := n.nodes[i]
+				if !tx.up {
+					continue
+				}
+				rssi, heard := n.medium.Beacon(i, j, tx.pos, rx.pos, noise)
+				if heard {
+					// Hearing our own beacon is impossible by construction
+					// (lists exclude self), so the error is unreachable.
+					_ = rx.table.HearBeacon(tx.id, rssi, n.adv[i])
+				}
 			}
 		}
-	}
+	})
 }
 
 // routingPhase ages tables and re-selects parents. Each node mutates only
@@ -144,24 +177,50 @@ func (n *Network) routingPhase() {
 	})
 }
 
+// pendingInject is one scheduled self-generated packet.
+type pendingInject struct {
+	node *node
+	pkt  dataPacket
+}
+
+// delivery is the receiver-side effect of one transmission, recorded during
+// the parallel transmit sub-phase and applied sequentially: rx is nil when
+// nothing reached a receiver. attempted distinguishes a node that used the
+// channel from one that sat on a packet without a route.
+type delivery struct {
+	rx        *node
+	pkt       dataPacket
+	dups      int
+	attempted bool
+}
+
 // trafficPhase generates the epoch's self traffic on a staggered schedule
 // and forwards it hop-by-hop across fine-grained channel passes. In each
 // pass a node transmits at most one queued packet — the CSMA fair-share a
 // mote gets of the channel — so queues only back up when a genuine
 // bottleneck (loop, contention, dead parent) forms, not as an artifact of
 // batch processing.
-func (n *Network) trafficPhase() (generated, delivered int) {
+//
+// Each pass runs in two sub-phases: transmit, where every active sender
+// performs its unicast exchange against the pre-pass network state
+// (sender-local writes only, fanned out across workers), and apply, where
+// the recorded deliveries mutate receiver queues in sender order. A packet
+// therefore advances at most one hop per pass; the pass budget's slack
+// covers the pipeline depth.
+func (n *Network) trafficPhase() (generated, delivered, deliveredCurrent int) {
 	passes := n.passesPerEpoch()
 	injectWindow := passes * 3 / 4
 	if injectWindow < 1 {
 		injectWindow = 1
 	}
 
-	type pending struct {
-		node *node
-		pkt  dataPacket
+	if len(n.schedule) < passes {
+		n.schedule = make([][]pendingInject, passes)
 	}
-	schedule := make([][]pending, passes)
+	schedule := n.schedule
+	for i := range schedule {
+		schedule[i] = schedule[i][:0]
+	}
 	remaining := 0
 	for _, nd := range n.nodes[1:] {
 		if !nd.up {
@@ -169,39 +228,146 @@ func (n *Network) trafficPhase() (generated, delivered int) {
 		}
 		packets := n.cfg.PacketsPerEpoch + n.clockSkewDelta(nd)
 		for k := 0; k < packets; k++ {
-			p := dataPacket{origin: nd.id, incarnation: nd.incarnation, seq: nd.seq, ttl: initialTTL}
+			p := dataPacket{origin: nd.id, incarnation: nd.incarnation, seq: nd.seq, ttl: initialTTL, genEpoch: n.epoch}
 			nd.seq++
 			generated++
 			// Deterministic stagger: spread each node's packets across the
 			// injection window, offset by node ID.
 			pass := (int(nd.id)*37 + k*injectWindow/n.cfg.PacketsPerEpoch) % injectWindow
-			schedule[pass] = append(schedule[pass], pending{node: nd, pkt: p})
+			schedule[pass] = append(schedule[pass], pendingInject{node: nd, pkt: p})
 			remaining++
 		}
 	}
 
-	contention := n.computeContention()
-	order := n.forwardOrder()
+	n.computeContention()
+	// The transmit rotation carries across epochs (a backlog queued last
+	// epoch keeps draining); drop senders that failed, rebooted or drained
+	// since the last pass.
+	n.compactActive()
+	totals := trafficTotals{}
 	for pass := 0; pass < passes; pass++ {
 		for _, pd := range schedule[pass] {
 			pd.node.enqueue(pd.pkt, n.cfg.QueueCapacity)
+			n.markActive(pd.node)
 			remaining--
 		}
 		progress := len(schedule[pass]) > 0
-		for _, i := range order {
-			nd := n.nodes[i]
-			if !nd.up || nd.isSink() || len(nd.queue) == 0 {
-				continue
-			}
-			if n.sendOne(nd, contention[i], &delivered) {
+		if len(n.active) > 0 {
+			if n.transmitPass() {
 				progress = true
 			}
+			n.applyPass(&totals)
+			n.compactActive()
 		}
 		if !progress && remaining == 0 {
 			break
 		}
 	}
-	return generated, delivered
+	return generated, totals.delivered, totals.deliveredCurrent
+}
+
+// trafficTotals accumulates sink-side delivery counts for one epoch.
+type trafficTotals struct {
+	delivered        int
+	deliveredCurrent int
+}
+
+// markActive adds a node to the transmit rotation if it has queued traffic
+// and is eligible to send.
+func (n *Network) markActive(nd *node) {
+	i := int(nd.id)
+	if n.inActive[i] || !nd.up || nd.isSink() || nd.qlen() == 0 {
+		return
+	}
+	n.inActive[i] = true
+	n.active = append(n.active, i)
+}
+
+// compactActive drops drained or downed senders from the rotation,
+// preserving order.
+func (n *Network) compactActive() {
+	kept := n.active[:0]
+	for _, i := range n.active {
+		nd := n.nodes[i]
+		if nd.up && nd.qlen() > 0 {
+			kept = append(kept, i)
+		} else {
+			n.inActive[i] = false
+		}
+	}
+	n.active = kept
+}
+
+// transmitPass runs the transmit sub-phase: every active sender pops its
+// head-of-line packet and performs the unicast exchange. All writes are
+// sender-local (queue, counters, link estimator, per-link draw sequence),
+// so the loop fans out across workers; receiver effects are recorded in
+// n.intents for the sequential apply. Reports whether any sender used the
+// channel.
+func (n *Network) transmitPass() bool {
+	if cap(n.intents) < len(n.active) {
+		n.intents = make([]delivery, len(n.active))
+	}
+	n.intents = n.intents[:len(n.active)]
+	par.For(len(n.active), n.workers, func(start, end int) {
+		for k := start; k < end; k++ {
+			n.intents[k] = n.transmitOne(n.nodes[n.active[k]])
+		}
+	})
+	for k := range n.intents {
+		if n.intents[k].attempted {
+			return true
+		}
+	}
+	return false
+}
+
+// transmitOne sends nd's head-of-line packet toward its parent and returns
+// the receiver-side effect to apply.
+func (n *Network) transmitOne(nd *node) delivery {
+	parentID := nd.parent()
+	if parentID == ctp.NoParent || int(parentID) >= len(n.nodes) {
+		return delivery{}
+	}
+	parent := n.nodes[parentID]
+	p := nd.qpop()
+	p.ttl--
+	if p.ttl <= 0 {
+		nd.ctr.dropPacket++
+		return delivery{attempted: true}
+	}
+	out := n.medium.UnicastNoise(int(nd.id), int(parentID), nd.pos, parent.pos,
+		n.contention[nd.id], parent.up, n.noise[parentID], n.noise[nd.id])
+	nd.ctr.transmit += uint32(out.Attempts)
+	nd.ctr.noackRetransmit += uint32(out.NoAckRetries)
+	nd.ctr.macBackoff += uint32(out.Backoffs)
+	nd.epochTx += out.Attempts
+	if p.origin == nd.id {
+		nd.ctr.selfTransmit++
+	} else {
+		nd.ctr.forward++
+	}
+	nd.markSent(p)
+	// Feed the link estimator; a forced parent may be absent from the
+	// routing table, which is fine to ignore.
+	_ = nd.table.ReportTx(parentID, out.Acked, out.Attempts)
+	if !out.Acked {
+		nd.ctr.dropPacket++
+	}
+	if out.Delivered && parent.up {
+		return delivery{rx: parent, pkt: p, dups: out.Duplicates, attempted: true}
+	}
+	return delivery{attempted: true}
+}
+
+// applyPass applies the recorded deliveries in sender order.
+func (n *Network) applyPass(totals *trafficTotals) {
+	for k := range n.intents {
+		d := &n.intents[k]
+		if d.rx != nil {
+			n.receive(d.rx, d.pkt, d.dups, totals)
+		}
+	}
 }
 
 // clockSkewDelta implements the Table I temperature hazard: an unstable
@@ -237,113 +403,64 @@ func (n *Network) passesPerEpoch() int {
 	return (len(n.nodes)-1)*n.cfg.PacketsPerEpoch + 50
 }
 
-// sendOne transmits the head-of-line packet toward the node's parent. It
-// reports whether a transmission was attempted.
-func (n *Network) sendOne(nd *node, contention float64, delivered *int) bool {
-	parentID := nd.parent()
-	if parentID == ctp.NoParent || int(parentID) >= len(n.nodes) {
-		return false
-	}
-	parent := n.nodes[parentID]
-	p := nd.queue[0]
-	nd.queue = nd.queue[1:]
-	p.ttl--
-	if p.ttl <= 0 {
-		nd.ctr.dropPacket++
-		return true
-	}
-	out := n.medium.Unicast(int(nd.id), int(parentID), nd.pos, parent.pos, contention, parent.up)
-	nd.ctr.transmit += uint32(out.Attempts)
-	nd.ctr.noackRetransmit += uint32(out.NoAckRetries)
-	nd.ctr.macBackoff += uint32(out.Backoffs)
-	nd.epochTx += out.Attempts
-	if p.origin == nd.id {
-		nd.ctr.selfTransmit++
-	} else {
-		nd.ctr.forward++
-	}
-	nd.markSent(p)
-	// Feed the link estimator; a forced parent may be absent from the
-	// routing table, which is fine to ignore.
-	_ = nd.table.ReportTx(parentID, out.Acked, out.Attempts)
-	if !out.Acked {
-		nd.ctr.dropPacket++
-	}
-	if out.Delivered && parent.up {
-		n.receive(parent, p, out.Duplicates, delivered)
-	}
-	return true
-}
-
 // markSent records that nd transmitted packet p, enabling loop detection
 // when the same packet comes back.
 func (nd *node) markSent(p dataPacket) {
-	nd.remember(p.key() | sentBit)
+	nd.remember(p.key(), seenTx)
 }
 
-// sentBit disambiguates "received" from "transmitted" entries in the seen
-// cache. Packet keys use the low 48 bits only.
-const sentBit = uint64(1) << 63
-
-func (nd *node) wasSent(p dataPacket) bool     { return nd.seen[p.key()|sentBit] }
-func (nd *node) wasReceived(p dataPacket) bool { return nd.seen[p.key()] }
+func (nd *node) wasSent(p dataPacket) bool     { return nd.seen[p.key()]&seenTx != 0 }
+func (nd *node) wasReceived(p dataPacket) bool { return nd.seen[p.key()]&seenRx != 0 }
 
 // receive processes a delivery at the parent (or sink).
-func (n *Network) receive(rx *node, p dataPacket, extraCopies int, delivered *int) {
+func (n *Network) receive(rx *node, p dataPacket, extraCopies int, totals *trafficTotals) {
 	rx.ctr.receive++
 	rx.ctr.duplicate += uint32(extraCopies)
-	switch {
-	case rx.wasSent(p):
+	key := p.key()
+	switch flags := rx.seen[key]; {
+	case flags&seenTx != 0:
 		// The node already forwarded this packet and it came back: a
 		// routing loop. Count it and keep it circulating (TTL bounds it).
 		rx.ctr.loop++
 		rx.ctr.duplicate++
 		rx.enqueue(p, n.cfg.QueueCapacity)
-	case rx.wasReceived(p):
+		n.markActive(rx)
+	case flags&seenRx != 0:
 		// A retransmission duplicate (our ACK was lost earlier); absorb it.
 		rx.ctr.duplicate++
 	default:
-		rx.remember(p.key())
+		rx.remember(key, seenRx)
 		if rx.isSink() {
-			*delivered++
+			totals.delivered++
+			if p.genEpoch == n.epoch {
+				totals.deliveredCurrent++
+			}
 			n.epochDelivered[p.origin] = true
 		} else {
 			rx.enqueue(p, n.cfg.QueueCapacity)
+			n.markActive(rx)
 		}
 	}
 }
 
 // computeContention derives each node's channel contention in [0,1] from
-// its neighborhood's transmission attempts last epoch, relative to the
-// epoch's channel capacity.
-func (n *Network) computeContention() []float64 {
+// its contention neighborhood's transmission attempts last epoch, relative
+// to the epoch's channel capacity. The neighborhood is the full
+// maximum-range set — every transmitter a node's radio can possibly hear —
+// so the values do not depend on link pruning.
+func (n *Network) computeContention() {
 	capacity := contentionPacketsPerSecond * n.cfg.ReportInterval.Seconds()
-	out := make([]float64, len(n.nodes))
 	for i := range n.nodes {
 		total := n.perEpochTx[i]
-		for _, j := range n.candidates[i] {
+		for _, j := range n.contenders[i] {
 			total += n.perEpochTx[j]
 		}
 		c := float64(total) / capacity
 		if c > 1 {
 			c = 1
 		}
-		out[i] = c
+		n.contention[i] = c
 	}
-	return out
-}
-
-// forwardOrder returns node indices sorted by descending path-ETX so that
-// leaves transmit before their ancestors within a round.
-func (n *Network) forwardOrder() []int {
-	order := make([]int, 0, len(n.nodes)-1)
-	for i := 1; i < len(n.nodes); i++ {
-		order = append(order, i)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return n.nodes[order[a]].table.PathETX() > n.nodes[order[b]].table.PathETX()
-	})
-	return order
 }
 
 // collectReports assembles the epoch's report bundles. A node's report

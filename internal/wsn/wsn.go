@@ -18,7 +18,6 @@ package wsn
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
@@ -84,13 +83,20 @@ type Config struct {
 	Radio radio.Config
 	// Env configures the environment; Env.Seed is derived from Seed when 0.
 	Env env.Config
-	// Workers bounds the goroutines used for the per-node phases of each
-	// epoch (routing-table maintenance and energy accounting, where nodes
-	// are independent within a tick): 0 keeps them sequential, ≥1 fans
-	// out, negative uses GOMAXPROCS. The beacon, traffic, and report
-	// phases consume the shared simulation rng and therefore always run
-	// sequentially; simulations are bit-identical for any Workers value.
+	// Workers bounds the goroutines used for the parallel phases of each
+	// epoch (beacon reception, traffic transmission, routing-table
+	// maintenance, energy accounting): 0 keeps them sequential, ≥1 fans
+	// out, negative uses GOMAXPROCS. All packet-level randomness is
+	// counter-based per link, so simulations are bit-identical for any
+	// Workers value.
 	Workers int
+	// DisableLinkPrune makes the beacon phase iterate every link in the
+	// contention neighborhood instead of only links that can ever deliver
+	// a frame. Pruning is exact — out-of-range links have zero reception
+	// probability under the bounded fading model and per-link draws are
+	// independent — so results are identical either way; the flag exists
+	// to assert exactly that in tests.
+	DisableLinkPrune bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,19 +142,30 @@ type Network struct {
 	nodes   []*node // index == NodeID; nodes[0] is the sink
 	epoch   int
 	events  []Event
-	workers int // goroutine bound for per-node phases (par.Workers norm)
+	workers int // goroutine bound for parallel phases (par.Workers norm)
 
-	// candidates[i] lists node indices within plausible radio range of i,
-	// precomputed from static positions.
+	// contenders[i] lists the nodes within the radio configuration's
+	// maximum possible range of i — the neighborhood that defines channel
+	// contention. Built once from static positions via the spatial grid.
+	contenders [][]int
+	// candidates[i] is the subset of contenders[i] whose link with i can
+	// ever deliver a frame (radio.Medium.InRange); the beacon phase
+	// iterates only these. Refreshed when DegradeLink shifts a budget.
 	candidates [][]int
 
 	// perEpochTx tracks each node's transmission attempts last epoch to
 	// derive local contention.
 	perEpochTx []int
 
-	// epochDelivered marks origins whose traffic reached the sink in the
-	// current epoch; reset at each Step.
-	epochDelivered map[packet.NodeID]bool
+	// Per-epoch scratch, reused so steady-state stepping does not allocate.
+	noise          []float64 // per-node noise floor, sampled once per epoch
+	contention     []float64
+	adv            []float64 // beacon advertisement snapshot
+	epochDelivered []bool    // origins whose traffic reached the sink
+	schedule       [][]pendingInject
+	active         []int // nodes with queued traffic, insertion order
+	inActive       []bool
+	intents        []delivery
 }
 
 // New constructs a simulator. Topology[0] is the sink.
@@ -158,56 +175,66 @@ func New(cfg Config) (*Network, error) {
 		return nil, ErrNoNodes
 	}
 	field := env.New(cfg.Env)
+	nn := len(cfg.Topology)
 	n := &Network{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		field:      field,
-		medium:     radio.NewMedium(cfg.Radio, field),
-		perEpochTx: make([]int, len(cfg.Topology)),
-		workers:    par.Workers(cfg.Workers),
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		field:          field,
+		medium:         radio.NewMedium(cfg.Radio, field),
+		perEpochTx:     make([]int, nn),
+		workers:        par.Workers(cfg.Workers),
+		noise:          make([]float64, nn),
+		contention:     make([]float64, nn),
+		adv:            make([]float64, nn),
+		epochDelivered: make([]bool, nn),
+		inActive:       make([]bool, nn),
+		intents:        make([]delivery, 0, nn),
 	}
-	n.nodes = make([]*node, len(cfg.Topology))
+	n.nodes = make([]*node, nn)
 	for i, pos := range cfg.Topology {
 		n.nodes[i] = newNode(packet.NodeID(i), pos, cfg)
 	}
-	n.buildCandidates()
+	n.medium.SetTopology(cfg.Topology)
+	n.buildLinks()
 	return n, nil
 }
 
-// buildCandidates precomputes per-node neighbor candidate lists from static
-// positions, bounding the beacon phase to plausible radio range.
-func (n *Network) buildCandidates() {
-	// Range bound: distance at which even a +3σ-lucky link is below
-	// sensitivity. Solve TxPower - RefLoss - 10k·log10(d) + 3σ = sensitivity.
-	cfg := n.cfg.Radio
-	tx, ref, k, sig, sens := cfg.TxPower, cfg.ReferenceLoss, cfg.PathLossExponent, cfg.ShadowingSigma, cfg.SensitivityDBM
-	if tx == 0 {
-		tx = -25
-	}
-	if ref == 0 {
-		ref = 30
-	}
-	if k == 0 {
-		k = 2.7
-	}
-	if sig == 0 {
-		sig = 3
-	}
-	if sens == 0 {
-		sens = -96
-	}
-	maxRange := math.Pow(10, (tx-ref+3*sig+4-sens)/(10*k))
+// buildLinks precomputes the per-node neighbor lists via a spatial grid:
+// contenders by the configuration's exact maximum radio range, candidates
+// by the per-link InRange predicate. O(n·deg) instead of the all-pairs scan.
+func (n *Network) buildLinks() {
+	maxRange := n.cfg.Radio.MaxRange()
+	g := newGrid(n.cfg.Topology, maxRange)
+	n.contenders = make([][]int, len(n.nodes))
 	n.candidates = make([][]int, len(n.nodes))
 	for i := range n.nodes {
-		for j := range n.nodes {
-			if i == j {
-				continue
-			}
-			if n.nodes[i].pos.Distance(n.nodes[j].pos) <= maxRange {
-				n.candidates[i] = append(n.candidates[i], j)
-			}
+		n.contenders[i] = g.neighbors(n.cfg.Topology, i, maxRange, nil)
+		n.refreshCandidates(i)
+	}
+}
+
+// refreshCandidates refilters node i's beacon-phase link list against the
+// medium's current link budgets. Called at build time and after fault
+// injection (DegradeLink) moves a budget across the sensitivity bound.
+func (n *Network) refreshCandidates(i int) {
+	out := n.candidates[i][:0]
+	for _, j := range n.contenders[i] {
+		if n.medium.InRange(i, j, n.nodes[i].pos, n.nodes[j].pos) {
+			out = append(out, j)
 		}
 	}
+	n.candidates[i] = out
+}
+
+// beaconLinks returns the link lists the beacon phase iterates: the pruned
+// candidates normally, the full contention neighborhood when pruning is
+// disabled. Results are identical either way — the extra links cannot
+// deliver — which TestLinkPruneExact asserts.
+func (n *Network) beaconLinks() [][]int {
+	if n.cfg.DisableLinkPrune {
+		return n.contenders
+	}
+	return n.candidates
 }
 
 // NumNodes returns the topology size including the sink.
