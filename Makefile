@@ -6,8 +6,9 @@ GO ?= go
 # Packages refactored onto internal/par; the race detector must stay clean
 # on them for any worker count. radio and env are included because the
 # parallel wsn phases call into them concurrently (keyed link draws and
-# pure environment queries).
-RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/...
+# pure environment queries). vn2/online and cmd/vn2 are included for the
+# streaming monitor and the serve path (concurrent ingest/drain/snapshot).
+RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./vn2/online/... ./cmd/vn2/...
 
 # The simulator scaling ladder `make bench` runs: per-epoch cost at CitySee
 # scale, the worker sweep, and end-to-end trace generation at 60/120/286
@@ -16,7 +17,7 @@ BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCityS
 BENCH_TXT     ?= bench.txt
 BENCH_JSON    ?= BENCH_2.json
 
-.PHONY: check vet build test race bench bench-all
+.PHONY: check vet build test race smoke bench bench-all
 
 check: vet build test race
 
@@ -31,6 +32,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# smoke boots the real `vn2 serve` stack end to end: build fixtures with the
+# CLI, start the HTTP server, post reports, and assert the diagnosis
+# round-trip, backpressure, and snapshot restore.
+smoke:
+	$(GO) test ./cmd/vn2 -run 'TestServe|TestBuildServer' -count=1 -v
 
 # bench runs the simulator scaling ladder with -benchmem, keeping the raw
 # benchstat-compatible text in $(BENCH_TXT) and a machine-readable summary

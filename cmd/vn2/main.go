@@ -10,6 +10,7 @@
 //	vn2 explain    -model model.json [-top k]
 //	vn2 epochs     -model model.json -in trace.csv [-min-strength x]
 //	vn2 simulate   [-nodes n] [-epochs e] [-seed s]
+//	vn2 serve      -model model.json -calibrate trace.csv [-addr host:port] [-snapshot file]
 //	vn2 experiment [table1|fig3a|fig3b|fig3c|fig4|fig5|fig6|baselines|prrest|all] [-quick] [-seed s]
 package main
 
@@ -51,6 +52,8 @@ func run(args []string) error {
 		return cmdEpochs(args[1:])
 	case "simulate":
 		return cmdSimulate(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "experiment":
 		return cmdExperiment(args[1:])
 	case "help", "-h", "--help":
@@ -72,6 +75,7 @@ subcommands:
   explain     print every root cause of a model with its interpretation
   epochs      network-level combination diagnosis, one line per epoch
   simulate    run the WSN simulator and print per-epoch PRR
+  serve       run the online sink service (streaming detection + diagnosis over HTTP)
   experiment  regenerate the paper's tables and figures
 `)
 }

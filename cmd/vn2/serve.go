@@ -1,0 +1,467 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// serveOptions collects the serve subcommand's configuration.
+type serveOptions struct {
+	addr          string
+	modelPath     string
+	calibratePath string
+	snapshotPath  string
+	threshold     float64
+	queueSize     int
+	maxPending    int
+	history       int
+	workers       int
+	drainEvery    time.Duration
+	snapshotEvery time.Duration
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var o serveOptions
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&o.modelPath, "model", "", "model JSON path (required unless -snapshot holds one)")
+	fs.StringVar(&o.calibratePath, "calibrate", "", "trace CSV to freeze the exception detector from (required unless -snapshot holds a detector)")
+	fs.StringVar(&o.snapshotPath, "snapshot", "", "snapshot file: loaded at startup when present, rewritten periodically")
+	fs.Float64Var(&o.threshold, "threshold", 0, "exception cutoff eps/max(eps) (0 = paper's 0.01)")
+	fs.IntVar(&o.queueSize, "queue", 1024, "bounded ingest queue size; full queue returns 503")
+	fs.IntVar(&o.maxPending, "max-pending", 0, "bound on flagged states awaiting diagnosis (0 = 4096)")
+	fs.IntVar(&o.history, "history", 0, "rolling per-epoch diagnosis window, epochs (0 = 64)")
+	fs.IntVar(&o.workers, "workers", 0, "drain NNLS goroutines (0 = all cores); results identical for any value")
+	fs.DurationVar(&o.drainEvery, "drain-interval", 2*time.Second, "how often flagged states are batch-diagnosed")
+	fs.DurationVar(&o.snapshotEvery, "snapshot-interval", time.Minute, "how often the snapshot file is rewritten")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.run(ctx)
+}
+
+// snapshotVersion guards the snapshot file format.
+const snapshotVersion = 1
+
+// snapshotFile is the periodic on-disk state: the model (as its vn2.Save
+// envelope, so restoring revalidates through vn2.Load), the frozen
+// detector, and the rolling summary for observability. A server restarted
+// with only -snapshot resumes with the same model and detector; per-node
+// last reports are not persisted, so each node's first post-restart report
+// re-warms its diff slot.
+type snapshotFile struct {
+	Version  int             `json:"version"`
+	SavedAt  time.Time       `json:"saved_at"`
+	Model    json.RawMessage `json:"model"`
+	Detector *trace.Detector `json:"detector"`
+	Summary  online.Summary  `json:"summary"`
+}
+
+// buildServer loads the model, obtains a frozen detector (snapshot first,
+// else calibration trace), primes the monitor, and assembles the HTTP
+// server without starting it.
+func buildServer(o serveOptions) (*server, error) {
+	var snap *snapshotFile
+	if o.snapshotPath != "" {
+		b, err := os.ReadFile(o.snapshotPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run; the file appears after the first snapshot tick.
+		case err != nil:
+			return nil, fmt.Errorf("read snapshot: %w", err)
+		default:
+			snap = &snapshotFile{}
+			if err := json.Unmarshal(b, snap); err != nil {
+				return nil, fmt.Errorf("decode snapshot %s: %w", o.snapshotPath, err)
+			}
+			if snap.Version != snapshotVersion {
+				return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
+			}
+		}
+	}
+
+	// Model: explicit -model wins; otherwise the snapshot's embedded copy.
+	var model *vn2.Model
+	var modelRaw json.RawMessage
+	switch {
+	case o.modelPath != "":
+		b, err := os.ReadFile(o.modelPath)
+		if err != nil {
+			return nil, err
+		}
+		model, err = vn2.Load(bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("load model: %w", err)
+		}
+		modelRaw = json.RawMessage(b)
+	case snap != nil && len(snap.Model) > 0:
+		var err error
+		model, err = vn2.Load(bytes.NewReader(snap.Model))
+		if err != nil {
+			return nil, fmt.Errorf("load model from snapshot: %w", err)
+		}
+		modelRaw = snap.Model
+	default:
+		return nil, fmt.Errorf("serve: -model is required (no snapshot model available)")
+	}
+
+	// Detector: frozen calibration from the snapshot when present, else
+	// frozen from the calibration trace.
+	var det *trace.Detector
+	var warm *trace.Dataset
+	switch {
+	case snap != nil && snap.Detector.Valid():
+		det = snap.Detector
+	case o.calibratePath != "":
+		f, err := os.Open(o.calibratePath)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read calibration trace: %w", err)
+		}
+		det, err = trace.NewDetector(ds.States(), o.threshold)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate detector: %w", err)
+		}
+		warm = ds
+	default:
+		return nil, fmt.Errorf("serve: -calibrate is required (no snapshot detector available)")
+	}
+
+	mon, err := online.NewMonitor(online.Config{
+		Model:      model,
+		Detector:   det,
+		History:    o.history,
+		MaxPending: o.maxPending,
+		Workers:    o.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if warm != nil {
+		// Prime each node's diff slot with its last calibration report so
+		// the first live report already yields a state vector.
+		for _, id := range warm.Nodes() {
+			recs := warm.Records(id)
+			if err := mon.Warm(recs[len(recs)-1]); err != nil {
+				return nil, fmt.Errorf("warm monitor: %w", err)
+			}
+		}
+	}
+	if o.queueSize <= 0 {
+		o.queueSize = 1024
+	}
+	return &server{
+		opts:     o,
+		mon:      mon,
+		det:      det,
+		modelRaw: modelRaw,
+		queue:    make(chan trace.Record, o.queueSize),
+		started:  time.Now(),
+	}, nil
+}
+
+// server is the online sink service: a bounded ingest queue feeding the
+// monitor, periodic drains and snapshots, and the HTTP surface.
+type server struct {
+	opts     serveOptions
+	mon      *online.Monitor
+	det      *trace.Detector
+	modelRaw json.RawMessage
+	queue    chan trace.Record
+	started  time.Time
+
+	received  atomic.Uint64 // reports offered by clients
+	accepted  atomic.Uint64 // reports that fit in the queue
+	rejected  atomic.Uint64 // reports shed by backpressure (503)
+	badReqs   atomic.Uint64 // malformed request bodies (400)
+	ingested  atomic.Uint64 // reports the monitor consumed cleanly
+	ingestErr atomic.Uint64 // stale/invalid/backlogged reports
+	drains    atomic.Uint64
+	snapshots atomic.Uint64
+	snapErrs  atomic.Uint64
+}
+
+// reportEnvelope is the batched POST /report body; a bare trace.Record (or
+// bare array of records) is also accepted.
+type reportEnvelope struct {
+	Reports []trace.Record `json:"reports"`
+}
+
+// handler builds the HTTP surface.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /report", s.handleReport)
+	mux.HandleFunc("GET /diagnosis", s.handleDiagnosis)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleReport enqueues reports into the bounded ingest queue. A full queue
+// is backpressure: the request gets 503 + Retry-After and the client is
+// told how many of its reports were accepted before the queue filled.
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	var recs []trace.Record
+	raw, err := io.ReadAll(body)
+	if err == nil {
+		raw = bytes.TrimSpace(raw)
+		if len(raw) > 0 && raw[0] == '[' {
+			err = json.Unmarshal(raw, &recs)
+		} else {
+			var env reportEnvelope
+			if err = json.Unmarshal(raw, &env); err == nil && len(env.Reports) == 0 {
+				// Not the batch envelope: treat the body as one bare record.
+				var rec trace.Record
+				if err = json.Unmarshal(raw, &rec); err == nil && rec.Vector != nil {
+					recs = []trace.Record{rec}
+				}
+			} else {
+				recs = env.Reports
+			}
+		}
+	}
+	if err != nil || len(recs) == 0 {
+		s.badReqs.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "body must be a report, an array of reports, or {\"reports\": [...]}"})
+		return
+	}
+	s.received.Add(uint64(len(recs)))
+	queued := 0
+	for _, rec := range recs {
+		select {
+		case s.queue <- rec:
+			queued++
+		default:
+			s.accepted.Add(uint64(queued))
+			s.rejected.Add(uint64(len(recs) - queued))
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":    "ingest queue full",
+				"accepted": queued,
+				"dropped":  len(recs) - queued,
+			})
+			return
+		}
+	}
+	s.accepted.Add(uint64(queued))
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": queued})
+}
+
+func (s *server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mon.Snapshot())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"uptime_s":    time.Since(s.started).Seconds(),
+		"queue_depth": len(s.queue),
+	})
+}
+
+// handleMetrics exposes expvar-style flat JSON counters: the server's own
+// queue/HTTP accounting plus the monitor's streaming stats.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.mon.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reports_received":      s.received.Load(),
+		"reports_accepted":      s.accepted.Load(),
+		"reports_rejected":      s.rejected.Load(),
+		"bad_requests":          s.badReqs.Load(),
+		"reports_ingested":      s.ingested.Load(),
+		"ingest_errors":         s.ingestErr.Load(),
+		"queue_depth":           len(s.queue),
+		"queue_capacity":        cap(s.queue),
+		"drains":                s.drains.Load(),
+		"snapshots_written":     s.snapshots.Load(),
+		"snapshot_errors":       s.snapErrs.Load(),
+		"monitor_reports":       st.Reports,
+		"monitor_first_reports": st.FirstReports,
+		"monitor_stale":         st.Stale,
+		"monitor_invalid":       st.Invalid,
+		"monitor_normal":        st.Normal,
+		"monitor_flagged":       st.Flagged,
+		"monitor_dropped":       st.Dropped,
+		"monitor_diagnosed":     st.Diagnosed,
+		"monitor_gap_reports":   st.GapReports,
+		"monitor_max_gap":       st.MaxGap,
+		"monitor_last_epoch":    st.LastEpoch,
+		"pending_states":        s.mon.Pending(),
+	})
+}
+
+// ingestLoop consumes the queue until it is closed, feeding the monitor.
+func (s *server) ingestLoop() {
+	for rec := range s.queue {
+		if _, err := s.mon.Ingest(rec); err != nil {
+			s.ingestErr.Add(1)
+			continue
+		}
+		s.ingested.Add(1)
+	}
+}
+
+// drainTick runs one batched diagnosis pass.
+func (s *server) drainTick() {
+	if out, err := s.mon.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "vn2 serve: drain:", err)
+	} else if len(out) > 0 {
+		s.drains.Add(1)
+	}
+}
+
+// writeSnapshot atomically rewrites the snapshot file (tmp + rename).
+func (s *server) writeSnapshot() error {
+	if s.opts.snapshotPath == "" {
+		return nil
+	}
+	b, err := json.Marshal(snapshotFile{
+		Version:  snapshotVersion,
+		SavedAt:  time.Now().UTC(),
+		Model:    s.modelRaw,
+		Detector: s.det,
+		Summary:  s.mon.Snapshot(),
+	})
+	if err != nil {
+		s.snapErrs.Add(1)
+		return err
+	}
+	dir := filepath.Dir(s.opts.snapshotPath)
+	tmp, err := os.CreateTemp(dir, ".vn2-snapshot-*")
+	if err != nil {
+		s.snapErrs.Add(1)
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.snapErrs.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.snapErrs.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.opts.snapshotPath); err != nil {
+		os.Remove(tmp.Name())
+		s.snapErrs.Add(1)
+		return err
+	}
+	s.snapshots.Add(1)
+	return nil
+}
+
+// run serves until ctx is canceled, then shuts down gracefully: stop
+// accepting requests, drain the queue into the monitor, run a final
+// diagnosis pass, and write a final snapshot.
+func (s *server) run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.handler()}
+
+	loopCtx, cancelLoops := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.ingestLoop()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(s.opts.drainEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-loopCtx.Done():
+				return
+			case <-ticker.C:
+				s.drainTick()
+			}
+		}
+	}()
+	if s.opts.snapshotPath != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(s.opts.snapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-loopCtx.Done():
+					return
+				case <-ticker.C:
+					if err := s.writeSnapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "vn2 serve: snapshot:", err)
+					}
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "vn2 serve: listening on http://%s (queue %d, drain %s)\n",
+		ln.Addr(), cap(s.queue), s.opts.drainEvery)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		cancelLoops()
+		close(s.queue)
+		wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "vn2 serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutCtx)
+	// No more writers: drain what was already queued, then finish.
+	cancelLoops()
+	close(s.queue)
+	wg.Wait()
+	s.drainTick()
+	if err := s.writeSnapshot(); err != nil {
+		fmt.Fprintln(os.Stderr, "vn2 serve: final snapshot:", err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	return shutdownErr
+}

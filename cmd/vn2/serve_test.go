@@ -1,0 +1,430 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// serveFixtures builds (once) a calibration trace and a trained model with
+// the repo's own subcommands, exactly as an operator would.
+type fixtures struct {
+	dir       string
+	tracePath string
+	modelPath string
+	// tail maps each node to its last calibration record, for crafting the
+	// next live report.
+	tail map[int]trace.Record
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixtures
+	fixErr  error
+)
+
+func serveFixtures(t *testing.T) fixtures {
+	t.Helper()
+	fixOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "vn2-serve-test-")
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix.dir = dir
+		fix.tracePath = filepath.Join(dir, "trace.csv")
+		fix.modelPath = filepath.Join(dir, "model.json")
+		if err := run([]string{"tracegen", "-scenario", "testbed-expansive", "-seed", "3", "-out", fix.tracePath}); err != nil {
+			fixErr = fmt.Errorf("tracegen: %w", err)
+			return
+		}
+		if err := run([]string{"train", "-in", fix.tracePath, "-out", fix.modelPath, "-rank", "6", "-all-states"}); err != nil {
+			fixErr = fmt.Errorf("train: %w", err)
+			return
+		}
+		f, err := os.Open(fix.tracePath)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		ds, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix.tail = make(map[int]trace.Record)
+		for _, id := range ds.Nodes() {
+			recs := ds.Records(id)
+			fix.tail[int(id)] = recs[len(recs)-1]
+		}
+	})
+	if fixErr != nil {
+		t.Fatalf("fixtures: %v", fixErr)
+	}
+	return fix
+}
+
+// hotReport derives the next report for a node with a violent counter jump
+// the frozen detector is certain to flag.
+func (f fixtures) hotReport(t *testing.T, node int, epochsAhead int) trace.Record {
+	t.Helper()
+	last, ok := f.tail[node]
+	if !ok {
+		t.Fatalf("node %d not in calibration trace", node)
+	}
+	v := append([]float64(nil), last.Vector...)
+	for k := 0; k < 6 && k < len(v); k++ {
+		v[k] += 1e7
+	}
+	return trace.Record{Node: last.Node, Epoch: last.Epoch + epochsAhead, Vector: v}
+}
+
+func (f fixtures) nodes() []int {
+	out := make([]int, 0, len(f.tail))
+	for id := range f.tail {
+		out = append(out, id)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestServeRoundTrip is the smoke test the Makefile's `smoke` target runs:
+// start the real server, post reports, and assert a diagnosis round-trip,
+// a snapshot on shutdown, and a restart from that snapshot alone.
+func TestServeRoundTrip(t *testing.T) {
+	fx := serveFixtures(t)
+	snapPath := filepath.Join(t.TempDir(), "snapshot.json")
+	srv, err := buildServer(serveOptions{
+		addr:          freePort(t),
+		modelPath:     fx.modelPath,
+		calibratePath: fx.tracePath,
+		snapshotPath:  snapPath,
+		queueSize:     256,
+		drainEvery:    20 * time.Millisecond,
+		snapshotEvery: time.Hour, // final shutdown snapshot is the one under test
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run(ctx) }()
+	base := "http://" + srv.opts.addr
+
+	// Wait for the listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not come up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// One bare hot report, then a batch envelope for two more nodes.
+	nodes := fx.nodes()
+	if len(nodes) < 3 {
+		t.Fatalf("calibration trace has only %d nodes", len(nodes))
+	}
+	resp, body := postJSON(t, base+"/report", fx.hotReport(t, nodes[0], 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bare report: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, base+"/report", map[string]any{"reports": []trace.Record{
+		fx.hotReport(t, nodes[1], 1),
+		fx.hotReport(t, nodes[2], 1),
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch report: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"accepted":2`)) {
+		t.Fatalf("batch response %s", body)
+	}
+
+	// Poll /diagnosis until the drain has diagnosed all three.
+	var sum online.Summary
+	for {
+		resp, err := http.Get(base + "/diagnosis")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sum)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Stats.Diagnosed >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diagnosis never landed: %+v", sum.Stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sum.Stats.Flagged < 3 || len(sum.Recent) < 3 || len(sum.Epochs) == 0 {
+		t.Fatalf("summary: %+v", sum.Stats)
+	}
+	for _, f := range sum.Recent {
+		if f.Diagnosis == nil {
+			t.Fatal("diagnosed state with nil diagnosis")
+		}
+	}
+
+	// Metrics reflect the traffic.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["reports_received"] != 3 || metrics["reports_accepted"] != 3 || metrics["monitor_flagged"] < 3 {
+		t.Fatalf("metrics: %v", metrics)
+	}
+
+	// Malformed body → 400.
+	resp, _ = postJSON(t, base+"/report", map[string]any{"bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown writes the final snapshot.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("snapshot decode: %v", err)
+	}
+	if snap.Version != snapshotVersion || !snap.Detector.Valid() || len(snap.Model) == 0 {
+		t.Fatalf("snapshot incomplete: version=%d detector=%v model=%dB",
+			snap.Version, snap.Detector.Valid(), len(snap.Model))
+	}
+	if snap.Summary.Stats.Diagnosed < 3 {
+		t.Errorf("snapshot summary lost the diagnoses: %+v", snap.Summary.Stats)
+	}
+
+	// Restart from the snapshot alone: no -model, no -calibrate.
+	srv2, err := buildServer(serveOptions{addr: "127.0.0.1:0", snapshotPath: snapPath, queueSize: 8})
+	if err != nil {
+		t.Fatalf("restart from snapshot: %v", err)
+	}
+	if srv2.det.RefMax != srv.det.RefMax || srv2.det.Threshold != srv.det.Threshold {
+		t.Error("restarted detector differs from the frozen one")
+	}
+}
+
+// TestServeBackpressure fills the bounded queue with no ingest loop running
+// and asserts the 503 + Retry-After backpressure contract.
+func TestServeBackpressure(t *testing.T) {
+	fx := serveFixtures(t)
+	srv, err := buildServer(serveOptions{
+		modelPath:     fx.modelPath,
+		calibratePath: fx.tracePath,
+		queueSize:     2,
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	nodes := fx.nodes()
+	if len(nodes) < 5 {
+		t.Fatalf("calibration trace has only %d nodes", len(nodes))
+	}
+	batch := make([]trace.Record, 5)
+	for i := range batch {
+		batch[i] = fx.hotReport(t, nodes[i], 1)
+	}
+	resp, body := postJSON(t, ts.URL+"/report", batch)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	var out struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("503 body %s: %v", body, err)
+	}
+	if out.Accepted != 2 || out.Dropped != 3 {
+		t.Errorf("accepted=%d dropped=%d, want 2/3", out.Accepted, out.Dropped)
+	}
+	// The queue holds what was accepted before the wall.
+	if len(srv.queue) != 2 {
+		t.Errorf("queue depth = %d, want 2", len(srv.queue))
+	}
+	if srv.rejected.Load() != 3 {
+		t.Errorf("rejected counter = %d, want 3", srv.rejected.Load())
+	}
+}
+
+// TestServeConcurrentIngest hammers POST /report from many goroutines while
+// the ingest loop, drains, and observability endpoints all run — the serve
+// path's entry in the `make race` gate.
+func TestServeConcurrentIngest(t *testing.T) {
+	fx := serveFixtures(t)
+	srv, err := buildServer(serveOptions{
+		modelPath:     fx.modelPath,
+		calibratePath: fx.tracePath,
+		queueSize:     4096,
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		srv.ingestLoop()
+	}()
+
+	nodes := fx.nodes()
+	const epochsPerNode = 20
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		if i >= 8 {
+			break
+		}
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for e := 1; e <= epochsPerNode; e++ {
+				resp, body := postJSON(t, ts.URL+"/report", fx.hotReport(t, node, e))
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("node %d epoch %d: %d %s", node, e, resp.StatusCode, body)
+					return
+				}
+			}
+		}(node)
+	}
+	// Observers run alongside the writers.
+	obsDone := make(chan struct{})
+	go func() {
+		defer close(obsDone)
+		for {
+			select {
+			case <-ingestDone:
+				return
+			default:
+			}
+			srv.drainTick()
+			if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
+				resp.Body.Close()
+			}
+			if resp, err := http.Get(ts.URL + "/diagnosis"); err == nil {
+				resp.Body.Close()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(srv.queue)
+	<-ingestDone
+	<-obsDone
+	srv.drainTick()
+
+	workers := 8
+	if len(nodes) < workers {
+		workers = len(nodes)
+	}
+	want := uint64(workers * epochsPerNode)
+	if got := srv.ingested.Load() + srv.ingestErr.Load(); got != want {
+		t.Errorf("ingest accounted for %d reports, want %d", got, want)
+	}
+	st := srv.mon.Stats()
+	if st.Reports != want {
+		t.Errorf("monitor saw %d reports, want %d", st.Reports, want)
+	}
+	if st.Flagged == 0 || st.Diagnosed != st.Flagged {
+		t.Errorf("flagged=%d diagnosed=%d", st.Flagged, st.Diagnosed)
+	}
+}
+
+// TestBuildServerErrors covers the configuration failure modes.
+func TestBuildServerErrors(t *testing.T) {
+	fx := serveFixtures(t)
+	if _, err := buildServer(serveOptions{calibratePath: fx.tracePath}); err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Errorf("missing model err = %v", err)
+	}
+	if _, err := buildServer(serveOptions{modelPath: fx.modelPath}); err == nil || !strings.Contains(err.Error(), "-calibrate") {
+		t.Errorf("missing calibrate err = %v", err)
+	}
+	if _, err := buildServer(serveOptions{modelPath: "/nonexistent.json", calibratePath: fx.tracePath}); err == nil {
+		t.Error("nonexistent model accepted")
+	}
+	badSnap := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(badSnap, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(serveOptions{modelPath: fx.modelPath, calibratePath: fx.tracePath, snapshotPath: badSnap}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad snapshot version err = %v", err)
+	}
+}

@@ -1,8 +1,11 @@
 // Online monitor: run the simulator and VN2 side by side — train a model
-// on a warm-up window, then watch each new epoch's states as they arrive.
-// A state first passes the exception detector (is it abnormal at all?) and
-// only then is diagnosed against Ψ (which root causes, how strongly) — the
-// "new network state coming up" loop of the paper's abstract.
+// on a warm-up window, freeze the exception detector from it, and stream
+// each new epoch's reports through the online monitor. A report first
+// passes the frozen detector (is the derived state abnormal at all?) and
+// only then is batch-diagnosed against Ψ on the per-epoch drain (which
+// root causes, how strongly) — the "new network state coming up" loop of
+// the paper's abstract, on the same vn2/online API the `vn2 serve` HTTP
+// service runs.
 //
 //	go run ./examples/monitor
 package main
@@ -10,14 +13,13 @@ package main
 import (
 	"fmt"
 	"log"
-	"math"
-	"sort"
 	"time"
 
 	"github.com/wsn-tools/vn2/internal/env"
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/internal/wsn"
 	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/online"
 )
 
 const (
@@ -56,20 +58,32 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("train: %w", err)
 	}
-	det, err := trace.DetectExceptions(trainStates, 0)
+	// Freeze the detector from the same window: its RefMax is the batch
+	// max(ε), so the online rule ε/RefMax ≥ threshold is exactly the batch
+	// detector's cutoff applied per incoming state. A higher-than-default
+	// threshold keeps the live loop quiet until something breaks.
+	det, err := trace.NewDetector(trainStates, 0.05)
 	if err != nil {
-		return fmt.Errorf("calibrate detector: %w", err)
+		return fmt.Errorf("freeze detector: %w", err)
 	}
-	// Alert when a state deviates more than almost every training state.
-	alertEps := quantile(rawScores(trainStates, det), 0.995)
-	fmt.Printf("model ready: Psi(%dx%d), %d training states, alert threshold eps=%.1f\n\n",
-		model.Rank, model.Metrics(), report.ExceptionStates, alertEps)
+	mon, err := online.NewMonitor(online.Config{Model: model, Detector: det})
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
+	}
+	// Prime the diff slots with each node's last warm-up report so the
+	// first live report already produces a state vector.
+	for _, id := range ds.Nodes() {
+		recs := ds.Records(id)
+		if err := mon.Warm(recs[len(recs)-1]); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("model ready: Psi(%dx%d), %d training states, alert threshold %.0f%% of max eps\n\n",
+		model.Rank, model.Metrics(), report.ExceptionStates, det.Threshold*100)
 
-	// Live loop: keep the last report per node, diff incoming reports into
-	// state vectors, screen them against the detector calibration, and
-	// diagnose the abnormal ones. Faults are injected mid-stream to watch
+	// Live loop: stream reports into the monitor, drain once per epoch, and
+	// print the diagnosed alerts. Faults are injected mid-stream to watch
 	// the alerts fire.
-	last := make(map[uint16][]float64)
 	for epoch := 0; epoch < monitorEpochs; epoch++ {
 		switch epoch {
 		case 5:
@@ -86,78 +100,40 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		alerts := 0
 		for _, rep := range er.Reports {
 			vec, err := rep.Vector()
 			if err != nil {
 				return err
 			}
-			prev, ok := last[uint16(rep.C1.Node)]
-			last[uint16(rep.C1.Node)] = vec
-			if !ok {
-				continue
-			}
-			delta := make([]float64, len(vec))
-			for k := range vec {
-				delta[k] = vec[k] - prev[k]
-			}
-			state := trace.StateVector{Node: rep.C1.Node, Epoch: er.Epoch, Gap: 1, Delta: delta}
-			if scoreState(delta, det) < alertEps {
-				continue // normal
-			}
-			d, err := model.Diagnose(state)
-			if err != nil {
+			rec := trace.Record{Node: rep.C1.Node, Epoch: er.Epoch, Vector: vec}
+			if _, err := mon.Ingest(rec); err != nil {
 				return err
 			}
-			alerts++
-			if len(d.Ranked) == 0 {
+		}
+		alerts, err := mon.Drain()
+		if err != nil {
+			return err
+		}
+		for _, a := range alerts {
+			if len(a.Diagnosis.Ranked) == 0 {
 				fmt.Printf("  ALERT node %-2d abnormal but unattributed (residual %.2f)\n",
-					rep.C1.Node, d.Residual)
+					a.State.Node, a.Diagnosis.Residual)
 				continue
 			}
-			rc := d.Ranked[0]
+			rc := a.Diagnosis.Ranked[0]
 			exp, err := model.Explain(rc.Cause, 3)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("  ALERT node %-2d psi%d(%.2f) %s\n",
-				rep.C1.Node, rc.Cause+1, rc.Strength, exp.Category)
+				a.State.Node, rc.Cause+1, rc.Strength, exp.Category)
 		}
-		fmt.Printf("epoch %2d  PRR %.3f  alerts %d\n", er.Epoch, er.PRR, alerts)
+		fmt.Printf("epoch %2d  PRR %.3f  alerts %d\n", er.Epoch, er.PRR, len(alerts))
 	}
+	st := mon.Stats()
+	fmt.Printf("\nmonitor: %d reports, %d flagged, %d diagnosed, %d gap states (max gap %d)\n",
+		st.Reports, st.Flagged, st.Diagnosed, st.GapReports, st.MaxGap)
 	return nil
-}
-
-// scoreState computes the detector's clipped squared deviation ε for one
-// state against the training calibration.
-func scoreState(delta []float64, det *trace.ExceptionResult) float64 {
-	const clip = 100.0
-	var eps float64
-	for k, v := range delta {
-		z := math.Abs(v-det.Center[k]) / det.Scale[k]
-		if z > clip {
-			z = clip
-		}
-		eps += z * z
-	}
-	return eps
-}
-
-// rawScores scores every training state.
-func rawScores(states []trace.StateVector, det *trace.ExceptionResult) []float64 {
-	out := make([]float64, len(states))
-	for i, s := range states {
-		out[i] = scoreState(s.Delta, det)
-	}
-	return out
-}
-
-// quantile returns the q-th quantile of v.
-func quantile(v []float64, q float64) float64 {
-	tmp := append([]float64(nil), v...)
-	sort.Float64s(tmp)
-	idx := int(q * float64(len(tmp)-1))
-	return tmp[idx]
 }
 
 func collect(n *wsn.Network, ds *trace.Dataset, epochs int) error {

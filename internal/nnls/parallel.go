@@ -16,17 +16,37 @@ import (
 // bit-identical to SolveBatch for any worker count; on failure the error of
 // the lowest failing row index is returned, exactly as SolveBatch would.
 func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.Dense, []float64, error) {
+	n, _ := states.Dims()
+	r, _ := psi.Dims()
+	weights := mat.MustNew(n, r)
+	residuals := make([]float64, n)
+	if err := SolveBatchInto(weights, residuals, states, psi, cfg, workers); err != nil {
+		return nil, nil, err
+	}
+	return weights, residuals, nil
+}
+
+// SolveBatchInto is SolveBatchParallel writing into caller-provided
+// buffers: weights must be n×r and residuals length n. Steady-state batch
+// callers — a sink draining flagged states every epoch — reuse the same
+// buffers across calls instead of allocating an n×r matrix per drain.
+// Results are bit-identical to SolveBatchParallel for any worker count.
+func SolveBatchInto(weights *mat.Dense, residuals []float64, states, psi *mat.Dense, cfg Config, workers int) error {
 	n, m := states.Dims()
 	r, pm := psi.Dims()
 	if m != pm {
-		return nil, nil, fmt.Errorf("%w: states %dx%d, basis %dx%d", ErrShape, n, m, r, pm)
+		return fmt.Errorf("%w: states %dx%d, basis %dx%d", ErrShape, n, m, r, pm)
+	}
+	if wr, wc := weights.Dims(); wr != n || wc != r {
+		return fmt.Errorf("nnls: weights buffer is %dx%d, want %dx%d", wr, wc, n, r)
+	}
+	if len(residuals) != n {
+		return fmt.Errorf("nnls: residuals buffer has %d entries, want %d", len(residuals), n)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	weights := mat.MustNew(n, r)
-	residuals := make([]float64, n)
-	err := par.ForErr(n, workers, func(start, end int) error {
+	return par.ForErr(n, workers, func(start, end int) error {
 		for i := start; i < end; i++ {
 			sol, err := Solve(states.RawRow(i), psi, cfg)
 			if err != nil {
@@ -37,8 +57,4 @@ func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.D
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return weights, residuals, nil
 }

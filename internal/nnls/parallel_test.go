@@ -1,0 +1,77 @@
+package nnls
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/mat"
+)
+
+// TestSolveBatchIntoMatchesBatch: the buffer-reusing entry point is
+// bit-identical to SolveBatch, and repeated calls into the same buffers
+// (the steady-state drain pattern) fully overwrite stale contents.
+func TestSolveBatchIntoMatchesBatch(t *testing.T) {
+	psi := randomBasis(t, 4, 15, 21)
+	rng := rand.New(rand.NewSource(22))
+	states := mat.MustNew(30, 15)
+	for i := 0; i < 30; i++ {
+		w := make([]float64, 4)
+		for j := range w {
+			w[j] = rng.Float64() * 2
+		}
+		states.SetRow(i, mix(w, psi))
+	}
+	seqW, seqR, err := SolveBatch(states, psi, Config{})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+
+	weights := mat.MustNew(30, 4)
+	residuals := make([]float64, 30)
+	// Poison the buffers so any row SolveBatchInto fails to write shows up.
+	for i := 0; i < 30; i++ {
+		residuals[i] = -1
+		for j := 0; j < 4; j++ {
+			weights.Set(i, j, -7)
+		}
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		if err := SolveBatchInto(weights, residuals, states, psi, Config{}, workers); err != nil {
+			t.Fatalf("SolveBatchInto(workers=%d): %v", workers, err)
+		}
+		if !mat.Equal(seqW, weights, 0) {
+			t.Fatalf("workers=%d: weights differ from SolveBatch", workers)
+		}
+		for i := range seqR {
+			if residuals[i] != seqR[i] {
+				t.Fatalf("workers=%d: residual %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSolveBatchIntoBufferValidation(t *testing.T) {
+	psi := randomBasis(t, 3, 10, 23)
+	states := mat.MustNew(5, 10)
+	good := func() (*mat.Dense, []float64) { return mat.MustNew(5, 3), make([]float64, 5) }
+
+	w, res := good()
+	if err := SolveBatchInto(w, res, mat.MustNew(5, 7), psi, Config{}, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("state/basis mismatch err = %v, want ErrShape", err)
+	}
+	_, res = good()
+	if err := SolveBatchInto(mat.MustNew(4, 3), res, states, psi, Config{}, 1); err == nil || !strings.Contains(err.Error(), "weights buffer") {
+		t.Errorf("short weights err = %v, want weights buffer error", err)
+	}
+	w, _ = good()
+	if err := SolveBatchInto(w, make([]float64, 4), states, psi, Config{}, 1); err == nil || !strings.Contains(err.Error(), "residuals buffer") {
+		t.Errorf("short residuals err = %v, want residuals buffer error", err)
+	}
+	w, res = good()
+	if err := SolveBatchInto(mat.MustNew(5, 2), res, states, psi, Config{}, 1); err == nil || !strings.Contains(err.Error(), "weights buffer") {
+		t.Errorf("narrow weights err = %v, want weights buffer error", err)
+	}
+	_ = w
+}

@@ -48,16 +48,20 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: header has %d columns, want %d", ErrVectorLength, len(header), want)
 	}
 	d := NewDataset()
+	// Rows are numbered by their position in the file: the header is line 1,
+	// the first data row line 2. The counter is bumped before any error is
+	// reported, so a cr.Read failure and a parse failure on the same row
+	// name the same (true) file line.
 	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		line++
 		if err != nil {
 			return nil, fmt.Errorf("read csv line %d: %w", line, err)
 		}
-		line++
 		node, err := strconv.Atoi(rec[0])
 		if err != nil {
 			return nil, fmt.Errorf("line %d node: %w", line, err)

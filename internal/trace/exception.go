@@ -1,8 +1,6 @@
 package trace
 
 import (
-	"fmt"
-	"math"
 	"sort"
 )
 
@@ -49,72 +47,28 @@ func (r *ExceptionResult) Exceptions(states []StateVector) []StateVector {
 // gets from its comparable metric scales.
 //
 // A threshold ≤ 0 uses DefaultExceptionThreshold.
+//
+// DetectExceptions shares its calibration and scoring code with Detector,
+// so freezing a Detector on the same window and replaying it reproduces
+// this result bit-for-bit.
 func DetectExceptions(states []StateVector, threshold float64) (*ExceptionResult, error) {
-	if len(states) == 0 {
-		return nil, ErrEmpty
+	det, scores, err := calibrate(states, threshold)
+	if err != nil {
+		return nil, err
 	}
-	if threshold <= 0 {
-		threshold = DefaultExceptionThreshold
-	}
-	m := len(states[0].Delta)
-	for i, s := range states {
-		if len(s.Delta) != m {
-			return nil, fmt.Errorf("%w: state %d has %d metrics, want %d", ErrVectorLength, i, len(s.Delta), m)
-		}
-	}
-
-	center := make([]float64, m)
-	scale := make([]float64, m)
-	col := make([]float64, len(states))
-	for k := 0; k < m; k++ {
-		for i, s := range states {
-			col[i] = s.Delta[k]
-		}
-		center[k] = median(col)
-		for i, s := range states {
-			col[i] = math.Abs(s.Delta[k] - center[k])
-		}
-		// The 99th-percentile deviation is the "routine tail" of the
-		// metric: normal churn (retry bursts, table updates) lands at
-		// z ≤ ~1 while genuine anomalies stand 10-100× above it. It is
-		// robust to a small anomaly fraction, unlike the standard
-		// deviation, and unlike the MAD it does not declare a heavy-tailed
-		// metric's own tail anomalous. The floor keeps constant metrics
-		// harmless.
-		scale[k] = percentile(col, 0.99)
-		if scale[k] < 1e-9 {
-			scale[k] = 1e-9
-		}
-	}
-
 	res := &ExceptionResult{
-		Scores: make([]float64, len(states)),
-		Center: center,
-		Scale:  scale,
+		Scores: scores,
+		Center: det.Center,
+		Scale:  det.Scale,
 	}
-	maxEps := 0.0
-	for i, s := range states {
-		var eps float64
-		for k, v := range s.Delta {
-			z := math.Abs(v-center[k]) / scale[k]
-			if z > zClip {
-				z = zClip
-			}
-			eps += z * z
-		}
-		res.Scores[i] = eps
-		if eps > maxEps {
-			maxEps = eps
-		}
-	}
-	if maxEps == 0 {
+	if det.RefMax == 0 {
 		// Perfectly uniform data: nothing deviates, nothing is an
 		// exception.
 		return res, nil
 	}
 	for i := range res.Scores {
-		res.Scores[i] /= maxEps
-		if res.Scores[i] >= threshold {
+		res.Scores[i] /= det.RefMax
+		if res.Scores[i] >= det.Threshold {
 			res.Indices = append(res.Indices, i)
 		}
 	}

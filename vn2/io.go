@@ -2,9 +2,15 @@ package vn2
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrCorruptModel reports a model file whose fields are mutually
+// inconsistent (e.g. a Signatures matrix that does not match the basis
+// dims) — the kind of damage hand-editing or truncation produces.
+var ErrCorruptModel = errors.New("vn2: corrupt model file")
 
 // modelFileVersion guards the serialized format.
 const modelFileVersion = 1
@@ -45,5 +51,26 @@ func Load(r io.Reader) (*Model, error) {
 	if mf.Model.Psi.Cols() != len(mf.Model.Scale) {
 		return nil, fmt.Errorf("vn2: basis has %d columns, scale has %d", mf.Model.Psi.Cols(), len(mf.Model.Scale))
 	}
-	return mf.Model, nil
+	// The optional fields must agree with the basis dims too; a corrupt or
+	// hand-edited file with, say, a short Signatures matrix would otherwise
+	// load fine and panic later inside Signature/Explain.
+	m := mf.Model
+	cols := m.Psi.Cols()
+	if m.Signatures != nil {
+		if m.Signatures.Rows() != m.Rank || m.Signatures.Cols() != cols {
+			return nil, fmt.Errorf("%w: signatures are %dx%d, want %dx%d",
+				ErrCorruptModel, m.Signatures.Rows(), m.Signatures.Cols(), m.Rank, cols)
+		}
+	}
+	if m.MetricNames != nil && len(m.MetricNames) != cols {
+		return nil, fmt.Errorf("%w: %d metric names for %d metrics",
+			ErrCorruptModel, len(m.MetricNames), cols)
+	}
+	for j := range m.Labels {
+		if j < 0 || j >= m.Rank {
+			return nil, fmt.Errorf("%w: label for cause %d outside rank %d",
+				ErrCorruptModel, j, m.Rank)
+		}
+	}
+	return m, nil
 }

@@ -84,8 +84,14 @@ func (m *Model) SetLabel(j int, label string) error {
 	return nil
 }
 
-// Label returns root cause j's expert label, or "" when unlabeled.
+// Label returns root cause j's expert label, or "" when unlabeled. Like an
+// unset label, an untrained model or an out-of-range j yields "" — the
+// mirror of SetLabel's validation, so freshly trained models (nil Labels)
+// and bad indices are safe to query.
 func (m *Model) Label(j int) string {
+	if !m.trained() || j < 0 || j >= m.Rank {
+		return ""
+	}
 	return m.Labels[j]
 }
 

@@ -1,0 +1,417 @@
+// Package online turns the batch VN2 pipeline into a streaming sink-side
+// monitor: per-node reports are ingested one at a time, first-differenced
+// against the node's previous report into state vectors, screened by a
+// frozen trace.Detector in O(M), and the flagged states are diagnosed in
+// parallel batches against the trained model — the "new network state
+// coming up" loop of the paper, without re-running batch detection over a
+// growing window.
+//
+// The split between Ingest (cheap, per report) and Drain (batched NNLS over
+// everything flagged since the last drain) is what makes the monitor
+// servable: a sink can ingest at line rate and amortize the solver over
+// periodic drains.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// Errors returned by the monitor.
+var (
+	// ErrStaleReport reports a record whose epoch is not after the node's
+	// last ingested report.
+	ErrStaleReport = errors.New("online: report epoch not after previous report")
+	// ErrBacklog reports that the flagged-state buffer is full; the state
+	// was dropped and the caller should drain (or shed load).
+	ErrBacklog = errors.New("online: flagged-state backlog full")
+	// ErrBadConfig reports an unusable monitor configuration.
+	ErrBadConfig = errors.New("online: bad monitor configuration")
+)
+
+// Config assembles a Monitor.
+type Config struct {
+	// Model is the trained representative matrix used to diagnose flagged
+	// states. Required.
+	Model *vn2.Model
+	// Detector is the frozen exception detector that screens incoming
+	// states. Required; its metric count must match the model's.
+	Detector *trace.Detector
+	// History bounds the rolling per-epoch cause-distribution window, in
+	// epochs. Epochs older than the newest seen epoch minus History are
+	// pruned. Defaults to 64.
+	History int
+	// MaxPending bounds flagged states awaiting diagnosis; an Ingest that
+	// flags a state while the buffer is full drops it and returns
+	// ErrBacklog. Defaults to 4096.
+	MaxPending int
+	// MaxRecent bounds the kept ring of most recent diagnosed states (the
+	// serve path's /diagnosis detail view). Defaults to 128.
+	MaxRecent int
+	// Workers bounds the goroutines of each drain's batched NNLS solve
+	// (nnls.SolveBatchParallel underneath): 0 uses all cores, otherwise as
+	// vn2.DiagnoseConfig.Workers. Results are identical for any value.
+	Workers int
+	// MinStrength is passed through to diagnosis ranking; ≤0 uses the
+	// vn2 default.
+	MinStrength float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.History == 0 {
+		c.History = 64
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 4096
+	}
+	if c.MaxRecent == 0 {
+		c.MaxRecent = 128
+	}
+	if c.Workers == 0 {
+		c.Workers = -1
+	}
+	return c
+}
+
+// Observation is the outcome of ingesting one report.
+type Observation struct {
+	Node  packet.NodeID `json:"node"`
+	Epoch int           `json:"epoch"`
+	// First marks a node's first report: no state can be derived yet.
+	First bool `json:"first,omitempty"`
+	// Gap is the epochs since the node's previous report (1 = consecutive);
+	// 0 on a first report.
+	Gap int `json:"gap,omitempty"`
+	// Score is the normalized deviation ε/RefMax of the derived state.
+	Score float64 `json:"score"`
+	// Flagged marks the state as an exception awaiting diagnosis.
+	Flagged bool `json:"flagged,omitempty"`
+}
+
+// Flagged is one exception state with its diagnosis, produced by Drain.
+type Flagged struct {
+	State trace.StateVector `json:"state"`
+	// Score is the detector's normalized deviation that flagged the state.
+	Score float64 `json:"score"`
+	// Diagnosis is the NNLS projection onto the model's root causes.
+	Diagnosis *vn2.Diagnosis `json:"diagnosis"`
+}
+
+// EpochCauses is the rolling per-epoch root-cause distribution.
+type EpochCauses struct {
+	Epoch int `json:"epoch"`
+	// States is how many flagged states of this epoch were diagnosed.
+	States int `json:"states"`
+	// Distribution is the per-cause total strength (length Rank).
+	Distribution []float64 `json:"distribution"`
+}
+
+// Stats counts what the monitor has seen.
+type Stats struct {
+	// Reports is every record offered to Ingest (including rejects).
+	Reports uint64 `json:"reports"`
+	// FirstReports is how many were a node's first (no state derived).
+	FirstReports uint64 `json:"first_reports"`
+	// Warmed counts records primed through Warm.
+	Warmed uint64 `json:"warmed"`
+	// Stale counts rejected out-of-order records.
+	Stale uint64 `json:"stale"`
+	// Invalid counts rejected malformed records.
+	Invalid uint64 `json:"invalid"`
+	// Normal and Flagged partition the derived states by the detector.
+	Normal  uint64 `json:"normal"`
+	Flagged uint64 `json:"flagged"`
+	// Dropped counts flagged states shed because the backlog was full.
+	Dropped uint64 `json:"dropped"`
+	// Diagnosed counts flagged states that went through a drain.
+	Diagnosed uint64 `json:"diagnosed"`
+	// Drains counts non-empty Drain calls.
+	Drains uint64 `json:"drains"`
+	// GapReports counts states derived across a reporting gap (Gap > 1) —
+	// the sink-side trace of lost reports.
+	GapReports uint64 `json:"gap_reports"`
+	// MaxGap is the largest reporting gap seen.
+	MaxGap int `json:"max_gap"`
+	// LastEpoch is the newest epoch seen across all nodes.
+	LastEpoch int `json:"last_epoch"`
+}
+
+// Summary is a consistent snapshot of the monitor's rolling state.
+type Summary struct {
+	Stats Stats `json:"stats"`
+	// Pending is the flagged-state backlog length right now.
+	Pending int `json:"pending"`
+	// Rank is the model's root-cause count (Distribution length).
+	Rank int `json:"rank"`
+	// Epochs holds the rolling per-epoch cause distributions, ascending.
+	Epochs []EpochCauses `json:"epochs"`
+	// Recent holds the most recently diagnosed states, oldest first.
+	Recent []Flagged `json:"recent"`
+}
+
+type lastReport struct {
+	epoch  int
+	vector []float64
+}
+
+type pendingState struct {
+	state trace.StateVector
+	score float64
+}
+
+// Monitor is the streaming sink service core. All methods are safe for
+// concurrent use; Ingest stays O(M) per report and Drain batches the
+// expensive NNLS solves.
+type Monitor struct {
+	cfg   Config
+	model *vn2.Model
+	det   *trace.Detector
+
+	mu      sync.Mutex
+	last    map[packet.NodeID]lastReport
+	pending []pendingState
+	epochs  map[int]*EpochCauses
+	recent  []Flagged
+	stats   Stats
+
+	// drainMu serializes drains so two concurrent Drain calls cannot
+	// interleave their merges (ingest keeps flowing meanwhile: the solve
+	// runs outside mu).
+	drainMu sync.Mutex
+}
+
+// NewMonitor validates the configuration and returns a ready monitor.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	c := cfg.withDefaults()
+	if c.Model == nil || c.Model.Metrics() == 0 || c.Model.Rank <= 0 {
+		return nil, fmt.Errorf("%w: model missing or untrained", ErrBadConfig)
+	}
+	if !c.Detector.Valid() {
+		return nil, fmt.Errorf("%w: detector missing or uncalibrated", ErrBadConfig)
+	}
+	if c.Detector.Metrics() != c.Model.Metrics() {
+		return nil, fmt.Errorf("%w: detector has %d metrics, model %d",
+			ErrBadConfig, c.Detector.Metrics(), c.Model.Metrics())
+	}
+	return &Monitor{
+		cfg:    c,
+		model:  c.Model,
+		det:    c.Detector,
+		last:   make(map[packet.NodeID]lastReport),
+		epochs: make(map[int]*EpochCauses),
+	}, nil
+}
+
+// Warm primes a node's last-report slot without scoring anything — used to
+// seed the monitor from the tail of a calibration trace so the first live
+// report already produces a state vector.
+func (m *Monitor) Warm(rec trace.Record) error {
+	if len(rec.Vector) != m.det.Metrics() {
+		return fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lr, ok := m.last[rec.Node]; ok && rec.Epoch <= lr.epoch {
+		m.stats.Stale++
+		return fmt.Errorf("%w: node %d epoch %d ≤ %d", ErrStaleReport, rec.Node, rec.Epoch, lr.epoch)
+	}
+	m.storeLast(rec)
+	m.stats.Warmed++
+	return nil
+}
+
+// storeLast copies rec's vector into the node's slot, reusing the previous
+// buffer so steady-state ingest does not allocate per report. Caller holds mu.
+func (m *Monitor) storeLast(rec trace.Record) {
+	lr := m.last[rec.Node]
+	if lr.vector == nil {
+		lr.vector = make([]float64, len(rec.Vector))
+	}
+	copy(lr.vector, rec.Vector)
+	lr.epoch = rec.Epoch
+	m.last[rec.Node] = lr
+	if rec.Epoch > m.stats.LastEpoch {
+		m.stats.LastEpoch = rec.Epoch
+	}
+}
+
+// Ingest feeds one sink report through the online pipeline: diff against
+// the node's previous report, score with the frozen detector, and queue the
+// state for diagnosis when it is exceptional. The returned Observation
+// reports what happened even when an error (stale report, full backlog) is
+// returned alongside it.
+func (m *Monitor) Ingest(rec trace.Record) (Observation, error) {
+	obs := Observation{Node: rec.Node, Epoch: rec.Epoch}
+	if len(rec.Vector) != m.det.Metrics() {
+		m.mu.Lock()
+		m.stats.Reports++
+		m.stats.Invalid++
+		m.mu.Unlock()
+		return obs, fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Reports++
+	lr, ok := m.last[rec.Node]
+	if ok && rec.Epoch <= lr.epoch {
+		m.stats.Stale++
+		return obs, fmt.Errorf("%w: node %d epoch %d ≤ %d", ErrStaleReport, rec.Node, rec.Epoch, lr.epoch)
+	}
+	if !ok {
+		m.storeLast(rec)
+		m.stats.FirstReports++
+		obs.First = true
+		return obs, nil
+	}
+
+	gap := rec.Epoch - lr.epoch
+	delta := make([]float64, len(rec.Vector))
+	for k, v := range rec.Vector {
+		delta[k] = v - lr.vector[k]
+	}
+	m.storeLast(rec)
+	obs.Gap = gap
+	if gap > 1 {
+		m.stats.GapReports++
+	}
+	if gap > m.stats.MaxGap {
+		m.stats.MaxGap = gap
+	}
+
+	flagged, score, err := m.det.Exceptional(delta)
+	if err != nil {
+		// Length was validated above; this is unreachable, but keep the
+		// accounting honest if the detector ever grows new failure modes.
+		m.stats.Invalid++
+		return obs, err
+	}
+	obs.Score = score
+	if !flagged {
+		m.stats.Normal++
+		return obs, nil
+	}
+	obs.Flagged = true
+	m.stats.Flagged++
+	if len(m.pending) >= m.cfg.MaxPending {
+		m.stats.Dropped++
+		return obs, fmt.Errorf("%w: %d states pending", ErrBacklog, len(m.pending))
+	}
+	m.pending = append(m.pending, pendingState{
+		state: trace.StateVector{Node: rec.Node, Epoch: rec.Epoch, Gap: gap, Delta: delta},
+		score: score,
+	})
+	return obs, nil
+}
+
+// Drain diagnoses everything flagged since the last drain in one parallel
+// NNLS batch (nnls.SolveBatchParallel underneath) and folds the results
+// into the rolling per-epoch cause distributions. Ingest keeps flowing
+// while the solve runs. Returns the diagnosed states in ingest order; a nil
+// slice means there was nothing pending.
+func (m *Monitor) Drain() ([]Flagged, error) {
+	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
+
+	m.mu.Lock()
+	pend := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	if len(pend) == 0 {
+		return nil, nil
+	}
+
+	states := make([]trace.StateVector, len(pend))
+	for i, p := range pend {
+		states[i] = p.state
+	}
+	diags, err := m.model.DiagnoseBatch(states, vn2.DiagnoseConfig{
+		Workers:     m.cfg.Workers,
+		MinStrength: m.cfg.MinStrength,
+	})
+	if err != nil {
+		// Put the batch back so nothing is lost; newer flagged states queued
+		// during the solve stay behind it in order.
+		m.mu.Lock()
+		m.pending = append(pend, m.pending...)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("drain: %w", err)
+	}
+
+	out := make([]Flagged, len(pend))
+	for i, p := range pend {
+		out[i] = Flagged{State: p.state, Score: p.score, Diagnosis: diags[i]}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Drains++
+	m.stats.Diagnosed += uint64(len(out))
+	for _, f := range out {
+		ec := m.epochs[f.State.Epoch]
+		if ec == nil {
+			ec = &EpochCauses{Epoch: f.State.Epoch, Distribution: make([]float64, m.model.Rank)}
+			m.epochs[f.State.Epoch] = ec
+		}
+		ec.States++
+		for _, rc := range f.Diagnosis.Ranked {
+			if rc.Cause < len(ec.Distribution) {
+				ec.Distribution[rc.Cause] += rc.Strength
+			}
+		}
+	}
+	m.recent = append(m.recent, out...)
+	if over := len(m.recent) - m.cfg.MaxRecent; over > 0 {
+		m.recent = append(m.recent[:0], m.recent[over:]...)
+	}
+	// Prune epochs that fell out of the rolling window.
+	floor := m.stats.LastEpoch - m.cfg.History
+	for e := range m.epochs {
+		if e <= floor {
+			delete(m.epochs, e)
+		}
+	}
+	return out, nil
+}
+
+// Snapshot returns a consistent copy of the rolling state: counters, the
+// per-epoch cause distributions (ascending) and the recent diagnoses.
+func (m *Monitor) Snapshot() Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Summary{
+		Stats:   m.stats,
+		Pending: len(m.pending),
+		Rank:    m.model.Rank,
+		Epochs:  make([]EpochCauses, 0, len(m.epochs)),
+		Recent:  append([]Flagged(nil), m.recent...),
+	}
+	for _, ec := range m.epochs {
+		s.Epochs = append(s.Epochs, EpochCauses{
+			Epoch:        ec.Epoch,
+			States:       ec.States,
+			Distribution: append([]float64(nil), ec.Distribution...),
+		})
+	}
+	sort.Slice(s.Epochs, func(i, j int) bool { return s.Epochs[i].Epoch < s.Epochs[j].Epoch })
+	return s
+}
+
+// Stats returns a copy of the counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Pending returns the flagged-state backlog length.
+func (m *Monitor) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}

@@ -1,0 +1,401 @@
+package online
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// synthStates mirrors the vn2 package's training fixture: calm background
+// with planted contention / loop / reboot archetypes.
+func synthStates(n int, seed int64) []trace.StateVector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]trace.StateVector, 0, n)
+	for i := 0; i < n; i++ {
+		delta := make([]float64, metricspec.MetricCount)
+		for k := range delta {
+			delta[k] = rng.NormFloat64() * 0.2
+		}
+		switch {
+		case i%300 == 0:
+			delta[metricspec.NOACKRetransmitCounter] += 300 + rng.Float64()*60
+			delta[metricspec.MacBackoffCounter] += 200 + rng.Float64()*40
+		case i%300 == 1:
+			delta[metricspec.LoopCounter] += 40 + rng.Float64()*10
+			delta[metricspec.DuplicateCounter] += 120 + rng.Float64()*30
+			delta[metricspec.TransmitCounter] += 400 + rng.Float64()*80
+		}
+		out = append(out, trace.StateVector{
+			Node:  packet.NodeID(1 + i%10),
+			Epoch: 2 + i/10,
+			Gap:   1,
+			Delta: delta,
+		})
+	}
+	return out
+}
+
+// testRig trains a model, freezes a detector, and hands back both plus a
+// calm baseline vector and a delta that the detector reliably flags.
+type testRig struct {
+	model    *vn2.Model
+	det      *trace.Detector
+	baseline []float64
+	hotDelta []float64
+}
+
+var (
+	rigOnce sync.Once
+	rig     testRig
+	rigErr  error
+)
+
+func newRig(t *testing.T) testRig {
+	t.Helper()
+	rigOnce.Do(func() {
+		states := synthStates(1500, 42)
+		model, _, err := vn2.Train(states, vn2.TrainConfig{Rank: 4, Seed: 1})
+		if err != nil {
+			rigErr = err
+			return
+		}
+		det, err := trace.NewDetector(states, 0)
+		if err != nil {
+			rigErr = err
+			return
+		}
+		hot := make([]float64, metricspec.MetricCount)
+		hot[metricspec.NOACKRetransmitCounter] = 320
+		hot[metricspec.MacBackoffCounter] = 210
+		if ex, _, err := det.Exceptional(hot); err != nil || !ex {
+			rigErr = errors.New("fixture hot delta is not exceptional")
+			return
+		}
+		rig = testRig{
+			model:    model,
+			det:      det,
+			baseline: make([]float64, metricspec.MetricCount),
+			hotDelta: hot,
+		}
+	})
+	if rigErr != nil {
+		t.Fatalf("rig: %v", rigErr)
+	}
+	return rig
+}
+
+// calm reports carry the flat baseline: consecutive calm reports derive a
+// zero delta (normal). hot reports carry baseline + epoch·hotDelta, so a hot
+// report following a hot report still derives exactly one hotDelta — the
+// counters keep climbing, as a real contention storm's would.
+func (r testRig) calm(node packet.NodeID, epoch int) trace.Record {
+	v := make([]float64, len(r.baseline))
+	copy(v, r.baseline)
+	return trace.Record{Node: node, Epoch: epoch, Vector: v}
+}
+
+func (r testRig) hot(node packet.NodeID, epoch int) trace.Record {
+	v := make([]float64, len(r.baseline))
+	copy(v, r.baseline)
+	for k, d := range r.hotDelta {
+		v[k] += float64(epoch) * d
+	}
+	return trace.Record{Node: node, Epoch: epoch, Vector: v}
+}
+
+func newTestMonitor(t *testing.T, cfg Config) *Monitor {
+	t.Helper()
+	r := newRig(t)
+	if cfg.Model == nil {
+		cfg.Model = r.model
+	}
+	if cfg.Detector == nil {
+		cfg.Detector = r.det
+	}
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	return m
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	r := newRig(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil model", Config{Detector: r.det}},
+		{"nil detector", Config{Model: r.model}},
+		{"invalid detector", Config{Model: r.model, Detector: &trace.Detector{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewMonitor(tc.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestIngestLifecycle(t *testing.T) {
+	r := newRig(t)
+	m := newTestMonitor(t, Config{})
+
+	// First report: no state derivable.
+	obs, err := m.Ingest(r.calm(1, 10))
+	if err != nil || !obs.First {
+		t.Fatalf("first report: obs=%+v err=%v", obs, err)
+	}
+	// Stale: same epoch again.
+	if _, err := m.Ingest(r.calm(1, 10)); !errors.Is(err, ErrStaleReport) {
+		t.Fatalf("duplicate epoch err = %v, want ErrStaleReport", err)
+	}
+	// Calm consecutive report: normal, gap 1.
+	obs, err = m.Ingest(r.calm(1, 11))
+	if err != nil || obs.First || obs.Flagged || obs.Gap != 1 {
+		t.Fatalf("calm report: obs=%+v err=%v", obs, err)
+	}
+	// Report across a gap: gap tracked, still a valid state.
+	obs, err = m.Ingest(r.calm(1, 15))
+	if err != nil || obs.Gap != 4 {
+		t.Fatalf("gap report: obs=%+v err=%v", obs, err)
+	}
+	// Hot report: flagged and queued.
+	obs, err = m.Ingest(r.hot(1, 16))
+	if err != nil || !obs.Flagged || obs.Score <= 0 {
+		t.Fatalf("hot report: obs=%+v err=%v", obs, err)
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", m.Pending())
+	}
+	// Malformed vector.
+	if _, err := m.Ingest(trace.Record{Node: 2, Epoch: 1, Vector: []float64{1}}); !errors.Is(err, trace.ErrVectorLength) {
+		t.Fatalf("short vector err = %v", err)
+	}
+
+	st := m.Stats()
+	if st.Reports != 6 || st.FirstReports != 1 || st.Stale != 1 || st.Invalid != 1 ||
+		st.Normal != 2 || st.Flagged != 1 || st.GapReports != 1 || st.MaxGap != 4 || st.LastEpoch != 16 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWarmPrimesDiffSlot(t *testing.T) {
+	r := newRig(t)
+	m := newTestMonitor(t, Config{})
+	if err := m.Warm(r.calm(3, 20)); err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	// Warming again with an older epoch is stale.
+	if err := m.Warm(r.calm(3, 20)); !errors.Is(err, ErrStaleReport) {
+		t.Fatalf("stale warm err = %v", err)
+	}
+	// The first live report diffs against the warmed slot — not First.
+	obs, err := m.Ingest(r.hot(3, 21))
+	if err != nil || obs.First || !obs.Flagged {
+		t.Fatalf("post-warm ingest: obs=%+v err=%v", obs, err)
+	}
+	if err := m.Warm(trace.Record{Node: 4, Epoch: 1, Vector: []float64{1}}); !errors.Is(err, trace.ErrVectorLength) {
+		t.Fatalf("short warm err = %v", err)
+	}
+}
+
+func TestDrainDiagnosesAndAggregates(t *testing.T) {
+	r := newRig(t)
+	m := newTestMonitor(t, Config{Workers: 2})
+	for node := packet.NodeID(1); node <= 5; node++ {
+		if err := m.Warm(r.calm(node, 30)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Ingest(r.hot(node, 31)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := m.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("drained %d states, want 5", len(out))
+	}
+	for i, f := range out {
+		if f.Diagnosis == nil {
+			t.Fatalf("state %d has nil diagnosis", i)
+		}
+		if f.State.Node != packet.NodeID(i+1) {
+			t.Errorf("state %d from node %d, want ingest order", i, f.State.Node)
+		}
+		if len(f.Diagnosis.Ranked) == 0 {
+			t.Errorf("state %d: contention archetype produced no ranked causes", i)
+		}
+	}
+	// Empty drain is a no-op.
+	if out, err := m.Drain(); err != nil || out != nil {
+		t.Fatalf("empty drain: out=%v err=%v", out, err)
+	}
+
+	sum := m.Snapshot()
+	if sum.Pending != 0 || sum.Rank != r.model.Rank {
+		t.Errorf("summary pending=%d rank=%d", sum.Pending, sum.Rank)
+	}
+	if len(sum.Epochs) != 1 || sum.Epochs[0].Epoch != 31 || sum.Epochs[0].States != 5 {
+		t.Fatalf("epochs = %+v", sum.Epochs)
+	}
+	var total float64
+	for _, v := range sum.Epochs[0].Distribution {
+		total += v
+	}
+	if total <= 0 {
+		t.Error("epoch distribution is all zero")
+	}
+	if len(sum.Recent) != 5 {
+		t.Errorf("recent = %d, want 5", len(sum.Recent))
+	}
+	if st := m.Stats(); st.Diagnosed != 5 || st.Drains != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBacklogBoundAndDrop(t *testing.T) {
+	r := newRig(t)
+	m := newTestMonitor(t, Config{MaxPending: 2})
+	if err := m.Warm(r.calm(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for e := 2; e <= 3; e++ {
+		if _, err := m.Ingest(r.hot(1, e)); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	obs, err := m.Ingest(r.hot(1, 4))
+	if !errors.Is(err, ErrBacklog) {
+		t.Fatalf("backlog err = %v, want ErrBacklog", err)
+	}
+	if !obs.Flagged {
+		t.Error("dropped state should still be observed as flagged")
+	}
+	if st := m.Stats(); st.Dropped != 1 || st.Flagged != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Draining frees the backlog; ingest works again.
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ingest(r.hot(1, 5)); err != nil {
+		t.Fatalf("post-drain ingest: %v", err)
+	}
+}
+
+func TestHistoryPruningAndRecentRing(t *testing.T) {
+	r := newRig(t)
+	m := newTestMonitor(t, Config{History: 4, MaxRecent: 3})
+	if err := m.Warm(r.calm(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 10; e++ {
+		if _, err := m.Ingest(r.hot(1, e)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := m.Snapshot()
+	// Epochs ≤ 10-4 = 6 are pruned: 7..10 remain, ascending.
+	if len(sum.Epochs) != 4 {
+		t.Fatalf("epochs kept = %d, want 4 (%+v)", len(sum.Epochs), sum.Epochs)
+	}
+	for i, ec := range sum.Epochs {
+		if ec.Epoch != 7+i {
+			t.Errorf("epoch[%d] = %d, want %d", i, ec.Epoch, 7+i)
+		}
+	}
+	if len(sum.Recent) != 3 {
+		t.Fatalf("recent = %d, want 3", len(sum.Recent))
+	}
+	// Ring keeps the newest, oldest first.
+	for i, f := range sum.Recent {
+		if f.State.Epoch != 8+i {
+			t.Errorf("recent[%d] epoch = %d, want %d", i, f.State.Epoch, 8+i)
+		}
+	}
+}
+
+// TestConcurrentIngestDrainSnapshot is the race-gate test: many goroutines
+// ingesting distinct nodes while drains and snapshots run concurrently.
+// Run under -race via `make race`.
+func TestConcurrentIngestDrainSnapshot(t *testing.T) {
+	r := newRig(t)
+	m := newTestMonitor(t, Config{Workers: 2, MaxPending: 100000})
+	const (
+		nodes  = 8
+		epochs = 60
+	)
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		node := packet.NodeID(n + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := 1; e <= epochs; e++ {
+				var rec trace.Record
+				if e%5 == 0 {
+					rec = r.hot(node, e)
+				} else {
+					rec = r.calm(node, e)
+				}
+				if _, err := m.Ingest(rec); err != nil {
+					t.Errorf("node %d epoch %d: %v", node, e, err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var drainWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := m.Drain(); err != nil {
+					t.Errorf("drain: %v", err)
+					return
+				}
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	drainWG.Wait()
+	// Final drain picks up stragglers.
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	// Every hot report derives a hot delta (and the calm report after a hot
+	// one derives the equally exceptional recovery delta), so at minimum the
+	// hot epochs are flagged — the exact recovery count is not asserted.
+	if min := uint64(nodes * (epochs / 5)); st.Flagged < min {
+		t.Errorf("flagged = %d, want ≥ %d", st.Flagged, min)
+	}
+	if st.Diagnosed != st.Flagged || st.Dropped != 0 {
+		t.Errorf("diagnosed=%d flagged=%d dropped=%d", st.Diagnosed, st.Flagged, st.Dropped)
+	}
+	if st.Reports != nodes*epochs {
+		t.Errorf("reports = %d, want %d", st.Reports, nodes*epochs)
+	}
+}
