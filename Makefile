@@ -8,7 +8,12 @@ GO ?= go
 # parallel wsn phases call into them concurrently (keyed link draws and
 # pure environment queries). vn2/online and cmd/vn2 are included for the
 # streaming monitor and the serve path (concurrent ingest/drain/snapshot).
-RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./vn2/online/... ./cmd/vn2/...
+# wal, retry, and chaos are the crash-safety layer under the same gate.
+RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./vn2/online/... ./cmd/vn2/...
+
+# Short smoke budget per fuzz target inside `make check`; raise for a real
+# fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
+FUZZ_TIME ?= 3s
 
 # The simulator scaling ladder `make bench` runs: per-epoch cost at CitySee
 # scale, the worker sweep, and end-to-end trace generation at 60/120/286
@@ -17,9 +22,9 @@ BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCityS
 BENCH_TXT     ?= bench.txt
 BENCH_JSON    ?= BENCH_2.json
 
-.PHONY: check vet build test race smoke bench bench-all
+.PHONY: check vet build test race fuzz chaos smoke bench bench-all
 
-check: vet build test race
+check: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +37,20 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# fuzz smokes the malformed-input decoders: the trace CSV reader and the
+# serve report-body decoder, seeded from the regression tables.
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZ_TIME)
+	$(GO) test ./cmd/vn2 -run '^$$' -fuzz FuzzDecodeReports -fuzztime $(FUZZ_TIME)
+
+# chaos proves the crash-safety contract end to end: a fault-injected run
+# (duplication, reordering, delays, wire truncation) with a mid-run kill -9
+# and WAL+snapshot recovery must reproduce the fault-free baseline's
+# per-epoch diagnoses bit for bit.
+chaos:
+	$(GO) run ./cmd/vn2 chaos -seed 1
+	$(GO) test ./cmd/vn2 -run TestChaos -count=1 -v
 
 # smoke boots the real `vn2 serve` stack end to end: build fixtures with the
 # CLI, start the HTTP server, post reports, and assert the diagnosis

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/chaos"
+	"github.com/wsn-tools/vn2/internal/retry"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/tracegen"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// chaosOptions parametrizes one chaos experiment.
+type chaosOptions struct {
+	scenario  string
+	seed      int64
+	rank      int
+	drop      float64
+	duplicate float64
+	delay     float64
+	truncate  float64
+	shuffle   bool
+	killAfter int     // kill -9 the sink after this epoch batch (0 = never)
+	tolerance float64 // max allowed per-epoch relative L1 deviation when drop > 0
+	dir       string  // work dir (default: a temp dir, removed afterwards)
+	quiet     bool
+}
+
+// chaosResult is what the harness measured; the e2e test asserts on it and
+// the CLI prints it.
+type chaosResult struct {
+	Baseline  online.MonitorState
+	Recovered online.MonitorState
+	Transport chaos.Stats
+	// MaxDeviation is the worst per-epoch relative L1 distance between the
+	// fault-free and the recovered distributions (0 when they are
+	// bit-identical).
+	MaxDeviation float64
+	// Exact reports bit-identical per-epoch distributions.
+	Exact bool
+	// Digest fingerprints the recovered distributions; identical seeds must
+	// reproduce identical digests.
+	Digest string
+}
+
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	var o chaosOptions
+	fs.StringVar(&o.scenario, "scenario", "testbed-expansive", "testbed-local | testbed-expansive")
+	fs.Int64Var(&o.seed, "seed", 1, "seed for the workload AND every fault decision")
+	fs.IntVar(&o.rank, "rank", 6, "model rank")
+	fs.Float64Var(&o.drop, "drop", 0, "per-report drop probability (losses: recovery compared under -tolerance)")
+	fs.Float64Var(&o.duplicate, "dup", 0.1, "per-report duplication probability (lossless)")
+	fs.Float64Var(&o.delay, "delay", 0.2, "per-report delay probability (lossless, reorders across nodes)")
+	fs.Float64Var(&o.truncate, "truncate", 0.1, "per-delivery wire-truncation probability (lossless, client retransmits)")
+	fs.BoolVar(&o.shuffle, "shuffle", true, "shuffle each delivery's records")
+	fs.IntVar(&o.killAfter, "kill-epoch", tracegen.TestbedEpochs/2, "kill -9 the sink after this epoch batch and restart it from WAL+snapshot (0 = never)")
+	fs.Float64Var(&o.tolerance, "tolerance", 0.5, "allowed per-epoch relative L1 deviation when -drop > 0 (a single dropped hot report can dominate a sparse epoch)")
+	fs.StringVar(&o.dir, "dir", "", "work directory (default: temp)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := runChaos(o, func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transport: %+v\n", res.Transport)
+	fmt.Printf("epochs: baseline %d, recovered %d\n", len(res.Baseline.Epochs), len(res.Recovered.Epochs))
+	fmt.Printf("max per-epoch deviation: %.6f (exact: %v)\n", res.MaxDeviation, res.Exact)
+	fmt.Printf("recovered digest: %s\n", res.Digest)
+	switch {
+	case o.drop == 0 && !res.Exact:
+		return fmt.Errorf("chaos: lossless fault mix but recovered distributions are not bit-identical")
+	case o.drop > 0 && res.MaxDeviation > o.tolerance:
+		return fmt.Errorf("chaos: deviation %.4f exceeds tolerance %.4f", res.MaxDeviation, o.tolerance)
+	}
+	fmt.Println("chaos: PASS")
+	return nil
+}
+
+// runChaos trains a model on a calibration trace, streams a second trace
+// through the sink twice — once over a clean wire, once through the chaos
+// transport with a mid-run kill -9 — and compares the per-epoch cause
+// distributions. Everything is keyed by o.seed; two invocations with the
+// same options produce bit-identical results.
+func runChaos(o chaosOptions, logf func(string, ...any)) (*chaosResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dir := o.dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "vn2-chaos-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// Fixtures, built with the repo's own subcommands: calibration trace
+	// (also the training set) and the model both runs share.
+	calibPath := filepath.Join(dir, "calib.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run([]string{"tracegen", "-scenario", o.scenario, "-seed", fmt.Sprint(o.seed), "-out", calibPath}); err != nil {
+		return nil, fmt.Errorf("tracegen: %w", err)
+	}
+	if err := run([]string{"train", "-in", calibPath, "-out", modelPath, "-rank", fmt.Sprint(o.rank), "-all-states"}); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	// The live workload: a second simulated deployment window, rebased to
+	// start right after the calibration epochs so each report continues its
+	// node's counter stream.
+	batches, err := liveBatches(o, tracegen.TestbedEpochs)
+	if err != nil {
+		return nil, err
+	}
+	logf("chaos: %d live epoch batches\n", len(batches))
+
+	base := driveOptions{calibPath: calibPath, modelPath: modelPath, dir: filepath.Join(dir, "baseline")}
+	baseline, err := driveRun(base, batches, nil, 0, logf)
+	if err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+
+	tr, err := chaos.New(chaos.Config{
+		Seed:      o.seed,
+		Drop:      o.drop,
+		Duplicate: o.duplicate,
+		Delay:     o.delay,
+		Truncate:  o.truncate,
+		Shuffle:   o.shuffle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	faulty := driveOptions{calibPath: calibPath, modelPath: modelPath, dir: filepath.Join(dir, "chaos")}
+	recovered, err := driveRun(faulty, batches, tr, o.killAfter, logf)
+	if err != nil {
+		return nil, fmt.Errorf("chaos run: %w", err)
+	}
+
+	res := &chaosResult{
+		Baseline:  *baseline,
+		Recovered: *recovered,
+		Transport: tr.Stats(),
+	}
+	res.Exact = reflect.DeepEqual(baseline.Epochs, recovered.Epochs)
+	res.MaxDeviation = maxEpochDeviation(baseline.Epochs, recovered.Epochs)
+	b, err := json.Marshal(recovered.Epochs)
+	if err != nil {
+		return nil, err
+	}
+	res.Digest = fmt.Sprintf("%x", sha256.Sum256(b))
+	return res, nil
+}
+
+// liveBatches generates the live deployment window (a fresh simulation of
+// the same testbed under a different seed) and groups it into per-epoch
+// report batches, node-ascending, epochs rebased past the calibration run.
+func liveBatches(o chaosOptions, rebase int) ([][]trace.Record, error) {
+	sc := tracegen.ScenarioExpansive
+	if o.scenario == "testbed-local" {
+		sc = tracegen.ScenarioLocal
+	}
+	live, err := tracegen.Testbed(tracegen.TestbedOptions{Seed: o.seed + 1, Scenario: sc})
+	if err != nil {
+		return nil, fmt.Errorf("generate live trace: %w", err)
+	}
+	byEpoch := make(map[int][]trace.Record)
+	for _, id := range live.Dataset.Nodes() {
+		for _, rec := range live.Dataset.Records(id) {
+			rec.Epoch += rebase
+			rec.Vector = append([]float64(nil), rec.Vector...)
+			byEpoch[rec.Epoch] = append(byEpoch[rec.Epoch], rec)
+		}
+	}
+	epochs := make([]int, 0, len(byEpoch))
+	for e := range byEpoch {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	batches := make([][]trace.Record, 0, len(epochs))
+	for _, e := range epochs {
+		batch := byEpoch[e]
+		sort.Slice(batch, func(i, j int) bool { return batch[i].Node < batch[j].Node })
+		batches = append(batches, batch)
+	}
+	return batches, nil
+}
+
+type driveOptions struct {
+	calibPath string
+	modelPath string
+	dir       string
+}
+
+// driveRun streams the batches into a freshly built sink. With a transport,
+// each batch first passes through the chaos wire; killAfter > 0 kills the
+// sink abruptly after ACKing that batch — queue contents and all — and
+// restarts it from WAL + snapshot. The caller gets the final monitor state.
+func driveRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, killAfter int, logf func(string, ...any)) (*online.MonitorState, error) {
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		return nil, err
+	}
+	noSleep := func(time.Duration) {}
+	build := func() (*server, *httptest.Server, error) {
+		srv, err := buildServer(serveOptions{
+			modelPath:     o.modelPath,
+			calibratePath: o.calibPath,
+			snapshotPath:  filepath.Join(o.dir, "snapshot.json"),
+			walPath:       filepath.Join(o.dir, "wal"),
+			queueSize:     4096,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv.sleep = noSleep
+		return srv, httptest.NewServer(srv.handler()), nil
+	}
+	srv, ts, err := build()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { ts.Close() }()
+
+	snapshotAt := 0
+	if killAfter > 0 {
+		// Cut a snapshot mid-run so recovery exercises snapshot restore +
+		// WAL truncation + replay of the suffix, not just a full replay.
+		snapshotAt = killAfter / 2
+	}
+	deliver := func(ds []chaos.Delivery) error {
+		for _, d := range ds {
+			if err := postDelivery(ts.URL, d, noSleep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, batch := range batches {
+		var ds []chaos.Delivery
+		if tr != nil {
+			ds = tr.Step(batch)
+		} else {
+			ds = []chaos.Delivery{{Records: batch}}
+		}
+		if err := deliver(ds); err != nil {
+			return nil, fmt.Errorf("batch %d: %w", i+1, err)
+		}
+		if i+1 == killAfter {
+			// kill -9: ACKed reports are sitting in the queue, unflushed WAL
+			// buffers die with the process, no goodbye snapshot. Everything
+			// the clients were promised must come back from disk.
+			ts.Close()
+			srv.wal.Abort()
+			logf("chaos: killed sink after batch %d (queue held %d reports), restarting from disk\n",
+				i+1, len(srv.queue))
+			srv, ts, err = build()
+			if err != nil {
+				return nil, fmt.Errorf("restart after kill: %w", err)
+			}
+			continue
+		}
+		srv.ingestQueued()
+		srv.drainTick()
+		if i+1 == snapshotAt {
+			if err := srv.persistSnapshot(context.Background()); err != nil {
+				return nil, fmt.Errorf("mid-run snapshot: %w", err)
+			}
+		}
+	}
+	if tr != nil {
+		if err := deliver(tr.Flush()); err != nil {
+			return nil, fmt.Errorf("flush: %w", err)
+		}
+	}
+	srv.ingestQueued()
+	srv.drainTick()
+	st := srv.mon.State()
+	ts.Close()
+	if err := srv.wal.Close(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// postDelivery sends one wire transfer to the sink, honoring the
+// transport's truncation verdict: a truncated delivery goes out cut
+// mid-payload (the sink must 400 it), then the full batch is retransmitted.
+// Backpressure 503s retry with decorrelated-jitter backoff.
+func postDelivery(baseURL string, d chaos.Delivery, sleep func(time.Duration)) error {
+	body, err := json.Marshal(d.Records)
+	if err != nil {
+		return err
+	}
+	if d.Truncated {
+		resp, err := http.Post(baseURL+"/report", "application/json", bytes.NewReader(body[:len(body)*2/3]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			return fmt.Errorf("truncated delivery got %d, want 400", resp.StatusCode)
+		}
+	}
+	b := retry.New(time.Millisecond, 50*time.Millisecond, 0xc4a05, uint64(len(body)))
+	return retry.Do(context.Background(), b, 12, sleep, func() error {
+		resp, err := http.Post(baseURL+"/report", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("report status %d", resp.StatusCode)
+		}
+		return nil
+	})
+}
+
+// maxEpochDeviation is the comparison metric the tolerance applies to: for
+// each epoch present in either run, the L1 distance between the summed
+// cause distributions relative to the larger distribution's mass. 0 means
+// identical; 1 means an epoch's entire diagnosis mass is missing or new.
+func maxEpochDeviation(a, b []online.EpochState) float64 {
+	byEpoch := func(es []online.EpochState) map[int]map[int]float64 {
+		m := make(map[int]map[int]float64, len(es))
+		for _, e := range es {
+			dist := make(map[int]float64)
+			for _, c := range e.Contribs {
+				for _, rc := range c.Causes {
+					dist[rc.Cause] += rc.Strength
+				}
+			}
+			m[e.Epoch] = dist
+		}
+		return m
+	}
+	am, bm := byEpoch(a), byEpoch(b)
+	var worst float64
+	for e, ad := range am {
+		if d := l1RelDeviation(ad, bm[e]); d > worst {
+			worst = d
+		}
+	}
+	for e, bd := range bm {
+		if _, ok := am[e]; !ok {
+			if d := l1RelDeviation(nil, bd); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func l1RelDeviation(a, b map[int]float64) float64 {
+	var diff, massA, massB float64
+	for cause, av := range a {
+		d := av - b[cause]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+		massA += av
+	}
+	for cause, bv := range b {
+		if _, ok := a[cause]; !ok {
+			diff += bv
+		}
+		massB += bv
+	}
+	mass := massA
+	if massB > mass {
+		mass = massB
+	}
+	if mass == 0 {
+		return 0
+	}
+	return diff / mass
+}

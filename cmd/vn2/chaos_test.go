@@ -1,0 +1,80 @@
+package main
+
+import (
+	"testing"
+)
+
+// chaosTestOptions is the e2e configuration: the full lossless fault mix,
+// a mid-run kill -9, and the standard testbed workload.
+func chaosTestOptions(dir string) chaosOptions {
+	return chaosOptions{
+		scenario:  "testbed-expansive",
+		seed:      11,
+		rank:      6,
+		duplicate: 0.15,
+		delay:     0.25,
+		truncate:  0.1,
+		shuffle:   true,
+		killAfter: 20,
+		dir:       dir,
+	}
+}
+
+// TestChaosKillRecoveryExact is the acceptance test of the crash-safe
+// ingest stack: stream a simulated deployment through a chaos wire
+// (duplication, cross-node reordering, delays, wire truncation — all
+// lossless), kill -9 the sink mid-run with ACKed reports still queued,
+// restart it from WAL + snapshot, and require the recovered per-epoch cause
+// distributions to be BIT-IDENTICAL to a fault-free, kill-free baseline.
+func TestChaosKillRecoveryExact(t *testing.T) {
+	res, err := runChaos(chaosTestOptions(t.TempDir()), t.Logf)
+	if err != nil {
+		t.Fatalf("runChaos: %v", err)
+	}
+	if !res.Exact || res.MaxDeviation != 0 {
+		t.Fatalf("lossless faults + kill must recover exactly: exact=%v deviation=%g",
+			res.Exact, res.MaxDeviation)
+	}
+	st := res.Transport
+	if st.Dropped != 0 || st.Duplicated == 0 || st.Delayed == 0 || st.Truncated == 0 {
+		t.Fatalf("fault mix did not exercise the wire: %+v", st)
+	}
+	if st.Delivered <= st.Offered {
+		t.Fatalf("duplication should deliver more than offered: %+v", st)
+	}
+	if len(res.Recovered.Epochs) == 0 || len(res.Recovered.Nodes) == 0 {
+		t.Fatal("recovered run diagnosed nothing — the harness is vacuous")
+	}
+
+	// Determinism: rerunning the whole experiment — faults, kill, recovery
+	// — with the same seed reproduces the digest bit for bit.
+	res2, err := runChaos(chaosTestOptions(t.TempDir()), t.Logf)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if res2.Digest != res.Digest {
+		t.Fatalf("reruns diverged: %s vs %s", res.Digest, res2.Digest)
+	}
+}
+
+// TestChaosDropsWithinTolerance: with real losses, exactness is impossible
+// by construction; the recovered distributions must still be the baseline's
+// within the documented per-epoch relative L1 tolerance, and deterministic.
+func TestChaosDropsWithinTolerance(t *testing.T) {
+	o := chaosTestOptions(t.TempDir())
+	o.drop = 0.05
+	o.tolerance = 0.5
+	res, err := runChaos(o, t.Logf)
+	if err != nil {
+		t.Fatalf("runChaos: %v", err)
+	}
+	if res.Transport.Dropped == 0 {
+		t.Fatalf("drop=0.05 dropped nothing: %+v", res.Transport)
+	}
+	if res.Exact {
+		t.Log("note: all dropped reports were diagnosis-neutral this seed")
+	}
+	if res.MaxDeviation > o.tolerance {
+		t.Fatalf("deviation %.4f exceeds tolerance %.4f", res.MaxDeviation, o.tolerance)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+)
+
+// FuzzDecodeReports hammers the POST /report body decoder with arbitrary
+// bytes across its three accepted shapes (bare record, bare array,
+// {"reports": [...]} envelope). The invariant is decode-or-reject: never
+// panic, never return success with an empty batch (an accepted empty batch
+// would ACK nothing as if it were something).
+func FuzzDecodeReports(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`hello`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"reports":[]}`))
+	f.Add([]byte(`{"bogus":true}`))
+	f.Add([]byte(`{"node":1,"epoch":1,`))
+	f.Add([]byte(`{"node":1,"epoch":1}`))
+	f.Add([]byte(`{"node":1,"epoch":1,"vector":[1,2,3]}`))
+	f.Add([]byte(`[{"node":1,"epoch":1,"vector":[1,2,3]}]`))
+	f.Add([]byte(`{"reports":[{"node":1,"epoch":1,"vector":[1,2,3]}]}`))
+	f.Add([]byte(`{"reports":[{"node":1,"epoch":1,"vector":[1e308,2e308]}]}`))
+	f.Add([]byte(`  [ {"node": 9, "epoch": 2, "vector": [0]} ] `))
+	f.Add([]byte(`{"reports":null}`))
+	f.Add([]byte(`[null]`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		recs, err := decodeReports(body)
+		if err != nil {
+			if len(recs) != 0 {
+				t.Fatalf("error %v but %d records returned", err, len(recs))
+			}
+			return
+		}
+		if len(recs) == 0 {
+			t.Fatal("success with an empty batch")
+		}
+	})
+}

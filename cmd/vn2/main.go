@@ -10,7 +10,8 @@
 //	vn2 explain    -model model.json [-top k]
 //	vn2 epochs     -model model.json -in trace.csv [-min-strength x]
 //	vn2 simulate   [-nodes n] [-epochs e] [-seed s]
-//	vn2 serve      -model model.json -calibrate trace.csv [-addr host:port] [-snapshot file]
+//	vn2 serve      -model model.json -calibrate trace.csv [-addr host:port] [-snapshot file] [-wal dir]
+//	vn2 chaos      [-seed s] [-drop p] [-dup p] [-delay p] [-truncate p] [-kill-epoch n] [-tolerance x]
 //	vn2 experiment [table1|fig3a|fig3b|fig3c|fig4|fig5|fig6|baselines|prrest|all] [-quick] [-seed s]
 package main
 
@@ -54,6 +55,8 @@ func run(args []string) error {
 		return cmdSimulate(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "experiment":
 		return cmdExperiment(args[1:])
 	case "help", "-h", "--help":
@@ -76,6 +79,7 @@ subcommands:
   epochs      network-level combination diagnosis, one line per epoch
   simulate    run the WSN simulator and print per-epoch PRR
   serve       run the online sink service (streaming detection + diagnosis over HTTP)
+  chaos       prove crash-safe ingest: fault-injected run + kill -9 vs fault-free baseline
   experiment  regenerate the paper's tables and figures
 `)
 }

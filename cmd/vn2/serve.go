@@ -13,12 +13,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"github.com/wsn-tools/vn2/internal/retry"
 	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/wal"
 	"github.com/wsn-tools/vn2/vn2"
 	"github.com/wsn-tools/vn2/vn2/online"
 )
@@ -29,6 +32,7 @@ type serveOptions struct {
 	modelPath     string
 	calibratePath string
 	snapshotPath  string
+	walPath       string
 	threshold     float64
 	queueSize     int
 	maxPending    int
@@ -45,6 +49,7 @@ func cmdServe(args []string) error {
 	fs.StringVar(&o.modelPath, "model", "", "model JSON path (required unless -snapshot holds one)")
 	fs.StringVar(&o.calibratePath, "calibrate", "", "trace CSV to freeze the exception detector from (required unless -snapshot holds a detector)")
 	fs.StringVar(&o.snapshotPath, "snapshot", "", "snapshot file: loaded at startup when present, rewritten periodically")
+	fs.StringVar(&o.walPath, "wal", "", "write-ahead log directory: accepted reports are journaled before the 202 and replayed on restart (empty = no WAL)")
 	fs.Float64Var(&o.threshold, "threshold", 0, "exception cutoff eps/max(eps) (0 = paper's 0.01)")
 	fs.IntVar(&o.queueSize, "queue", 1024, "bounded ingest queue size; full queue returns 503")
 	fs.IntVar(&o.maxPending, "max-pending", 0, "bound on flagged states awaiting diagnosis (0 = 4096)")
@@ -64,26 +69,35 @@ func cmdServe(args []string) error {
 	return srv.run(ctx)
 }
 
-// snapshotVersion guards the snapshot file format.
-const snapshotVersion = 1
+// snapshotVersion guards the snapshot file format. Version 2 added the
+// monitor's rolling state and the WAL applied-LSN watermark; version 1
+// files (model + detector + summary only) still load, they just re-warm.
+const snapshotVersion = 2
 
 // snapshotFile is the periodic on-disk state: the model (as its vn2.Save
 // envelope, so restoring revalidates through vn2.Load), the frozen
-// detector, and the rolling summary for observability. A server restarted
-// with only -snapshot resumes with the same model and detector; per-node
-// last reports are not persisted, so each node's first post-restart report
-// re-warms its diff slot.
+// detector, the rolling summary for observability, and — since version 2 —
+// the monitor's full rolling state plus the WAL watermark. A server
+// restarted with only -snapshot resumes mid-stream; a WAL replay on top
+// recovers everything accepted after the snapshot was cut.
 type snapshotFile struct {
-	Version  int             `json:"version"`
-	SavedAt  time.Time       `json:"saved_at"`
-	Model    json.RawMessage `json:"model"`
-	Detector *trace.Detector `json:"detector"`
-	Summary  online.Summary  `json:"summary"`
+	Version  int                  `json:"version"`
+	SavedAt  time.Time            `json:"saved_at"`
+	Model    json.RawMessage      `json:"model"`
+	Detector *trace.Detector      `json:"detector"`
+	Summary  online.Summary       `json:"summary"`
+	Monitor  *online.MonitorState `json:"monitor,omitempty"`
+	// WALApplied is the largest LSN known ingested when the snapshot was
+	// cut: every record at or below it is reflected in Monitor. Captured
+	// BEFORE the monitor state is exported, so the state always covers at
+	// least the watermark — replaying a little extra is benign (the
+	// monitor's duplicate/stale handling absorbs it), losing some is not.
+	WALApplied uint64 `json:"wal_applied,omitempty"`
 }
 
 // buildServer loads the model, obtains a frozen detector (snapshot first,
-// else calibration trace), primes the monitor, and assembles the HTTP
-// server without starting it.
+// else calibration trace), primes the monitor, restores snapshot state,
+// replays the WAL, and assembles the HTTP server without starting it.
 func buildServer(o serveOptions) (*server, error) {
 	var snap *snapshotFile
 	if o.snapshotPath != "" {
@@ -98,7 +112,7 @@ func buildServer(o serveOptions) (*server, error) {
 			if err := json.Unmarshal(b, snap); err != nil {
 				return nil, fmt.Errorf("decode snapshot %s: %w", o.snapshotPath, err)
 			}
-			if snap.Version != snapshotVersion {
+			if snap.Version != 1 && snap.Version != snapshotVersion {
 				return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
 			}
 		}
@@ -175,28 +189,156 @@ func buildServer(o serveOptions) (*server, error) {
 			}
 		}
 	}
+	// Restore the monitor's rolling state (version ≥ 2 snapshots). This
+	// replaces the calibration warm above, which is the point: the
+	// snapshot's diff slots are newer.
+	if snap != nil && snap.Monitor != nil {
+		if err := mon.Restore(*snap.Monitor); err != nil {
+			return nil, fmt.Errorf("restore monitor state: %w", err)
+		}
+	}
 	if o.queueSize <= 0 {
 		o.queueSize = 1024
 	}
-	return &server{
+	if o.maxPending <= 0 {
+		o.maxPending = 4096
+	}
+	s := &server{
 		opts:     o,
 		mon:      mon,
 		det:      det,
 		modelRaw: modelRaw,
-		queue:    make(chan trace.Record, o.queueSize),
+		queue:    make(chan queuedReport, o.queueSize),
 		started:  time.Now(),
-	}, nil
+	}
+
+	// WAL: open, then replay everything retained past the snapshot's
+	// watermark into the monitor. Records at or below the watermark are
+	// already in the restored state; anything the replay re-offers is
+	// absorbed by the monitor's duplicate/stale handling, so recovery errs
+	// on the side of replaying too much.
+	if o.walPath != "" {
+		w, err := wal.Open(o.walPath, wal.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("open wal: %w", err)
+		}
+		var base uint64
+		if snap != nil {
+			base = snap.WALApplied
+		}
+		err = w.Replay(func(lsn uint64, payload []byte) error {
+			if lsn <= base {
+				s.walSkipped.Add(1)
+				return nil
+			}
+			var rec trace.Record
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				// CRC passed, so this is a format drift, not corruption;
+				// count it and keep the rest of the log.
+				s.walBadRec.Add(1)
+				return nil
+			}
+			if _, err := mon.Ingest(rec); err != nil {
+				s.ingestErr.Add(1)
+			} else {
+				s.walReplayed.Add(1)
+				s.ingested.Add(1)
+			}
+			if mon.Pending() >= o.maxPending/2 {
+				// Keep the backlog bounded during long replays.
+				if _, err := mon.Drain(); err != nil {
+					return fmt.Errorf("drain during replay: %w", err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			w.Abort()
+			return nil, fmt.Errorf("replay wal: %w", err)
+		}
+		s.wal = w
+		s.applied.init(w.NextLSN())
+	}
+	return s, nil
 }
 
+// queuedReport carries a report through the ingest queue together with its
+// WAL position (0 when the WAL is disabled).
+type queuedReport struct {
+	lsn uint64
+	rec trace.Record
+}
+
+// lsnTracker tracks the applied-LSN watermark: the largest L such that
+// every record with LSN ≤ L has been offered to the monitor. Ingest order
+// can differ from append order across concurrent requests, so completions
+// are collected in a set and the watermark advances over contiguous runs.
+type lsnTracker struct {
+	mu   sync.Mutex
+	next uint64 // lowest LSN not yet applied
+	done map[uint64]struct{}
+}
+
+func (t *lsnTracker) init(next uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = next
+	t.done = make(map[uint64]struct{})
+}
+
+func (t *lsnTracker) mark(lsn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lsn < t.next {
+		return
+	}
+	t.done[lsn] = struct{}{}
+	for {
+		if _, ok := t.done[t.next]; !ok {
+			return
+		}
+		delete(t.done, t.next)
+		t.next++
+	}
+}
+
+func (t *lsnTracker) watermark() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - 1
+}
+
+// Degraded-mode reasons; the prefix picks which recovery probe clears it.
+const (
+	degradedWAL     = "wal"
+	degradedDrain   = "drain"
+	degradedBacklog = "backlog"
+)
+
+// drainFailLimit is how many consecutive failed diagnosis passes flip the
+// server into degraded mode.
+const drainFailLimit = 5
+
+// backlogTickLimit is how many consecutive drain ticks may observe a full
+// queue AND a full pending backlog before the server sheds to degraded.
+const backlogTickLimit = 3
+
 // server is the online sink service: a bounded ingest queue feeding the
-// monitor, periodic drains and snapshots, and the HTTP surface.
+// monitor, periodic drains and snapshots, a WAL making every 202 durable,
+// and the HTTP surface. When persistence or diagnosis fails persistently it
+// degrades to a read-only "last-good diagnosis" mode instead of erroring:
+// ingest answers 503, /diagnosis serves the last good summary, /healthz and
+// /metrics carry the reason.
 type server struct {
 	opts     serveOptions
 	mon      *online.Monitor
 	det      *trace.Detector
 	modelRaw json.RawMessage
-	queue    chan trace.Record
+	queue    chan queuedReport
+	wal      *wal.WAL
+	applied  lsnTracker
 	started  time.Time
+	sleep    func(time.Duration) // retry sleeper; nil = time.Sleep (tests inject)
 
 	received  atomic.Uint64 // reports offered by clients
 	accepted  atomic.Uint64 // reports that fit in the queue
@@ -205,14 +347,61 @@ type server struct {
 	ingested  atomic.Uint64 // reports the monitor consumed cleanly
 	ingestErr atomic.Uint64 // stale/invalid/backlogged reports
 	drains    atomic.Uint64
+	drainErrs atomic.Uint64 // failed diagnosis passes (total)
 	snapshots atomic.Uint64
 	snapErrs  atomic.Uint64
+	walErrs   atomic.Uint64 // failed WAL appends/syncs/truncations
+
+	walReplayed atomic.Uint64 // records re-ingested from the WAL at startup
+	walSkipped  atomic.Uint64 // replay records at or below the snapshot watermark
+	walBadRec   atomic.Uint64 // replay records whose payload did not decode
+
+	degraded     atomic.Bool
+	degradedN    atomic.Uint64 // times the server entered degraded mode
+	drainFails   atomic.Uint64 // consecutive failed drains
+	backlogTicks atomic.Uint64 // consecutive drain ticks at full pressure
+
+	degMu     sync.Mutex
+	degReason string
+	degSince  time.Time
+	lastGood  *online.Summary // snapshot served read-only while degraded
 }
 
-// reportEnvelope is the batched POST /report body; a bare trace.Record (or
-// bare array of records) is also accepted.
-type reportEnvelope struct {
-	Reports []trace.Record `json:"reports"`
+// enterDegraded flips the server into read-only last-good mode. The first
+// reason wins until cleared.
+func (s *server) enterDegraded(reason string) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	if s.degReason != "" {
+		return
+	}
+	s.degReason = reason
+	s.degSince = time.Now()
+	sum := s.mon.Snapshot()
+	s.lastGood = &sum
+	s.degraded.Store(true)
+	s.degradedN.Add(1)
+	fmt.Fprintf(os.Stderr, "vn2 serve: DEGRADED (%s): serving last-good diagnosis, shedding ingest\n", reason)
+}
+
+// clearDegraded exits degraded mode if the active reason starts with the
+// given class prefix (so a WAL probe can't clear a drain failure).
+func (s *server) clearDegraded(class string) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	if s.degReason == "" || !strings.HasPrefix(s.degReason, class) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "vn2 serve: recovered from degraded mode (%s)\n", s.degReason)
+	s.degReason = ""
+	s.lastGood = nil
+	s.degraded.Store(false)
+}
+
+func (s *server) degradedReason() (string, time.Time) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	return s.degReason, s.degSince
 }
 
 // handler builds the HTTP surface.
@@ -231,29 +420,115 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// handleReport enqueues reports into the bounded ingest queue. A full queue
-// is backpressure: the request gets 503 + Retry-After and the client is
-// told how many of its reports were accepted before the queue filled.
-func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, 8<<20)
-	var recs []trace.Record
-	raw, err := io.ReadAll(body)
-	if err == nil {
-		raw = bytes.TrimSpace(raw)
-		if len(raw) > 0 && raw[0] == '[' {
-			err = json.Unmarshal(raw, &recs)
-		} else {
-			var env reportEnvelope
-			if err = json.Unmarshal(raw, &env); err == nil && len(env.Reports) == 0 {
-				// Not the batch envelope: treat the body as one bare record.
-				var rec trace.Record
-				if err = json.Unmarshal(raw, &rec); err == nil && rec.Vector != nil {
-					recs = []trace.Record{rec}
-				}
-			} else {
-				recs = env.Reports
-			}
+// decodeReports parses a POST /report body: a bare trace.Record, a bare
+// array of records, or the {"reports": [...]} envelope. Split out so the
+// fuzz target can hit it directly.
+func decodeReports(raw []byte) ([]trace.Record, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 {
+		return nil, errors.New("empty body")
+	}
+	if raw[0] == '[' {
+		var recs []trace.Record
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			return nil, err
 		}
+		if len(recs) == 0 {
+			return nil, errors.New("empty report array")
+		}
+		return recs, nil
+	}
+	var env reportEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && len(env.Reports) > 0 {
+		return env.Reports, nil
+	}
+	// Not the batch envelope: treat the body as one bare record.
+	var rec trace.Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Vector == nil {
+		return nil, errors.New("report without a vector")
+	}
+	return []trace.Record{rec}, nil
+}
+
+// reportEnvelope is the batched POST /report body; a bare trace.Record (or
+// bare array of records) is also accepted.
+type reportEnvelope struct {
+	Reports []trace.Record `json:"reports"`
+}
+
+// walAppend journals one record, retrying transient failures (a segment
+// rotation hiding behind Append gets the same retries) with
+// decorrelated-jitter backoff. The record is durable only after a later
+// walSync.
+func (s *server) walAppend(rec trace.Record) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	var lsn uint64
+	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a1)
+	err = retry.Do(context.Background(), b, 3, s.sleep, func() error {
+		l, err := s.wal.Append(payload)
+		if err != nil {
+			return err
+		}
+		lsn = l
+		return nil
+	})
+	if err != nil {
+		s.walErrs.Add(1)
+	}
+	return lsn, err
+}
+
+// walSync group-commits everything appended so far. One fsync covers every
+// record of the request (and any a concurrent request just appended).
+func (s *server) walSync() error {
+	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a2)
+	err := retry.Do(context.Background(), b, 3, s.sleep, s.wal.Sync)
+	if err != nil {
+		s.walErrs.Add(1)
+	}
+	return err
+}
+
+// walFail flips the server into degraded mode on a persistent journal
+// failure and answers the request with a 503: nothing is ACKed, the client
+// owns the retry.
+func (s *server) walFail(w http.ResponseWriter, op string, err error) {
+	s.enterDegraded(fmt.Sprintf("%s: %s: %v", degradedWAL, op, err))
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":  "journal unavailable, report not accepted",
+		"reason": err.Error(),
+	})
+}
+
+// handleReport journals and enqueues reports. The 202 is the durability
+// contract: it is sent only after every report in the request is in the
+// queue AND fsynced to the WAL (when enabled) — a kill -9 after the 202
+// loses nothing. A full queue is backpressure: the request gets 503 +
+// Retry-After and the client is told how many of its reports were accepted
+// before the queue filled; those accepted are journaled, the dropped are
+// not ACKed and must be retried.
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if s.degraded.Load() {
+		reason, _ := s.degradedReason()
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":  "degraded: ingest shed, serving last-good diagnosis",
+			"reason": reason,
+		})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	raw, err := io.ReadAll(body)
+	var recs []trace.Record
+	if err == nil {
+		recs, err = decodeReports(raw)
 	}
 	if err != nil || len(recs) == 0 {
 		s.badReqs.Add(1)
@@ -261,44 +536,109 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.received.Add(uint64(len(recs)))
+
+	// Per record: journal (when the WAL is on), then enqueue. The fsync
+	// comes once at the end — records are in the queue before they are
+	// durable, which is fine because only the final 202 promises
+	// durability; a crash in between loses nothing the client was told
+	// was safe. A record journaled but shed by a full queue is marked
+	// applied immediately so it cannot stall the truncation watermark —
+	// if it survives into a replay that is surplus, not loss, and the
+	// monitor's duplicate/stale handling absorbs it.
 	queued := 0
+	shed := false
 	for _, rec := range recs {
+		var lsn uint64
+		if s.wal != nil {
+			l, err := s.walAppend(rec)
+			if err != nil {
+				if queued > 0 {
+					_ = s.walSync() // best effort for what was enqueued
+				}
+				s.walFail(w, "append", err)
+				return
+			}
+			lsn = l
+		}
 		select {
-		case s.queue <- rec:
+		case s.queue <- queuedReport{lsn: lsn, rec: rec}:
 			queued++
 		default:
-			s.accepted.Add(uint64(queued))
-			s.rejected.Add(uint64(len(recs) - queued))
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"error":    "ingest queue full",
-				"accepted": queued,
-				"dropped":  len(recs) - queued,
-			})
+			if s.wal != nil {
+				s.applied.mark(lsn)
+			}
+			shed = true
+		}
+		if shed {
+			break
+		}
+	}
+	if s.wal != nil {
+		if err := s.walSync(); err != nil {
+			s.walFail(w, "sync", err)
 			return
 		}
+	}
+	if shed {
+		s.accepted.Add(uint64(queued))
+		s.rejected.Add(uint64(len(recs) - queued))
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":    "ingest queue full",
+			"accepted": queued,
+			"dropped":  len(recs) - queued,
+		})
+		return
 	}
 	s.accepted.Add(uint64(queued))
 	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": queued})
 }
 
 func (s *server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
+	if s.degraded.Load() {
+		s.degMu.Lock()
+		sum, reason := s.lastGood, s.degReason
+		s.degMu.Unlock()
+		if sum != nil {
+			w.Header().Set("X-Vn2-Degraded", reason)
+			writeJSON(w, http.StatusOK, sum)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, s.mon.Snapshot())
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	reason, since := s.degradedReason()
+	body := map[string]any{
 		"status":      "ok",
 		"uptime_s":    time.Since(s.started).Seconds(),
 		"queue_depth": len(s.queue),
-	})
+	}
+	if s.wal != nil {
+		body["wal_segments"] = s.wal.Segments()
+		body["wal_next_lsn"] = s.wal.NextLSN()
+		body["wal_applied"] = s.applied.watermark()
+	}
+	if reason != "" {
+		body["status"] = "degraded"
+		body["reason"] = reason
+		body["degraded_for_s"] = time.Since(since).Seconds()
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics exposes expvar-style flat JSON counters: the server's own
-// queue/HTTP accounting plus the monitor's streaming stats.
+// queue/HTTP/WAL/degraded accounting plus the monitor's streaming stats.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.mon.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	degraded := 0
+	if s.degraded.Load() {
+		degraded = 1
+	}
+	m := map[string]any{
 		"reports_received":      s.received.Load(),
 		"reports_accepted":      s.accepted.Load(),
 		"reports_rejected":      s.rejected.Load(),
@@ -308,11 +648,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":           len(s.queue),
 		"queue_capacity":        cap(s.queue),
 		"drains":                s.drains.Load(),
+		"drain_errors":          s.drainErrs.Load(),
+		"drain_fails_in_a_row":  s.drainFails.Load(),
 		"snapshots_written":     s.snapshots.Load(),
 		"snapshot_errors":       s.snapErrs.Load(),
+		"degraded":              degraded,
+		"degraded_entries":      s.degradedN.Load(),
 		"monitor_reports":       st.Reports,
 		"monitor_first_reports": st.FirstReports,
 		"monitor_stale":         st.Stale,
+		"monitor_duplicates":    st.Duplicates,
 		"monitor_invalid":       st.Invalid,
 		"monitor_normal":        st.Normal,
 		"monitor_flagged":       st.Flagged,
@@ -322,40 +667,128 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"monitor_max_gap":       st.MaxGap,
 		"monitor_last_epoch":    st.LastEpoch,
 		"pending_states":        s.mon.Pending(),
-	})
+	}
+	if s.wal != nil {
+		m["wal_errors"] = s.walErrs.Load()
+		m["wal_segments"] = s.wal.Segments()
+		m["wal_next_lsn"] = s.wal.NextLSN()
+		m["wal_applied"] = s.applied.watermark()
+		m["wal_truncations"] = s.wal.Truncations()
+		m["wal_replayed"] = s.walReplayed.Load()
+		m["wal_replay_skipped"] = s.walSkipped.Load()
+		m["wal_replay_bad"] = s.walBadRec.Load()
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
-// ingestLoop consumes the queue until it is closed, feeding the monitor.
+// ingestLoop consumes the queue until it is closed, feeding the monitor and
+// advancing the applied watermark. A report counts as applied whether the
+// monitor accepted it or rejected it as stale/duplicate/invalid — either
+// way it never needs replaying.
 func (s *server) ingestLoop() {
-	for rec := range s.queue {
-		if _, err := s.mon.Ingest(rec); err != nil {
+	for q := range s.queue {
+		if _, err := s.mon.Ingest(q.rec); err != nil {
 			s.ingestErr.Add(1)
-			continue
+		} else {
+			s.ingested.Add(1)
 		}
-		s.ingested.Add(1)
+		if s.wal != nil && q.lsn != 0 {
+			s.applied.mark(q.lsn)
+		}
 	}
 }
 
-// drainTick runs one batched diagnosis pass.
+// ingestQueued synchronously feeds everything currently queued into the
+// monitor — the deterministic stand-in for ingestLoop used by the chaos
+// harness and tests, which drive the server without background goroutines.
+func (s *server) ingestQueued() {
+	for {
+		select {
+		case q := <-s.queue:
+			if _, err := s.mon.Ingest(q.rec); err != nil {
+				s.ingestErr.Add(1)
+			} else {
+				s.ingested.Add(1)
+			}
+			if s.wal != nil && q.lsn != 0 {
+				s.applied.mark(q.lsn)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// drainTick runs one batched diagnosis pass and drives the degraded-mode
+// state machine: consecutive drain failures or sustained full-queue +
+// full-backlog pressure degrade the server; a clean pass (or relieved
+// pressure, or a successful WAL probe) recovers it.
 func (s *server) drainTick() {
-	if out, err := s.mon.Drain(); err != nil {
-		fmt.Fprintln(os.Stderr, "vn2 serve: drain:", err)
-	} else if len(out) > 0 {
+	out, err := s.mon.Drain()
+	if err != nil {
+		total := s.drainErrs.Add(1)
+		fails := s.drainFails.Add(1)
+		// Log at 1, 2, 4, 8, ... so a persistent failure doesn't flood.
+		if total&(total-1) == 0 {
+			fmt.Fprintf(os.Stderr, "vn2 serve: drain failed (%d in a row, %d total): %v\n", fails, total, err)
+		}
+		if fails >= drainFailLimit {
+			s.enterDegraded(fmt.Sprintf("%s: %d consecutive diagnosis failures: %v", degradedDrain, fails, err))
+		}
+		return
+	}
+	s.drainFails.Store(0)
+	s.clearDegraded(degradedDrain)
+	if len(out) > 0 {
 		s.drains.Add(1)
 	}
+
+	// Sustained-backlog detection: the queue and the pending backlog both
+	// pinned at capacity across consecutive ticks means diagnosis cannot
+	// keep up — shed instead of timing out every client.
+	if len(s.queue) >= cap(s.queue) && s.mon.Pending() >= s.opts.maxPending {
+		if s.backlogTicks.Add(1) >= backlogTickLimit {
+			s.enterDegraded(fmt.Sprintf("%s: queue and pending backlog at capacity", degradedBacklog))
+		}
+	} else {
+		s.backlogTicks.Store(0)
+		if len(s.queue) < cap(s.queue)/2 && s.mon.Pending() < s.opts.maxPending/2 {
+			s.clearDegraded(degradedBacklog)
+		}
+	}
+
+	// WAL recovery probe: while degraded for a WAL reason, a successful
+	// sync means the disk came back.
+	if s.wal != nil && s.degraded.Load() {
+		if reason, _ := s.degradedReason(); strings.HasPrefix(reason, degradedWAL) {
+			if err := s.wal.Sync(); err == nil {
+				s.clearDegraded(degradedWAL)
+			}
+		}
+	}
 }
 
-// writeSnapshot atomically rewrites the snapshot file (tmp + rename).
+// writeSnapshot atomically rewrites the snapshot file (tmp + rename), then
+// lets the WAL drop segments wholly covered by the snapshot. The watermark
+// is read BEFORE the monitor state so the state can only be newer — see
+// snapshotFile.WALApplied.
 func (s *server) writeSnapshot() error {
 	if s.opts.snapshotPath == "" {
 		return nil
 	}
+	var wm uint64
+	if s.wal != nil {
+		wm = s.applied.watermark()
+	}
+	st := s.mon.State()
 	b, err := json.Marshal(snapshotFile{
-		Version:  snapshotVersion,
-		SavedAt:  time.Now().UTC(),
-		Model:    s.modelRaw,
-		Detector: s.det,
-		Summary:  s.mon.Snapshot(),
+		Version:    snapshotVersion,
+		SavedAt:    time.Now().UTC(),
+		Model:      s.modelRaw,
+		Detector:   s.det,
+		Summary:    s.mon.Snapshot(),
+		Monitor:    &st,
+		WALApplied: wm,
 	})
 	if err != nil {
 		s.snapErrs.Add(1)
@@ -373,6 +806,14 @@ func (s *server) writeSnapshot() error {
 		s.snapErrs.Add(1)
 		return err
 	}
+	// fsync before rename: a crash must never leave the snapshot path
+	// pointing at a file whose content didn't make it to disk.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.snapErrs.Add(1)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		s.snapErrs.Add(1)
@@ -384,12 +825,25 @@ func (s *server) writeSnapshot() error {
 		return err
 	}
 	s.snapshots.Add(1)
+	if s.wal != nil {
+		if err := s.wal.TruncateBefore(wm + 1); err != nil {
+			s.walErrs.Add(1)
+			fmt.Fprintln(os.Stderr, "vn2 serve: wal truncate:", err)
+		}
+	}
 	return nil
+}
+
+// persistSnapshot is writeSnapshot with decorrelated-jitter retries; a
+// transient filesystem error should not cost a snapshot interval.
+func (s *server) persistSnapshot(ctx context.Context) error {
+	b := retry.New(50*time.Millisecond, time.Second, 0x5a9b)
+	return retry.Do(ctx, b, 3, s.sleep, s.writeSnapshot)
 }
 
 // run serves until ctx is canceled, then shuts down gracefully: stop
 // accepting requests, drain the queue into the monitor, run a final
-// diagnosis pass, and write a final snapshot.
+// diagnosis pass, write a final snapshot, and close the WAL.
 func (s *server) run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.opts.addr)
 	if err != nil {
@@ -429,7 +883,7 @@ func (s *server) run(ctx context.Context) error {
 				case <-loopCtx.Done():
 					return
 				case <-ticker.C:
-					if err := s.writeSnapshot(); err != nil {
+					if err := s.persistSnapshot(loopCtx); err != nil {
 						fmt.Fprintln(os.Stderr, "vn2 serve: snapshot:", err)
 					}
 				}
@@ -437,8 +891,8 @@ func (s *server) run(ctx context.Context) error {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "vn2 serve: listening on http://%s (queue %d, drain %s)\n",
-		ln.Addr(), cap(s.queue), s.opts.drainEvery)
+	fmt.Fprintf(os.Stderr, "vn2 serve: listening on http://%s (queue %d, drain %s, wal %q)\n",
+		ln.Addr(), cap(s.queue), s.opts.drainEvery, s.opts.walPath)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -447,6 +901,9 @@ func (s *server) run(ctx context.Context) error {
 		cancelLoops()
 		close(s.queue)
 		wg.Wait()
+		if s.wal != nil {
+			s.wal.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -459,8 +916,13 @@ func (s *server) run(ctx context.Context) error {
 	close(s.queue)
 	wg.Wait()
 	s.drainTick()
-	if err := s.writeSnapshot(); err != nil {
+	if err := s.persistSnapshot(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "vn2 serve: final snapshot:", err)
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vn2 serve: wal close:", err)
+		}
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed by now
 	return shutdownErr

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// walServer builds a server with WAL + snapshot enabled and its loops NOT
+// running, so tests drive ingest and drains deterministically.
+func walServer(t *testing.T, fx fixtures, dir string) *server {
+	t.Helper()
+	srv, err := buildServer(serveOptions{
+		modelPath:     fx.modelPath,
+		calibratePath: fx.tracePath,
+		snapshotPath:  filepath.Join(dir, "snapshot.json"),
+		walPath:       filepath.Join(dir, "wal"),
+		queueSize:     256,
+	})
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	srv.sleep = func(time.Duration) {} // retries never wall-clock sleep in tests
+	return srv
+}
+
+// ingestAll synchronously feeds everything queued into the monitor.
+func ingestAll(srv *server) { srv.ingestQueued() }
+
+// TestServeWALRecovery: every report ACKed with a 202 survives kill -9. The
+// server is killed abruptly (WAL abandoned without flush, no final
+// snapshot), rebuilt from disk, and must hold exactly the ACKed reports —
+// including the ones accepted after the last snapshot was cut.
+func TestServeWALRecovery(t *testing.T) {
+	fx := serveFixtures(t)
+	dir := t.TempDir()
+	srv := walServer(t, fx, dir)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	nodes := fx.nodes()
+	if len(nodes) < 4 {
+		t.Fatalf("calibration trace has only %d nodes", len(nodes))
+	}
+	post := func(epochsAhead int, nodeCount int) {
+		t.Helper()
+		batch := make([]trace.Record, nodeCount)
+		for i := 0; i < nodeCount; i++ {
+			batch[i] = fx.hotReport(t, nodes[i], epochsAhead)
+		}
+		resp, body := postJSON(t, ts.URL+"/report", batch)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report: %d %s", resp.StatusCode, body)
+		}
+	}
+
+	// Epoch +1 for four nodes: ingested, diagnosed, snapshotted — the WAL
+	// prefix behind the watermark gets truncated where segment boundaries
+	// allow.
+	post(1, 4)
+	ingestAll(srv)
+	srv.drainTick()
+	if err := srv.writeSnapshot(); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	// Epoch +2 for four nodes: ACKed and ingested but NOT snapshotted —
+	// only the WAL knows. Epoch +3 for two nodes: ACKed but still sitting
+	// in the queue at crash time — only the WAL knows these too.
+	post(2, 4)
+	ingestAll(srv)
+	srv.drainTick()
+	post(3, 2)
+
+	wantStats := srv.mon.Stats() // pre-crash monitor truth for the ingested part
+	ts.Close()
+	srv.wal.Abort() // kill -9: in-flight buffers gone, synced bytes survive
+
+	// Rebuild from disk: snapshot (epoch +1 state) + WAL replay (+2, +3).
+	srv2 := walServer(t, fx, dir)
+	defer srv2.wal.Close()
+	st := srv2.mon.Stats()
+	// All 10 ACKed reports are back: 8 ingested pre-crash plus the 2 that
+	// were queued; replay may re-offer snapshot-covered records, which land
+	// as duplicates/stale, never as new reports.
+	if got, want := st.Reports, wantStats.Reports+2; got != want {
+		t.Fatalf("recovered monitor saw %d reports, want %d (stats %+v)", got, want, st)
+	}
+	if st.LastEpoch < wantStats.LastEpoch {
+		t.Fatalf("recovered LastEpoch %d regressed below %d", st.LastEpoch, wantStats.LastEpoch)
+	}
+	srv2.drainTick()
+	if got := srv2.mon.Stats(); got.Diagnosed < wantStats.Diagnosed {
+		t.Fatalf("recovered diagnoses %d < pre-crash %d", got.Diagnosed, wantStats.Diagnosed)
+	}
+
+	// The recovered per-epoch distributions must agree with the pre-crash
+	// monitor on every epoch the pre-crash monitor had diagnosed.
+	pre := srv.mon.Snapshot().Epochs
+	rec := srv2.mon.Snapshot().Epochs
+	byEpoch := make(map[int]online.EpochCauses, len(rec))
+	for _, e := range rec {
+		byEpoch[e.Epoch] = e
+	}
+	for _, e := range pre {
+		got, ok := byEpoch[e.Epoch]
+		if !ok {
+			t.Fatalf("recovered run lost epoch %d", e.Epoch)
+		}
+		if !reflect.DeepEqual(e, got) {
+			t.Fatalf("epoch %d distribution diverged after recovery:\n pre %+v\n rec %+v", e.Epoch, e, got)
+		}
+	}
+}
+
+// TestServeWALRecoveryIdempotent: recovering twice from the same on-disk
+// state yields bit-identical monitor state — replay is deterministic.
+func TestServeWALRecoveryIdempotent(t *testing.T) {
+	fx := serveFixtures(t)
+	dir := t.TempDir()
+	srv := walServer(t, fx, dir)
+	ts := httptest.NewServer(srv.handler())
+	batch := []trace.Record{fx.hotReport(t, fx.nodes()[0], 1), fx.hotReport(t, fx.nodes()[1], 1)}
+	if resp, body := postJSON(t, ts.URL+"/report", batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("report: %d %s", resp.StatusCode, body)
+	}
+	ts.Close()
+	srv.wal.Abort()
+
+	a := walServer(t, fx, dir)
+	a.drainTick()
+	stA := a.mon.State()
+	a.wal.Abort() // recovery must not dirty the log
+	b := walServer(t, fx, dir)
+	b.drainTick()
+	stB := b.mon.State()
+	b.wal.Close()
+	ja, _ := json.Marshal(stA)
+	jb, _ := json.Marshal(stB)
+	if string(ja) != string(jb) {
+		t.Fatal("two recoveries from identical disk state diverged")
+	}
+}
+
+// TestServeDegradedWAL: a dead journal flips the server into read-only
+// last-good mode — ingest 503s with the reason, /healthz reports degraded,
+// /diagnosis keeps serving the last good summary, /metrics flags it.
+func TestServeDegradedWAL(t *testing.T) {
+	fx := serveFixtures(t)
+	srv := walServer(t, fx, t.TempDir())
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if resp, body := postJSON(t, ts.URL+"/report", fx.hotReport(t, fx.nodes()[0], 1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy report: %d %s", resp.StatusCode, body)
+	}
+	ingestAll(srv)
+	srv.drainTick()
+	goodDiag := srv.mon.Snapshot()
+
+	srv.wal.Close() // journal dies out from under the server
+
+	resp, body := postJSON(t, ts.URL+"/report", fx.hotReport(t, fx.nodes()[1], 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("report on dead journal: %d %s, want 503", resp.StatusCode, body)
+	}
+	if !srv.degraded.Load() {
+		t.Fatal("server did not degrade on persistent journal failure")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/report", fx.hotReport(t, fx.nodes()[2], 1))
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded ingest: %d %s (Retry-After %q)", resp.StatusCode, body, resp.Header.Get("Retry-After"))
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable || health["status"] != "degraded" || health["reason"] == nil {
+		t.Fatalf("healthz while degraded: %d %v", hr.StatusCode, health)
+	}
+
+	dr, err := http.Get(ts.URL + "/diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Header.Get("X-Vn2-Degraded") == "" {
+		t.Error("degraded /diagnosis missing the degraded header")
+	}
+	var lastGood online.Summary
+	err = json.NewDecoder(dr.Body).Decode(&lastGood)
+	dr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastGood.Stats != goodDiag.Stats {
+		t.Fatalf("degraded diagnosis is not the last good one: %+v vs %+v", lastGood.Stats, goodDiag.Stats)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	json.NewDecoder(mr.Body).Decode(&metrics)
+	mr.Body.Close()
+	if metrics["degraded"] != 1 || metrics["wal_errors"] == 0 {
+		t.Fatalf("metrics while degraded: degraded=%v wal_errors=%v", metrics["degraded"], metrics["wal_errors"])
+	}
+}
+
+// TestSnapshotV1Compat: a version-1 snapshot (no monitor state, no
+// watermark) still boots a server; it just re-warms instead of resuming.
+func TestSnapshotV1Compat(t *testing.T) {
+	fx := serveFixtures(t)
+	dir := t.TempDir()
+	srv := walServer(t, fx, dir)
+	if err := srv.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv.wal.Close()
+
+	path := filepath.Join(dir, "snapshot.json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage("1")
+	delete(m, "monitor")
+	delete(m, "wal_applied")
+	b, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := buildServer(serveOptions{snapshotPath: path, queueSize: 8})
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if v1.det.RefMax != srv.det.RefMax {
+		t.Error("v1 snapshot lost the detector")
+	}
+}

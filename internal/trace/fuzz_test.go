@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+)
+
+// FuzzReadCSV hammers the trace decoder with arbitrary bytes. Seeds come
+// from the malformed-input regression tables plus well-formed traces; the
+// invariant is decode-or-reject: never panic, and whatever is accepted must
+// be a coherent dataset (monotone per-node epochs, full-width vectors) that
+// survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("")
+	f.Add("a,b,c\n")
+	f.Add(csvHeader() + ",extra\n")
+	f.Add(csvHeader() + "\n1,2,3\n")
+	f.Add(csvHeader() + "\n" + csvRow(1, 2, "zap") + "\n")
+	f.Add(csvHeader() + "\n" + strings.Replace(csvRow(1, 2, "0"), "1,2", "x,2", 1) + "\n")
+	f.Add(csvHeader() + "\n" + csvRow(1, 5, "0") + "\n" + csvRow(1, 4, "0") + "\n")
+	f.Add(csvHeader() + "\n\"1,2" + strings.Repeat(",0", metricspec.MetricCount) + "\n")
+	f.Add(csvHeader() + "\n" + csvRow(1, 1, "0") + "\n" + csvRow(1, 2, "1.5") + "\n")
+	f.Add(csvHeader() + "\n" + csvRow(7, 3, "1e9") + "\n")
+	f.Add(csvHeader() + "\n" + csvRow(1, 2, "NaN") + "\n")
+	f.Add(csvHeader() + "\n" + csvRow(1, 2, "-Inf") + "\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, id := range ds.Nodes() {
+			last := math.MinInt
+			for _, rec := range ds.Records(id) {
+				if rec.Node != id {
+					t.Fatalf("record under node %d claims node %d", id, rec.Node)
+				}
+				if rec.Epoch <= last {
+					t.Fatalf("node %d epochs not strictly increasing: %d after %d", id, rec.Epoch, last)
+				}
+				last = rec.Epoch
+				if len(rec.Vector) != metricspec.MetricCount {
+					t.Fatalf("accepted vector of %d metrics", len(rec.Vector))
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted dataset does not re-encode: %v", err)
+		}
+		ds2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded dataset does not decode: %v", err)
+		}
+		if ds2.Len() != ds.Len() {
+			t.Fatalf("round trip changed record count %d -> %d", ds.Len(), ds2.Len())
+		}
+	})
+}

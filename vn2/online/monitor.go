@@ -15,6 +15,7 @@ package online
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -33,7 +34,19 @@ var (
 	ErrBacklog = errors.New("online: flagged-state backlog full")
 	// ErrBadConfig reports an unusable monitor configuration.
 	ErrBadConfig = errors.New("online: bad monitor configuration")
+	// ErrNonFinite reports a record carrying NaN or ±Inf metric values;
+	// such reports are rejected at the boundary before they can poison a
+	// state vector.
+	ErrNonFinite = errors.New("online: non-finite metric value")
+	// ErrBadState reports an unusable MonitorState passed to Restore.
+	ErrBadState = errors.New("online: bad monitor state")
 )
+
+// Note on duplicates: an exact duplicate of the node's last report (same
+// epoch, bit-identical vector — what a retransmitting measurement channel
+// produces) is deduplicated silently: Ingest returns a nil error with
+// Observation.Duplicate set and counts it in Stats.Duplicates. A same-epoch
+// report with a DIFFERENT vector is a conflict and stays ErrStaleReport.
 
 // Config assembles a Monitor.
 type Config struct {
@@ -85,6 +98,9 @@ type Observation struct {
 	Epoch int           `json:"epoch"`
 	// First marks a node's first report: no state can be derived yet.
 	First bool `json:"first,omitempty"`
+	// Duplicate marks an exact retransmission of the node's last report,
+	// absorbed without deriving a state.
+	Duplicate bool `json:"duplicate,omitempty"`
 	// Gap is the epochs since the node's previous report (1 = consecutive);
 	// 0 on a first report.
 	Gap int `json:"gap,omitempty"`
@@ -122,7 +138,9 @@ type Stats struct {
 	Warmed uint64 `json:"warmed"`
 	// Stale counts rejected out-of-order records.
 	Stale uint64 `json:"stale"`
-	// Invalid counts rejected malformed records.
+	// Duplicates counts exact retransmissions absorbed by dedup.
+	Duplicates uint64 `json:"duplicates"`
+	// Invalid counts rejected malformed records (wrong length, NaN/±Inf).
 	Invalid uint64 `json:"invalid"`
 	// Normal and Flagged partition the derived states by the detector.
 	Normal  uint64 `json:"normal"`
@@ -165,6 +183,17 @@ type pendingState struct {
 	score float64
 }
 
+// epochAcc keeps one epoch's diagnosed contributions per node rather than a
+// pre-summed distribution. Summing happens at Snapshot time in ascending
+// node order, so the per-epoch distribution is a pure function of the SET of
+// diagnosed states — bit-identical no matter how drains grouped them, which
+// is what lets a crash-recovered monitor reproduce the fault-free run
+// exactly (see DESIGN.md "Failure model & recovery").
+type epochAcc struct {
+	epoch    int
+	contribs []Contribution
+}
+
 // Monitor is the streaming sink service core. All methods are safe for
 // concurrent use; Ingest stays O(M) per report and Drain batches the
 // expensive NNLS solves.
@@ -176,7 +205,7 @@ type Monitor struct {
 	mu      sync.Mutex
 	last    map[packet.NodeID]lastReport
 	pending []pendingState
-	epochs  map[int]*EpochCauses
+	epochs  map[int]*epochAcc
 	recent  []Flagged
 	stats   Stats
 
@@ -204,7 +233,7 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 		model:  c.Model,
 		det:    c.Detector,
 		last:   make(map[packet.NodeID]lastReport),
-		epochs: make(map[int]*EpochCauses),
+		epochs: make(map[int]*epochAcc),
 	}, nil
 }
 
@@ -214,6 +243,9 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 func (m *Monitor) Warm(rec trace.Record) error {
 	if len(rec.Vector) != m.det.Metrics() {
 		return fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
+	}
+	if k := firstNonFinite(rec.Vector); k >= 0 {
+		return fmt.Errorf("%w: metric %d", ErrNonFinite, k)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -255,10 +287,24 @@ func (m *Monitor) Ingest(rec trace.Record) (Observation, error) {
 		m.mu.Unlock()
 		return obs, fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
 	}
+	if k := firstNonFinite(rec.Vector); k >= 0 {
+		m.mu.Lock()
+		m.stats.Reports++
+		m.stats.Invalid++
+		m.mu.Unlock()
+		return obs, fmt.Errorf("%w: node %d epoch %d metric %d", ErrNonFinite, rec.Node, rec.Epoch, k)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Reports++
 	lr, ok := m.last[rec.Node]
+	if ok && rec.Epoch == lr.epoch && equalVectors(rec.Vector, lr.vector) {
+		// Exact retransmission: absorb it instead of first-differencing it
+		// into a spurious zero state or bouncing it back as an error.
+		m.stats.Duplicates++
+		obs.Duplicate = true
+		return obs, nil
+	}
 	if ok && rec.Epoch <= lr.epoch {
 		m.stats.Stale++
 		return obs, fmt.Errorf("%w: node %d epoch %d ≤ %d", ErrStaleReport, rec.Node, rec.Epoch, lr.epoch)
@@ -355,15 +401,13 @@ func (m *Monitor) Drain() ([]Flagged, error) {
 	for _, f := range out {
 		ec := m.epochs[f.State.Epoch]
 		if ec == nil {
-			ec = &EpochCauses{Epoch: f.State.Epoch, Distribution: make([]float64, m.model.Rank)}
+			ec = &epochAcc{epoch: f.State.Epoch}
 			m.epochs[f.State.Epoch] = ec
 		}
-		ec.States++
-		for _, rc := range f.Diagnosis.Ranked {
-			if rc.Cause < len(ec.Distribution) {
-				ec.Distribution[rc.Cause] += rc.Strength
-			}
-		}
+		ec.contribs = append(ec.contribs, Contribution{
+			Node:   f.State.Node,
+			Causes: append([]vn2.RankedCause(nil), f.Diagnosis.Ranked...),
+		})
 	}
 	m.recent = append(m.recent, out...)
 	if over := len(m.recent) - m.cfg.MaxRecent; over > 0 {
@@ -392,14 +436,51 @@ func (m *Monitor) Snapshot() Summary {
 		Recent:  append([]Flagged(nil), m.recent...),
 	}
 	for _, ec := range m.epochs {
-		s.Epochs = append(s.Epochs, EpochCauses{
-			Epoch:        ec.Epoch,
-			States:       ec.States,
-			Distribution: append([]float64(nil), ec.Distribution...),
-		})
+		s.Epochs = append(s.Epochs, ec.causes(m.model.Rank))
 	}
 	sort.Slice(s.Epochs, func(i, j int) bool { return s.Epochs[i].Epoch < s.Epochs[j].Epoch })
 	return s
+}
+
+// causes sums an epoch's contributions into its cause distribution, in
+// ascending node order so the result does not depend on drain grouping.
+// Caller holds mu.
+func (ec *epochAcc) causes(rank int) EpochCauses {
+	sorted := append([]Contribution(nil), ec.contribs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Node < sorted[j].Node })
+	out := EpochCauses{Epoch: ec.epoch, States: len(sorted), Distribution: make([]float64, rank)}
+	for _, c := range sorted {
+		for _, rc := range c.Causes {
+			if rc.Cause >= 0 && rc.Cause < rank {
+				out.Distribution[rc.Cause] += rc.Strength
+			}
+		}
+	}
+	return out
+}
+
+// firstNonFinite returns the index of the first NaN/±Inf value, or -1.
+func firstNonFinite(v []float64) int {
+	for k, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return k
+		}
+	}
+	return -1
+}
+
+// equalVectors reports bit-exact equality (NaNs never reach here; records
+// are sanitized first).
+func equalVectors(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats returns a copy of the counters.

@@ -153,9 +153,16 @@ func TestIngestLifecycle(t *testing.T) {
 	if err != nil || !obs.First {
 		t.Fatalf("first report: obs=%+v err=%v", obs, err)
 	}
-	// Stale: same epoch again.
-	if _, err := m.Ingest(r.calm(1, 10)); !errors.Is(err, ErrStaleReport) {
-		t.Fatalf("duplicate epoch err = %v, want ErrStaleReport", err)
+	// Exact retransmission: absorbed silently, not an error.
+	obs, err = m.Ingest(r.calm(1, 10))
+	if err != nil || !obs.Duplicate {
+		t.Fatalf("exact duplicate: obs=%+v err=%v, want benign dedup", obs, err)
+	}
+	// Same epoch with a different vector is a conflict, not a duplicate.
+	conflict := r.calm(1, 10)
+	conflict.Vector[0] += 1
+	if _, err := m.Ingest(conflict); !errors.Is(err, ErrStaleReport) {
+		t.Fatalf("conflicting epoch err = %v, want ErrStaleReport", err)
 	}
 	// Calm consecutive report: normal, gap 1.
 	obs, err = m.Ingest(r.calm(1, 11))
@@ -181,7 +188,7 @@ func TestIngestLifecycle(t *testing.T) {
 	}
 
 	st := m.Stats()
-	if st.Reports != 6 || st.FirstReports != 1 || st.Stale != 1 || st.Invalid != 1 ||
+	if st.Reports != 7 || st.FirstReports != 1 || st.Stale != 1 || st.Duplicates != 1 || st.Invalid != 1 ||
 		st.Normal != 2 || st.Flagged != 1 || st.GapReports != 1 || st.MaxGap != 4 || st.LastEpoch != 16 {
 		t.Errorf("stats = %+v", st)
 	}

@@ -1,0 +1,133 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// Contribution is one diagnosed state's share of an epoch's cause
+// distribution, kept per node so the distribution can be re-summed in a
+// canonical order (see epochAcc).
+type Contribution struct {
+	Node   packet.NodeID     `json:"node"`
+	Causes []vn2.RankedCause `json:"causes"`
+}
+
+// NodeState is one node's last ingested report — the first-differencing
+// slot.
+type NodeState struct {
+	Node   packet.NodeID `json:"node"`
+	Epoch  int           `json:"epoch"`
+	Vector []float64     `json:"vector"`
+}
+
+// PendingState is one flagged state awaiting diagnosis.
+type PendingState struct {
+	State trace.StateVector `json:"state"`
+	Score float64           `json:"score"`
+}
+
+// EpochState is one epoch's diagnosed contributions.
+type EpochState struct {
+	Epoch    int            `json:"epoch"`
+	Contribs []Contribution `json:"contribs"`
+}
+
+// MonitorState is the monitor's complete rolling state in serializable
+// form: counters, every node's diff slot, the flagged backlog, the
+// per-epoch contributions, and the recent ring. Together with a model and
+// detector it reconstructs a monitor exactly; the serve subcommand embeds
+// it in snapshots so a restart resumes mid-stream instead of re-warming,
+// and a WAL replay on top recovers everything past the snapshot.
+type MonitorState struct {
+	Stats   Stats          `json:"stats"`
+	Nodes   []NodeState    `json:"nodes"`
+	Pending []PendingState `json:"pending,omitempty"`
+	Epochs  []EpochState   `json:"epochs,omitempty"`
+	Recent  []Flagged      `json:"recent,omitempty"`
+}
+
+// State exports a consistent deep copy of the monitor's rolling state, with
+// every slice in a canonical (node- or epoch-ascending) order so the same
+// logical state always marshals to the same bytes.
+func (m *Monitor) State() MonitorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := MonitorState{Stats: m.stats}
+	st.Nodes = make([]NodeState, 0, len(m.last))
+	for id, lr := range m.last {
+		st.Nodes = append(st.Nodes, NodeState{
+			Node:   id,
+			Epoch:  lr.epoch,
+			Vector: append([]float64(nil), lr.vector...),
+		})
+	}
+	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].Node < st.Nodes[j].Node })
+	st.Pending = make([]PendingState, len(m.pending))
+	for i, p := range m.pending {
+		st.Pending[i] = PendingState{State: copyState(p.state), Score: p.score}
+	}
+	st.Epochs = make([]EpochState, 0, len(m.epochs))
+	for _, ec := range m.epochs {
+		es := EpochState{Epoch: ec.epoch, Contribs: make([]Contribution, len(ec.contribs))}
+		for i, c := range ec.contribs {
+			es.Contribs[i] = Contribution{Node: c.Node, Causes: append([]vn2.RankedCause(nil), c.Causes...)}
+		}
+		sort.Slice(es.Contribs, func(i, j int) bool { return es.Contribs[i].Node < es.Contribs[j].Node })
+		st.Epochs = append(st.Epochs, es)
+	}
+	sort.Slice(st.Epochs, func(i, j int) bool { return st.Epochs[i].Epoch < st.Epochs[j].Epoch })
+	st.Recent = append([]Flagged(nil), m.recent...)
+	return st
+}
+
+func copyState(s trace.StateVector) trace.StateVector {
+	s.Delta = append([]float64(nil), s.Delta...)
+	return s
+}
+
+// Restore loads an exported state into a freshly constructed monitor,
+// replacing whatever it held. Vector lengths are validated against the
+// detector; everything else is taken as-is (the state came from State on a
+// monitor with the same model/detector — the serve path enforces that by
+// persisting model, detector, and state in one snapshot file).
+func (m *Monitor) Restore(st MonitorState) error {
+	metrics := m.det.Metrics()
+	for _, ns := range st.Nodes {
+		if len(ns.Vector) != metrics {
+			return fmt.Errorf("%w: node %d vector has %d metrics, want %d",
+				ErrBadState, ns.Node, len(ns.Vector), metrics)
+		}
+	}
+	for _, p := range st.Pending {
+		if len(p.State.Delta) != metrics {
+			return fmt.Errorf("%w: pending state node %d delta has %d metrics, want %d",
+				ErrBadState, p.State.Node, len(p.State.Delta), metrics)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = st.Stats
+	m.last = make(map[packet.NodeID]lastReport, len(st.Nodes))
+	for _, ns := range st.Nodes {
+		m.last[ns.Node] = lastReport{epoch: ns.Epoch, vector: append([]float64(nil), ns.Vector...)}
+	}
+	m.pending = make([]pendingState, len(st.Pending))
+	for i, p := range st.Pending {
+		m.pending[i] = pendingState{state: copyState(p.State), score: p.Score}
+	}
+	m.epochs = make(map[int]*epochAcc, len(st.Epochs))
+	for _, es := range st.Epochs {
+		ec := &epochAcc{epoch: es.Epoch, contribs: make([]Contribution, len(es.Contribs))}
+		for i, c := range es.Contribs {
+			ec.contribs[i] = Contribution{Node: c.Node, Causes: append([]vn2.RankedCause(nil), c.Causes...)}
+		}
+		m.epochs[es.Epoch] = ec
+	}
+	m.recent = append([]Flagged(nil), st.Recent...)
+	return nil
+}
