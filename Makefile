@@ -15,6 +15,12 @@ RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal
 # fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
 FUZZ_TIME ?= 3s
 
+# Pinned linter versions. `make lint` uses the tools when they are on PATH
+# and degrades to a skip notice when they are not (the CI image may be
+# offline); install with the printed `go install` lines to match CI.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
 # The simulator scaling ladder `make bench` runs: per-epoch cost at CitySee
 # scale, the worker sweep, and end-to-end trace generation at 60/120/286
 # nodes.
@@ -22,12 +28,26 @@ BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCityS
 BENCH_TXT     ?= bench.txt
 BENCH_JSON    ?= BENCH_2.json
 
-.PHONY: check vet build test race fuzz chaos smoke bench bench-all
+.PHONY: check vet lint build test race fuzz chaos smoke bench bench-all
 
-check: vet build test race fuzz
+check: vet lint build test race fuzz
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the pinned static analyzers when present and skips gracefully
+# when not, so `make check` works on offline machines without the tools.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not found; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not found; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
 
 build:
 	$(GO) build ./...

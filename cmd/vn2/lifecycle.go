@@ -1,0 +1,636 @@
+package main
+
+// Self-healing model lifecycle for the serve subcommand: residual-driven
+// drift detection (vn2/online's DriftStats), shadow retrain off the serving
+// path, a validation gate over a held-out window, an atomic versioned
+// hot-swap journaled through the WAL, and a probation window with automatic
+// rollback. See DESIGN.md "Model lifecycle & drift" for the state machine
+// and the crash-consistency argument.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/retry"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/wal"
+	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// Typed lifecycle failures surfaced by buildServer.
+var (
+	// errSnapshotMismatch reports a snapshot whose monitor state does not fit
+	// the model/detector it is being restored against (different rank or
+	// metric shape) — restarting with the wrong model must fail loudly, not
+	// corrupt the stream.
+	errSnapshotMismatch = errors.New("serve: snapshot monitor state does not match the configured model/detector")
+	// errSwapFileMissing reports a WAL swap record whose persisted model file
+	// is gone. The swap ordering (file before record) makes this corruption
+	// or operator deletion, never a crash window.
+	errSwapFileMissing = errors.New("serve: model swap record references a missing model file")
+	// errSwapFileMismatch reports a swap model file whose embedded meta does
+	// not carry the version the WAL record promised.
+	errSwapFileMismatch = errors.New("serve: model swap file does not match its WAL record")
+)
+
+// Swap origins, recorded in WAL swap records and model-file meta.
+const (
+	originUpdate   = "update"
+	originRollback = "rollback"
+)
+
+// modelSet is one immutable generation of serving state: the model, the
+// detector screening for it, its version, and its serialized envelope (what
+// snapshots embed and modelsDir files contain).
+type modelSet struct {
+	model   *vn2.Model
+	det     *trace.Detector
+	version uint64
+	raw     json.RawMessage
+}
+
+// swapRecord is the KindSwap WAL payload: which model generation starts at
+// this LSN. File (and Detector when the swap refroze one) name files inside
+// -models; they are persisted and fsynced BEFORE the record is appended, so
+// a replayed record's files always exist.
+type swapRecord struct {
+	Version  uint64 `json:"version"`
+	Parent   uint64 `json:"parent"`
+	Origin   string `json:"origin"`
+	File     string `json:"file"`
+	Detector string `json:"detector,omitempty"`
+}
+
+// swapEvent is one history entry, kept for /model and the snapshot.
+type swapEvent struct {
+	Version uint64    `json:"version"`
+	Parent  uint64    `json:"parent"`
+	Origin  string    `json:"origin"`
+	At      time.Time `json:"at"`
+}
+
+// swapHistoryMax bounds the kept history.
+const swapHistoryMax = 64
+
+// pendingSwap rides the ingest queue as a barrier item: everything enqueued
+// before it is diagnosed by the outgoing model, everything after by the new
+// one — the same boundary a WAL replay reconstructs from the record's LSN.
+type pendingSwap struct {
+	rec swapRecord
+	set *modelSet
+}
+
+func modelFileName(version uint64) string {
+	return fmt.Sprintf("model-v%06d.json", version)
+}
+
+func detectorFileName(version uint64) string {
+	return fmt.Sprintf("detector-v%06d.json", version)
+}
+
+// currentSet returns the serving generation.
+func (s *server) currentSet() *modelSet {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	return s.cur
+}
+
+// swapHistory returns a copy of the swap history, oldest first.
+func (s *server) swapHistory() []swapEvent {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	return append([]swapEvent(nil), s.swapHist...)
+}
+
+// lcState answers /model's mutable-state fields in one lock hold.
+func (s *server) lcState() (version uint64, cooldown int, probation bool) {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	return s.cur.version, s.cooldown, s.prevSet != nil
+}
+
+// recordSwap folds an applied swap into the history. Caller holds lcMu.
+func (s *server) recordSwapLocked(rec swapRecord) {
+	s.swapHist = append(s.swapHist, swapEvent{
+		Version: rec.Version,
+		Parent:  rec.Parent,
+		Origin:  rec.Origin,
+		At:      time.Now().UTC(),
+	})
+	if over := len(s.swapHist) - swapHistoryMax; over > 0 {
+		s.swapHist = append(s.swapHist[:0], s.swapHist[over:]...)
+	}
+}
+
+// relResidual mirrors the monitor's classification arithmetic: the
+// scale-free residual ‖s−wΨ‖/‖s‖, clamped to [0,1].
+func relResidual(m *vn2.Model, delta []float64, residual float64) float64 {
+	norm, err := m.NormalizedNorm(delta)
+	if err != nil || norm < 1e-12 {
+		if residual > 1e-12 {
+			return 1
+		}
+		return 0
+	}
+	r := residual / norm
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// lifecycleTick advances the lifecycle state machine by one drain tick:
+// probation verdicts first (commit or roll back the newest swap), then
+// cooldown, then the drift trigger that launches a shadow retrain.
+func (s *server) lifecycleTick() {
+	ds := s.mon.DriftStats()
+
+	s.lcMu.Lock()
+	// Probation: after a swap the previous generation is kept until the new
+	// one has served a full window. A mean residual regressing past the
+	// pre-swap baseline by the rollback margin auto-reverts.
+	if s.prevSet != nil && ds.ModelVersion == s.cur.version {
+		if ds.Window >= s.opts.probation {
+			if s.baseMean > 1e-9 && ds.MeanResidual > s.baseMean*s.opts.rollbackMargin {
+				from, to := s.cur, s.prevSet
+				s.prevSet = nil
+				// A reverted candidate earns a long quiet period: the drift
+				// that triggered it is still there, and retrying immediately
+				// would thrash.
+				s.cooldown = s.opts.cooldownTicks * 8
+				s.lcMu.Unlock()
+				fmt.Fprintf(os.Stderr,
+					"vn2 serve: rollback: v%d mean residual %.4f regressed past pre-swap %.4f (margin %.2f), reverting to v%d content\n",
+					from.version, ds.MeanResidual, s.baseMean, s.opts.rollbackMargin, to.version)
+				if err := s.swapTo(to.model, to.det, from.version, originRollback); err != nil {
+					fmt.Fprintln(os.Stderr, "vn2 serve: rollback swap:", err)
+				}
+				return
+			}
+			s.prevSet = nil // candidate survived probation: committed
+		}
+	}
+	if s.cooldown > 0 {
+		s.cooldown--
+		s.lcMu.Unlock()
+		return
+	}
+	if s.retraining.Load() {
+		s.lcMu.Unlock()
+		return
+	}
+	// Freeze the healthy-regime quantile baseline the first time the window
+	// fills for this generation; quantile regression is judged against it.
+	if ds.Window >= s.opts.driftMin && !s.p50Set {
+		s.p50Base, s.p50Set = ds.P50, true
+	}
+	trigger := ""
+	if ds.Window >= s.opts.driftMin {
+		switch {
+		case ds.UnattributedRate >= s.opts.driftRate:
+			trigger = fmt.Sprintf("unattributed rate %.3f >= %.3f over %d states",
+				ds.UnattributedRate, s.opts.driftRate, ds.Window)
+		case s.p50Set && s.p50Base > 1e-9 &&
+			ds.P50 >= s.p50Base*s.opts.driftRegress &&
+			ds.P50 >= s.opts.residThreshold/2:
+			trigger = fmt.Sprintf("residual p50 %.4f regressed %.1fx past baseline %.4f",
+				ds.P50, ds.P50/s.p50Base, s.p50Base)
+		}
+	}
+	s.lcMu.Unlock()
+	if trigger == "" {
+		return
+	}
+	if !s.retraining.CompareAndSwap(false, true) {
+		return
+	}
+	s.retrains.Add(1)
+	fmt.Fprintf(os.Stderr, "vn2 serve: drift detected (model v%d): %s; shadow retrain started\n", ds.ModelVersion, trigger)
+	if s.opts.lifecycleSync {
+		s.runRetrain()
+		return
+	}
+	s.retrainWG.Add(1)
+	go func() {
+		defer s.retrainWG.Done()
+		s.runRetrain()
+	}()
+}
+
+// retrainBackoff sets the post-failure cooldown: exponential in the number
+// of consecutive rejections so a persistent regime the model cannot learn
+// stops burning retrains.
+func (s *server) retrainBackoff() {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	s.rejectN++
+	shift := s.rejectN
+	if shift > 6 {
+		shift = 6
+	}
+	s.cooldown = s.opts.cooldownTicks << shift
+}
+
+// runRetrain is the shadow retrain: quarantine + held-out window through
+// vn2.Update under a deadline, validation gate, then the hot-swap. It never
+// runs on the serving path; a panic is contained, counted, and backed off.
+func (s *server) runRetrain() {
+	defer s.retraining.Store(false)
+	defer func() {
+		if r := recover(); r != nil {
+			s.retrainFails.Add(1)
+			s.retrainBackoff()
+			fmt.Fprintf(os.Stderr, "vn2 serve: shadow retrain panicked: %v\n", r)
+		}
+	}()
+
+	cur := s.currentSet()
+	holdout := s.mon.RecentWindow()
+	if len(holdout) < s.opts.holdoutMin {
+		// Not enough evidence to judge a candidate; wait for more stream.
+		s.retrainBackoff()
+		return
+	}
+	quar := s.mon.Quarantine()
+	// The training window: the unexplained states (what the new basis must
+	// learn) plus the held-out recent window (what it must not forget).
+	window := make([]trace.StateVector, 0, len(quar)+len(holdout))
+	window = append(window, quar...)
+	for _, f := range holdout {
+		window = append(window, f.State)
+	}
+
+	cand, err := s.trainCandidate(cur, window)
+	if err != nil {
+		s.retrainFails.Add(1)
+		s.retrainBackoff()
+		fmt.Fprintln(os.Stderr, "vn2 serve: shadow retrain failed:", err)
+		return
+	}
+	if reason := s.validateCandidate(cur, cand, holdout); reason != "" {
+		s.candRejects.Add(1)
+		s.retrainBackoff()
+		fmt.Fprintf(os.Stderr, "vn2 serve: candidate v%d rejected: %s\n", cur.version+1, reason)
+		return
+	}
+	s.lcMu.Lock()
+	s.rejectN = 0
+	s.lcMu.Unlock()
+
+	det := cur.det
+	if s.opts.refreeze {
+		// Opt-in: re-anchor "routine variation" on the very window that
+		// drifted. Refreezing from exception states declares them the new
+		// normal — that is the point of the flag, and why it is off by
+		// default.
+		if nd, err := det.Refreeze(window); err == nil {
+			det = nd
+		} else {
+			fmt.Fprintln(os.Stderr, "vn2 serve: detector refreeze failed, keeping frozen calibration:", err)
+		}
+	}
+	if err := s.swapTo(cand, det, cur.version, originUpdate); err != nil {
+		s.retrainFails.Add(1)
+		s.retrainBackoff()
+		fmt.Fprintln(os.Stderr, "vn2 serve: hot-swap failed:", err)
+	}
+}
+
+// trainCandidate runs vn2.Update under the retrain deadline with restart
+// retries. The solve itself cannot be interrupted, so the deadline races it
+// in a goroutine and an expired attempt's late result is dropped.
+func (s *server) trainCandidate(cur *modelSet, window []trace.StateVector) (*vn2.Model, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.retrainTimeout)
+	defer cancel()
+	var cand *vn2.Model
+	b := retry.New(50*time.Millisecond, 2*time.Second, 0x5eed)
+	err := retry.Do(ctx, b, 3, s.sleep, func() error {
+		type result struct {
+			m   *vn2.Model
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ch <- result{err: fmt.Errorf("update panicked: %v", r)}
+				}
+			}()
+			m, _, err := cur.model.Update(window, vn2.TrainConfig{
+				CompressAllStates: true,
+				Workers:           s.opts.workers,
+			})
+			ch <- result{m: m, err: err}
+		}()
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				return r.err
+			}
+			cand = r.m
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cand, nil
+}
+
+// candConsistencyMin is the fraction of previously-attributed holdout states
+// whose dominant cause the candidate must preserve: the no-silent-label-churn
+// gate. Update warm-starts from the current basis, so cause indices are
+// comparable across generations.
+const candConsistencyMin = 0.7
+
+// validateCandidate replays the held-out window through the candidate and
+// accepts only if the mean relative residual improves AND
+// previously-attributed diagnoses keep their dominant cause. Returns the
+// rejection reason, or "" on acceptance.
+func (s *server) validateCandidate(cur *modelSet, cand *vn2.Model, holdout []online.Flagged) string {
+	states := make([]trace.StateVector, len(holdout))
+	for i, f := range holdout {
+		states[i] = f.State
+	}
+	diags, err := cand.DiagnoseBatch(states, vn2.DiagnoseConfig{Workers: s.opts.workers})
+	if err != nil {
+		return fmt.Sprintf("holdout replay failed: %v", err)
+	}
+	var curSum, candSum float64
+	attributed, consistent := 0, 0
+	for i, f := range holdout {
+		if f.Diagnosis == nil {
+			continue
+		}
+		curRel := relResidual(cur.model, f.State.Delta, f.Diagnosis.Residual)
+		candRel := relResidual(cand, f.State.Delta, diags[i].Residual)
+		curSum += curRel
+		candSum += candRel
+		if dom := f.Diagnosis.Dominant(); dom >= 0 && curRel < s.opts.residThreshold {
+			attributed++
+			if diags[i].Dominant() == dom {
+				consistent++
+			}
+		}
+	}
+	n := float64(len(holdout))
+	curMean, candMean := curSum/n, candSum/n
+	if candMean >= curMean {
+		return fmt.Sprintf("mean holdout residual %.4f does not improve on %.4f", candMean, curMean)
+	}
+	if attributed > 0 && float64(consistent) < candConsistencyMin*float64(attributed) {
+		return fmt.Sprintf("dominant-cause churn: only %d/%d previously-attributed states kept their cause (need %.0f%%)",
+			consistent, attributed, candConsistencyMin*100)
+	}
+	return ""
+}
+
+// swapTo persists the new generation, journals the swap, and enqueues the
+// barrier item that applies it. Ordering is the crash-consistency contract:
+//
+//  1. model (and detector) file: tmp + fsync + rename + dir fsync
+//  2. WAL swap record appended + fsynced under the swap gate
+//  3. barrier item enqueued under the same gate
+//
+// A crash after (1) leaves an orphan file — harmless. A crash after (2)
+// replays the swap from the WAL against the file (1) guaranteed. The gate
+// excludes report journaling between (2) and (3), so the queue order equals
+// the LSN order at the boundary and a replay reconstructs exactly which
+// reports each generation diagnosed.
+func (s *server) swapTo(model *vn2.Model, det *trace.Detector, parent uint64, origin string) error {
+	if s.opts.modelsDir == "" {
+		return fmt.Errorf("serve: lifecycle swap requires -models")
+	}
+	version := parent + 1
+	var raw bytes.Buffer
+	err := model.SaveVersioned(&raw, vn2.ModelMeta{
+		ModelVersion: version,
+		Parent:       parent,
+		Origin:       origin,
+		SavedAt:      time.Now().UTC(),
+	})
+	if err != nil {
+		return fmt.Errorf("serialize model v%d: %w", version, err)
+	}
+	rec := swapRecord{Version: version, Parent: parent, Origin: origin, File: modelFileName(version)}
+	if err := s.persistLifecycleFile(rec.File, raw.Bytes()); err != nil {
+		return fmt.Errorf("persist model v%d: %w", version, err)
+	}
+	cur := s.currentSet()
+	if det != cur.det {
+		db, err := json.Marshal(det)
+		if err != nil {
+			return fmt.Errorf("serialize detector v%d: %w", version, err)
+		}
+		rec.Detector = detectorFileName(version)
+		if err := s.persistLifecycleFile(rec.Detector, db); err != nil {
+			return fmt.Errorf("persist detector v%d: %w", version, err)
+		}
+	}
+	set := &modelSet{model: model, det: det, version: version, raw: json.RawMessage(raw.Bytes())}
+	return s.enqueueSwap(set, rec)
+}
+
+// enqueueSwap journals the swap record and inserts the barrier item, both
+// under the swap gate (see swapTo for why).
+func (s *server) enqueueSwap(set *modelSet, rec swapRecord) error {
+	s.swapGate.Lock()
+	defer s.swapGate.Unlock()
+	var lsn uint64
+	if s.wal != nil {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		l, err := s.wal.Append(wal.Encode(wal.KindSwap, payload))
+		if err != nil {
+			s.walErrs.Add(1)
+			return fmt.Errorf("journal swap record: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			s.walErrs.Add(1)
+			return fmt.Errorf("sync swap record: %w", err)
+		}
+		lsn = l
+	}
+	select {
+	case s.queue <- queuedReport{lsn: lsn, swap: &pendingSwap{rec: rec, set: set}}:
+		return nil
+	case <-time.After(5 * time.Second):
+		// The queue stayed full with nothing consuming it (only possible in
+		// a wedged server). The journaled record is not lost: a restart
+		// replays it.
+		if s.wal != nil && lsn != 0 {
+			s.applied.mark(lsn)
+		}
+		return fmt.Errorf("serve: ingest queue full, swap v%d deferred to WAL replay", rec.Version)
+	}
+}
+
+// applySwapNow installs a generation at its barrier position in the ingest
+// order: drain everything the outgoing model still owns, swap the monitor,
+// then publish the new current set. Runs on the ingest path (ingestLoop or
+// ingestQueued).
+func (s *server) applySwapNow(ps *pendingSwap) {
+	// Exclude snapshot capture for the whole transition so no snapshot sees
+	// a half-applied swap (see writeSnapshot).
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if _, err := s.mon.Drain(); err != nil {
+		// The batch is back in pending and will be diagnosed by the new
+		// model; losing generation purity here beats losing the states.
+		s.drainErrs.Add(1)
+		fmt.Fprintln(os.Stderr, "vn2 serve: pre-swap drain failed:", err)
+	}
+	pre := s.mon.DriftStats()
+	if err := s.mon.SwapModel(ps.set.version, ps.set.model, ps.set.det); err != nil {
+		fmt.Fprintf(os.Stderr, "vn2 serve: swap to v%d not applied: %v\n", ps.set.version, err)
+		return
+	}
+	s.lcMu.Lock()
+	if ps.rec.Origin == originRollback {
+		s.prevSet = nil
+		s.baseMean = 0
+	} else {
+		s.prevSet = s.cur
+		s.baseMean = pre.MeanResidual
+	}
+	s.cur = ps.set
+	s.p50Base, s.p50Set = 0, false
+	s.recordSwapLocked(ps.rec)
+	s.lcMu.Unlock()
+	s.swapsN.Add(1)
+	if ps.rec.Origin == originRollback {
+		s.rollbacks.Add(1)
+	}
+	fmt.Fprintf(os.Stderr, "vn2 serve: model hot-swapped to v%d (%s, parent v%d)\n",
+		ps.set.version, ps.rec.Origin, ps.rec.Parent)
+}
+
+// replaySwap re-applies a journaled swap during WAL replay: load the
+// persisted generation and install it at the record's position. The snapshot
+// may already reflect the swap (its monitor state can be newer than its
+// watermark); then only the serving set is updated.
+func (s *server) replaySwap(rec swapRecord) error {
+	if s.opts.modelsDir == "" {
+		return fmt.Errorf("%w: swap to v%d replayed but -models is not set", errSwapFileMissing, rec.Version)
+	}
+	b, err := os.ReadFile(filepath.Join(s.opts.modelsDir, rec.File))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s (v%d)", errSwapFileMissing, rec.File, rec.Version)
+	}
+	if err != nil {
+		return err
+	}
+	model, meta, err := vn2.LoadVersioned(bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("load swap model %s: %w", rec.File, err)
+	}
+	if meta.ModelVersion != rec.Version {
+		return fmt.Errorf("%w: %s carries v%d, record says v%d",
+			errSwapFileMismatch, rec.File, meta.ModelVersion, rec.Version)
+	}
+	det := s.currentSet().det
+	if rec.Detector != "" {
+		db, err := os.ReadFile(filepath.Join(s.opts.modelsDir, rec.Detector))
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %s (v%d)", errSwapFileMissing, rec.Detector, rec.Version)
+		}
+		if err != nil {
+			return err
+		}
+		nd := &trace.Detector{}
+		if err := json.Unmarshal(db, nd); err != nil {
+			return fmt.Errorf("load swap detector %s: %w", rec.Detector, err)
+		}
+		if !nd.Valid() {
+			return fmt.Errorf("%w: %s holds an uncalibrated detector", errSwapFileMismatch, rec.Detector)
+		}
+		det = nd
+	}
+	if s.mon.ModelVersion() < rec.Version {
+		if _, err := s.mon.Drain(); err != nil {
+			return fmt.Errorf("drain before replayed swap: %w", err)
+		}
+		if err := s.mon.SwapModel(rec.Version, model, det); err != nil {
+			return fmt.Errorf("replay swap to v%d: %w", rec.Version, err)
+		}
+	}
+	s.lcMu.Lock()
+	s.cur = &modelSet{model: model, det: det, version: rec.Version, raw: json.RawMessage(b)}
+	s.prevSet = nil // probation does not survive a restart (documented)
+	s.recordSwapLocked(rec)
+	s.lcMu.Unlock()
+	return nil
+}
+
+// persistLifecycleFile atomically writes one modelsDir file: tmp + fsync +
+// rename, then directory fsync so the rename itself is durable before the
+// WAL record that references the file.
+func (s *server) persistLifecycleFile(name string, data []byte) error {
+	if err := os.MkdirAll(s.opts.modelsDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.opts.modelsDir, "."+name+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.opts.modelsDir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	d, err := os.Open(s.opts.modelsDir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// handleModel answers GET /model: the serving generation, drift view, swap
+// history, and lifecycle machinery state.
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	cur := s.currentSet()
+	version, cooldown, probation := s.lcState()
+	body := map[string]any{
+		"version":             version,
+		"rank":                cur.model.Rank,
+		"metrics":             cur.model.Metrics(),
+		"lifecycle":           s.opts.lifecycle,
+		"drift":               s.mon.DriftStats(),
+		"retraining":          s.retraining.Load(),
+		"probation":           probation,
+		"cooldown_ticks":      cooldown,
+		"retrains":            s.retrains.Load(),
+		"retrain_failures":    s.retrainFails.Load(),
+		"candidates_rejected": s.candRejects.Load(),
+		"swaps":               s.swapsN.Load(),
+		"rollbacks":           s.rollbacks.Load(),
+		"history":             s.swapHistory(),
+	}
+	writeJSON(w, http.StatusOK, body)
+}

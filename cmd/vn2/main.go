@@ -6,6 +6,7 @@
 //
 //	vn2 tracegen   -scenario citysee|september|testbed-local|testbed-expansive -out trace.csv
 //	vn2 train      -in trace.csv -out model.json [-rank r] [-all-states]
+//	vn2 update     -model model.json -in trace.csv -out new-model.json [-all-states]
 //	vn2 diagnose   -model model.json -in trace.csv [-top k] [-exceptions-only]
 //	vn2 explain    -model model.json [-top k]
 //	vn2 epochs     -model model.json -in trace.csv [-min-strength x]
@@ -19,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/wsn-tools/vn2/internal/experiments"
 	"github.com/wsn-tools/vn2/internal/metricspec"
@@ -45,6 +47,8 @@ func run(args []string) error {
 		return cmdTracegen(args[1:])
 	case "train":
 		return cmdTrain(args[1:])
+	case "update":
+		return cmdUpdate(args[1:])
 	case "diagnose":
 		return cmdDiagnose(args[1:])
 	case "explain":
@@ -74,6 +78,7 @@ func usage() {
 subcommands:
   tracegen    generate a synthetic deployment trace (CSV)
   train       train a representative matrix Psi from a trace
+  update      warm-start retrain an existing model on fresh states (bumps its generation)
   diagnose    attribute states in a trace to root causes using a model
   explain     print every root cause of a model with its interpretation
   epochs      network-level combination diagnosis, one line per epoch
@@ -169,6 +174,73 @@ func cmdTrain(args []string) error {
 	fmt.Fprintf(os.Stderr, "trained Psi(%dx%d) from %d/%d exception states; alpha=%.4f sparse=%.4f\n",
 		model.Rank, model.Metrics(), report.ExceptionStates, report.TotalStates,
 		report.Accuracy, report.SparseAccuracy)
+	return nil
+}
+
+// cmdUpdate is the CLI face of the serve lifecycle's shadow retrain: it
+// warm-starts vn2.Update from an existing model on a fresh trace and writes
+// the result with its generation bumped (parent = old generation, origin
+// "update"), so offline retrains and hot-swapped retrains share one
+// provenance trail.
+func cmdUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "existing model JSON path (required)")
+	in := fs.String("in", "", "input trace CSV with the fresh states (required)")
+	out := fs.String("out", "", "output model JSON path (default stdout)")
+	allStates := fs.Bool("all-states", false, "retrain on all states instead of extracted exceptions")
+	workers := fs.Int("workers", 0, "training goroutines (0 sequential, -1 all cores); output is identical for any value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *in == "" {
+		return fmt.Errorf("update: -model and -in are required")
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	model, meta, err := vn2.LoadVersioned(mf)
+	if err != nil {
+		return fmt.Errorf("load model: %w", err)
+	}
+	tf, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	ds, err := trace.ReadCSV(tf)
+	if err != nil {
+		return fmt.Errorf("read trace: %w", err)
+	}
+	next, report, err := model.Update(ds.States(), vn2.TrainConfig{
+		CompressAllStates: *allStates,
+		Workers:           *workers,
+	})
+	if err != nil {
+		return fmt.Errorf("update: %w", err)
+	}
+	parent := meta.ModelVersion
+	if parent == 0 {
+		parent = 1 // pre-lifecycle files are generation 1
+	}
+	w, closeFn, err := outputWriter(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	nextMeta := vn2.ModelMeta{
+		ModelVersion: parent + 1,
+		Parent:       parent,
+		Origin:       "update",
+		SavedAt:      time.Now().UTC(),
+	}
+	if err := next.SaveVersioned(w, nextMeta); err != nil {
+		return fmt.Errorf("save model: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "updated Psi(%dx%d) gen %d -> %d from %d/%d exception states; alpha=%.4f sparse=%.4f\n",
+		next.Rank, next.Metrics(), parent, nextMeta.ModelVersion,
+		report.ExceptionStates, report.TotalStates, report.Accuracy, report.SparseAccuracy)
 	return nil
 }
 

@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/wsn-tools/vn2/vn2"
 )
 
 func TestRunRequiresSubcommand(t *testing.T) {
@@ -45,6 +48,98 @@ func TestTracegenTrainDiagnosePipeline(t *testing.T) {
 	// exit status is checked here).
 	if err := run([]string{"diagnose", "-model", modelPath, "-in", tracePath}); err != nil {
 		t.Fatalf("diagnose: %v", err)
+	}
+}
+
+// TestUpdateSubcommand: train -> update round-trips a model through the
+// warm-start path. The updated file must load, keep the parent's rank,
+// metric names, and scale (the comparability contract of vn2.Update), carry
+// a bumped generation with provenance, and still diagnose the trace.
+func TestUpdateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.csv")
+	freshPath := filepath.Join(dir, "fresh.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	updatedPath := filepath.Join(dir, "updated.json")
+
+	if err := run([]string{"tracegen", "-scenario", "testbed-expansive", "-seed", "11", "-out", tracePath}); err != nil {
+		t.Fatalf("tracegen: %v", err)
+	}
+	if err := run([]string{"tracegen", "-scenario", "testbed-expansive", "-seed", "12", "-out", freshPath}); err != nil {
+		t.Fatalf("tracegen fresh: %v", err)
+	}
+	if err := run([]string{"train", "-in", tracePath, "-out", modelPath, "-rank", "6", "-all-states"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := run([]string{"update", "-model", modelPath, "-in", freshPath, "-out", updatedPath, "-all-states"}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, parentMeta, err := vn2.LoadVersioned(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatalf("load parent: %v", err)
+	}
+	if parentMeta.ModelVersion != 0 {
+		t.Fatalf("cold-trained model carries generation %d, want 0", parentMeta.ModelVersion)
+	}
+	uf, err := os.Open(updatedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, meta, err := vn2.LoadVersioned(uf)
+	uf.Close()
+	if err != nil {
+		t.Fatalf("load updated: %v", err)
+	}
+	if meta.ModelVersion != 2 || meta.Parent != 1 || meta.Origin != "update" {
+		t.Errorf("updated meta = %+v, want generation 2 from parent 1 via update", meta)
+	}
+	if meta.SavedAt.IsZero() {
+		t.Error("updated meta has no SavedAt")
+	}
+	if updated.Rank != parent.Rank {
+		t.Errorf("update changed rank %d -> %d", parent.Rank, updated.Rank)
+	}
+	if !reflect.DeepEqual(updated.Scale, parent.Scale) {
+		t.Error("update changed the normalization scale; residuals across generations are incomparable")
+	}
+	if !reflect.DeepEqual(updated.MetricNames, parent.MetricNames) {
+		t.Error("update changed the metric names")
+	}
+
+	// Updating an already-updated file keeps climbing the generation chain.
+	chainPath := filepath.Join(dir, "gen3.json")
+	if err := run([]string{"update", "-model", updatedPath, "-in", tracePath, "-out", chainPath, "-all-states"}); err != nil {
+		t.Fatalf("second update: %v", err)
+	}
+	cf, err := os.Open(chainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chainMeta, err := vn2.LoadVersioned(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatalf("load gen3: %v", err)
+	}
+	if chainMeta.ModelVersion != 3 || chainMeta.Parent != 2 {
+		t.Errorf("gen3 meta = %+v, want generation 3 from parent 2", chainMeta)
+	}
+
+	// The updated model still serves the diagnose path.
+	if err := run([]string{"diagnose", "-model", updatedPath, "-in", freshPath}); err != nil {
+		t.Fatalf("diagnose with updated model: %v", err)
+	}
+
+	if err := run([]string{"update"}); err == nil {
+		t.Error("update without flags succeeded")
+	}
+	if err := run([]string{"update", "-model", modelPath, "-in", "/nonexistent.csv"}); err == nil {
+		t.Error("update with missing trace succeeded")
 	}
 }
 

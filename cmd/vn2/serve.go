@@ -40,6 +40,54 @@ type serveOptions struct {
 	workers       int
 	drainEvery    time.Duration
 	snapshotEvery time.Duration
+
+	// Model lifecycle (all inert unless lifecycle is true).
+	modelsDir      string        // directory for persisted model generations
+	lifecycle      bool          // enable drift-triggered retrain + hot-swap
+	driftRate      float64       // unattributed-rate trigger (default 0.5)
+	driftMin       int           // min drift-window fill before triggering (default 32)
+	driftRegress   float64       // p50 regression factor trigger (default 4)
+	retrainTimeout time.Duration // shadow retrain deadline (default 2m)
+	probation      int           // post-swap window before commit/rollback (default 32)
+	rollbackMargin float64       // mean-residual regression factor that reverts (default 1.05)
+	residThreshold float64       // monitor's unattributed cutoff (default 0.5)
+	holdoutMin     int           // min held-out states to judge a candidate (default 8)
+	cooldownTicks  int           // base trigger cooldown, in drain ticks (default 8)
+	refreeze       bool          // re-anchor the detector on accepted swaps (opt-in)
+	lifecycleSync  bool          // run retrains inline in drainTick (tests/chaos only)
+}
+
+// lifecycleDefaults fills the zero lifecycle knobs. The lifecycle itself
+// stays off unless o.lifecycle is set — a zero-valued serveOptions (the
+// chaos harness, existing tests) behaves exactly as before.
+func (o *serveOptions) lifecycleDefaults() {
+	if o.driftRate <= 0 {
+		o.driftRate = 0.5
+	}
+	if o.driftMin <= 0 {
+		o.driftMin = 32
+	}
+	if o.driftRegress <= 0 {
+		o.driftRegress = 4
+	}
+	if o.retrainTimeout <= 0 {
+		o.retrainTimeout = 2 * time.Minute
+	}
+	if o.probation <= 0 {
+		o.probation = 32
+	}
+	if o.rollbackMargin <= 0 {
+		o.rollbackMargin = 1.05
+	}
+	if o.residThreshold <= 0 {
+		o.residThreshold = 0.5
+	}
+	if o.holdoutMin <= 0 {
+		o.holdoutMin = 8
+	}
+	if o.cooldownTicks <= 0 {
+		o.cooldownTicks = 8
+	}
 }
 
 func cmdServe(args []string) error {
@@ -57,8 +105,19 @@ func cmdServe(args []string) error {
 	fs.IntVar(&o.workers, "workers", 0, "drain NNLS goroutines (0 = all cores); results identical for any value")
 	fs.DurationVar(&o.drainEvery, "drain-interval", 2*time.Second, "how often flagged states are batch-diagnosed")
 	fs.DurationVar(&o.snapshotEvery, "snapshot-interval", time.Minute, "how often the snapshot file is rewritten")
+	fs.StringVar(&o.modelsDir, "models", "", "directory for persisted model generations (required with -lifecycle)")
+	fs.BoolVar(&o.lifecycle, "lifecycle", false, "enable the self-healing model lifecycle: drift-triggered shadow retrain, validated hot-swap, rollback")
+	fs.Float64Var(&o.driftRate, "drift-rate", 0, "unattributed-exception rate that triggers a shadow retrain (0 = 0.5)")
+	fs.IntVar(&o.driftMin, "drift-min", 0, "diagnosed states the drift window must hold before the trigger can fire (0 = 32)")
+	fs.DurationVar(&o.retrainTimeout, "retrain-timeout", 0, "shadow retrain deadline (0 = 2m)")
+	fs.IntVar(&o.probation, "probation", 0, "post-swap diagnosed states before the swap commits or rolls back (0 = 32)")
+	fs.Float64Var(&o.residThreshold, "residual-threshold", 0, "relative residual above which an exception counts as unattributed (0 = 0.5)")
+	fs.BoolVar(&o.refreeze, "refreeze", false, "re-anchor the exception detector on accepted swaps (declares the drifted regime the new routine)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if o.lifecycle && o.modelsDir == "" {
+		return fmt.Errorf("serve: -lifecycle requires -models")
 	}
 	srv, err := buildServer(o)
 	if err != nil {
@@ -70,9 +129,11 @@ func cmdServe(args []string) error {
 }
 
 // snapshotVersion guards the snapshot file format. Version 2 added the
-// monitor's rolling state and the WAL applied-LSN watermark; version 1
-// files (model + detector + summary only) still load, they just re-warm.
-const snapshotVersion = 2
+// monitor's rolling state and the WAL applied-LSN watermark; version 3 the
+// serving model's generation and swap history. Version 1 files (model +
+// detector + summary only) still load, they just re-warm; version 2 files
+// load as generation 1 with no history.
+const snapshotVersion = 3
 
 // snapshotFile is the periodic on-disk state: the model (as its vn2.Save
 // envelope, so restoring revalidates through vn2.Load), the frozen
@@ -93,12 +154,17 @@ type snapshotFile struct {
 	// least the watermark — replaying a little extra is benign (the
 	// monitor's duplicate/stale handling absorbs it), losing some is not.
 	WALApplied uint64 `json:"wal_applied,omitempty"`
+	// ModelVersion is the serving generation whose envelope Model holds;
+	// Swaps is the lifecycle history at snapshot time. Version 3 fields.
+	ModelVersion uint64      `json:"model_version,omitempty"`
+	Swaps        []swapEvent `json:"swaps,omitempty"`
 }
 
 // buildServer loads the model, obtains a frozen detector (snapshot first,
 // else calibration trace), primes the monitor, restores snapshot state,
 // replays the WAL, and assembles the HTTP server without starting it.
 func buildServer(o serveOptions) (*server, error) {
+	o.lifecycleDefaults()
 	var snap *snapshotFile
 	if o.snapshotPath != "" {
 		b, err := os.ReadFile(o.snapshotPath)
@@ -112,35 +178,52 @@ func buildServer(o serveOptions) (*server, error) {
 			if err := json.Unmarshal(b, snap); err != nil {
 				return nil, fmt.Errorf("decode snapshot %s: %w", o.snapshotPath, err)
 			}
-			if snap.Version != 1 && snap.Version != snapshotVersion {
+			if snap.Version < 1 || snap.Version > snapshotVersion {
 				return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
 			}
 		}
 	}
 
-	// Model: explicit -model wins; otherwise the snapshot's embedded copy.
+	// Model: explicit -model wins — unless the snapshot carries a LATER
+	// generation of the same deployment (a lifecycle swap happened after the
+	// operator exported the file behind -model); then the snapshot's copy is
+	// the truth.
 	var model *vn2.Model
+	var meta vn2.ModelMeta
 	var modelRaw json.RawMessage
+	var snapModel *vn2.Model
+	var snapMeta vn2.ModelMeta
+	if snap != nil && len(snap.Model) > 0 {
+		var err error
+		snapModel, snapMeta, err = vn2.LoadVersioned(bytes.NewReader(snap.Model))
+		if err != nil {
+			return nil, fmt.Errorf("load model from snapshot: %w", err)
+		}
+		if snapMeta.ModelVersion == 0 {
+			snapMeta.ModelVersion = snap.ModelVersion
+		}
+	}
 	switch {
 	case o.modelPath != "":
 		b, err := os.ReadFile(o.modelPath)
 		if err != nil {
 			return nil, err
 		}
-		model, err = vn2.Load(bytes.NewReader(b))
+		model, meta, err = vn2.LoadVersioned(bytes.NewReader(b))
 		if err != nil {
 			return nil, fmt.Errorf("load model: %w", err)
 		}
 		modelRaw = json.RawMessage(b)
-	case snap != nil && len(snap.Model) > 0:
-		var err error
-		model, err = vn2.Load(bytes.NewReader(snap.Model))
-		if err != nil {
-			return nil, fmt.Errorf("load model from snapshot: %w", err)
+		if snapModel != nil && snapMeta.ModelVersion > max64(meta.ModelVersion, 1) {
+			model, meta, modelRaw = snapModel, snapMeta, snap.Model
 		}
-		modelRaw = snap.Model
+	case snapModel != nil:
+		model, meta, modelRaw = snapModel, snapMeta, snap.Model
 	default:
 		return nil, fmt.Errorf("serve: -model is required (no snapshot model available)")
+	}
+	if meta.ModelVersion == 0 {
+		meta.ModelVersion = 1
 	}
 
 	// Detector: frozen calibration from the snapshot when present, else
@@ -170,11 +253,13 @@ func buildServer(o serveOptions) (*server, error) {
 	}
 
 	mon, err := online.NewMonitor(online.Config{
-		Model:      model,
-		Detector:   det,
-		History:    o.history,
-		MaxPending: o.maxPending,
-		Workers:    o.workers,
+		Model:             model,
+		Detector:          det,
+		History:           o.history,
+		MaxPending:        o.maxPending,
+		Workers:           o.workers,
+		ResidualThreshold: o.residThreshold,
+		ModelVersion:      meta.ModelVersion,
 	})
 	if err != nil {
 		return nil, err
@@ -191,9 +276,14 @@ func buildServer(o serveOptions) (*server, error) {
 	}
 	// Restore the monitor's rolling state (version ≥ 2 snapshots). This
 	// replaces the calibration warm above, which is the point: the
-	// snapshot's diff slots are newer.
+	// snapshot's diff slots are newer. A shape mismatch means the snapshot
+	// was cut under a DIFFERENT model/detector than the one configured now —
+	// a typed, fatal operator error.
 	if snap != nil && snap.Monitor != nil {
 		if err := mon.Restore(*snap.Monitor); err != nil {
+			if errors.Is(err, online.ErrBadState) {
+				return nil, fmt.Errorf("%w: %v", errSnapshotMismatch, err)
+			}
 			return nil, fmt.Errorf("restore monitor state: %w", err)
 		}
 	}
@@ -204,12 +294,14 @@ func buildServer(o serveOptions) (*server, error) {
 		o.maxPending = 4096
 	}
 	s := &server{
-		opts:     o,
-		mon:      mon,
-		det:      det,
-		modelRaw: modelRaw,
-		queue:    make(chan queuedReport, o.queueSize),
-		started:  time.Now(),
+		opts:    o,
+		mon:     mon,
+		cur:     &modelSet{model: model, det: det, version: meta.ModelVersion, raw: modelRaw},
+		queue:   make(chan queuedReport, o.queueSize),
+		started: time.Now(),
+	}
+	if snap != nil {
+		s.swapHist = append(s.swapHist, snap.Swaps...)
 	}
 
 	// WAL: open, then replay everything retained past the snapshot's
@@ -231,8 +323,25 @@ func buildServer(o serveOptions) (*server, error) {
 				s.walSkipped.Add(1)
 				return nil
 			}
+			kind, inner := wal.Decode(payload)
+			if kind == wal.KindSwap {
+				var rec swapRecord
+				if err := json.Unmarshal(inner, &rec); err != nil {
+					s.walBadRec.Add(1)
+					return nil
+				}
+				// A swap replays at exactly its LSN position: reports before
+				// it are drained under the outgoing model, reports after it
+				// under the new one — the same boundary the live queue
+				// enforced.
+				if err := s.replaySwap(rec); err != nil {
+					return err
+				}
+				s.walReplayed.Add(1)
+				return nil
+			}
 			var rec trace.Record
-			if err := json.Unmarshal(payload, &rec); err != nil {
+			if err := json.Unmarshal(inner, &rec); err != nil {
 				// CRC passed, so this is a format drift, not corruption;
 				// count it and keep the rest of the log.
 				s.walBadRec.Add(1)
@@ -263,10 +372,12 @@ func buildServer(o serveOptions) (*server, error) {
 }
 
 // queuedReport carries a report through the ingest queue together with its
-// WAL position (0 when the WAL is disabled).
+// WAL position (0 when the WAL is disabled). A non-nil swap makes the item a
+// model-swap barrier instead of a report (see pendingSwap).
 type queuedReport struct {
-	lsn uint64
-	rec trace.Record
+	lsn  uint64
+	rec  trace.Record
+	swap *pendingSwap
 }
 
 // lsnTracker tracks the applied-LSN watermark: the largest L such that
@@ -308,6 +419,13 @@ func (t *lsnTracker) watermark() uint64 {
 	return t.next - 1
 }
 
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // Degraded-mode reasons; the prefix picks which recovery probe clears it.
 const (
 	degradedWAL     = "wal"
@@ -330,15 +448,38 @@ const backlogTickLimit = 3
 // ingest answers 503, /diagnosis serves the last good summary, /healthz and
 // /metrics carry the reason.
 type server struct {
-	opts     serveOptions
-	mon      *online.Monitor
-	det      *trace.Detector
-	modelRaw json.RawMessage
-	queue    chan queuedReport
-	wal      *wal.WAL
-	applied  lsnTracker
-	started  time.Time
-	sleep    func(time.Duration) // retry sleeper; nil = time.Sleep (tests inject)
+	opts    serveOptions
+	mon     *online.Monitor
+	queue   chan queuedReport
+	wal     *wal.WAL
+	applied lsnTracker
+	started time.Time
+	sleep   func(time.Duration) // retry sleeper; nil = time.Sleep (tests inject)
+
+	// Lifecycle state. cur is the serving generation; prevSet is kept during
+	// a swap's probation window so a regression can revert. swapGate
+	// excludes report journaling while a swap record is appended + enqueued,
+	// making queue order equal LSN order at the generation boundary.
+	lcMu     sync.Mutex
+	cur      *modelSet
+	prevSet  *modelSet
+	baseMean float64 // pre-swap mean residual: the rollback baseline
+	p50Base  float64 // healthy-regime p50 baseline for the regression trigger
+	p50Set   bool
+	swapHist []swapEvent
+	cooldown int // drain ticks the trigger stays quiet
+	rejectN  int // consecutive rejected candidates (backoff exponent)
+
+	swapGate   sync.RWMutex
+	snapMu     sync.Mutex // serializes snapshot capture against swap application
+	retraining atomic.Bool
+	retrainWG  sync.WaitGroup
+
+	retrains     atomic.Uint64 // shadow retrains launched
+	retrainFails atomic.Uint64 // retrains that errored/panicked/timed out
+	candRejects  atomic.Uint64 // candidates the validation gate refused
+	swapsN       atomic.Uint64 // applied hot-swaps (including rollbacks)
+	rollbacks    atomic.Uint64 // probation regressions that auto-reverted
 
 	received  atomic.Uint64 // reports offered by clients
 	accepted  atomic.Uint64 // reports that fit in the queue
@@ -411,6 +552,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /diagnosis", s.handleDiagnosis)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /model", s.handleModel)
 	return mux
 }
 
@@ -548,10 +690,16 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	queued := 0
 	shed := false
 	for _, rec := range recs {
+		// The read side of the swap gate: a record's WAL append and its
+		// queue insertion happen with no swap record between them, so the
+		// record lands on the same side of every generation boundary in
+		// both orders.
+		s.swapGate.RLock()
 		var lsn uint64
 		if s.wal != nil {
 			l, err := s.walAppend(rec)
 			if err != nil {
+				s.swapGate.RUnlock()
 				if queued > 0 {
 					_ = s.walSync() // best effort for what was enqueued
 				}
@@ -569,6 +717,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 			}
 			shed = true
 		}
+		s.swapGate.RUnlock()
 		if shed {
 			break
 		}
@@ -668,6 +817,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"monitor_last_epoch":    st.LastEpoch,
 		"pending_states":        s.mon.Pending(),
 	}
+	ds := s.mon.DriftStats()
+	m["model_version"] = ds.ModelVersion
+	m["model_swaps"] = s.swapsN.Load()
+	m["model_rollbacks"] = s.rollbacks.Load()
+	m["model_retrains"] = s.retrains.Load()
+	m["model_retrain_failures"] = s.retrainFails.Load()
+	m["model_candidates_rejected"] = s.candRejects.Load()
+	m["drift_window"] = ds.Window
+	m["drift_unattributed"] = st.Unattributed
+	m["drift_unattributed_rate"] = ds.UnattributedRate
+	m["drift_mean_residual"] = ds.MeanResidual
+	m["drift_residual_p50"] = ds.P50
+	m["drift_residual_p90"] = ds.P90
+	m["drift_residual_p99"] = ds.P99
+	m["quarantine_len"] = ds.Quarantine
 	if s.wal != nil {
 		m["wal_errors"] = s.walErrs.Load()
 		m["wal_segments"] = s.wal.Segments()
@@ -687,6 +851,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // way it never needs replaying.
 func (s *server) ingestLoop() {
 	for q := range s.queue {
+		if q.swap != nil {
+			s.applySwapNow(q.swap)
+			if s.wal != nil && q.lsn != 0 {
+				s.applied.mark(q.lsn)
+			}
+			continue
+		}
 		if _, err := s.mon.Ingest(q.rec); err != nil {
 			s.ingestErr.Add(1)
 		} else {
@@ -705,6 +876,13 @@ func (s *server) ingestQueued() {
 	for {
 		select {
 		case q := <-s.queue:
+			if q.swap != nil {
+				s.applySwapNow(q.swap)
+				if s.wal != nil && q.lsn != 0 {
+					s.applied.mark(q.lsn)
+				}
+				continue
+			}
 			if _, err := s.mon.Ingest(q.rec); err != nil {
 				s.ingestErr.Add(1)
 			} else {
@@ -766,6 +944,12 @@ func (s *server) drainTick() {
 			}
 		}
 	}
+
+	// Lifecycle: only on a clean, non-degraded tick — a degraded server has
+	// bigger problems than drift, and its window is not trustworthy.
+	if s.opts.lifecycle && !s.degraded.Load() {
+		s.lifecycleTick()
+	}
 }
 
 // writeSnapshot atomically rewrites the snapshot file (tmp + rename), then
@@ -776,19 +960,30 @@ func (s *server) writeSnapshot() error {
 	if s.opts.snapshotPath == "" {
 		return nil
 	}
+	// The capture is serialized against swap application (snapMu): the
+	// model envelope, the monitor state, and the history all describe the
+	// same side of any generation boundary. A torn capture (old model, new
+	// state) would recover with the wrong model and no replayable fix.
+	s.snapMu.Lock()
 	var wm uint64
 	if s.wal != nil {
 		wm = s.applied.watermark()
 	}
+	cur := s.currentSet()
 	st := s.mon.State()
+	sum := s.mon.Snapshot()
+	hist := s.swapHistory()
+	s.snapMu.Unlock()
 	b, err := json.Marshal(snapshotFile{
-		Version:    snapshotVersion,
-		SavedAt:    time.Now().UTC(),
-		Model:      s.modelRaw,
-		Detector:   s.det,
-		Summary:    s.mon.Snapshot(),
-		Monitor:    &st,
-		WALApplied: wm,
+		Version:      snapshotVersion,
+		SavedAt:      time.Now().UTC(),
+		Model:        cur.raw,
+		Detector:     cur.det,
+		Summary:      sum,
+		Monitor:      &st,
+		WALApplied:   wm,
+		ModelVersion: cur.version,
+		Swaps:        hist,
 	})
 	if err != nil {
 		s.snapErrs.Add(1)
@@ -899,6 +1094,7 @@ func (s *server) run(ctx context.Context) error {
 	select {
 	case err := <-serveErr:
 		cancelLoops()
+		s.retrainWG.Wait()
 		close(s.queue)
 		wg.Wait()
 		if s.wal != nil {
@@ -908,11 +1104,16 @@ func (s *server) run(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "vn2 serve: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Budget must exceed net/http's ~5s grace for StateNew connections
+	// (dialed but never used), or a single racing client dial makes
+	// Shutdown report DeadlineExceeded.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutCtx)
-	// No more writers: drain what was already queued, then finish.
+	// No more writers: let any in-flight shadow retrain land (or fail),
+	// drain what was already queued, then finish.
 	cancelLoops()
+	s.retrainWG.Wait()
 	close(s.queue)
 	wg.Wait()
 	s.drainTick()

@@ -270,7 +270,8 @@ func TestServeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("restart from snapshot: %v", err)
 	}
-	if srv2.det.RefMax != srv.det.RefMax || srv2.det.Threshold != srv.det.Threshold {
+	if srv2.currentSet().det.RefMax != srv.currentSet().det.RefMax ||
+		srv2.currentSet().det.Threshold != srv.currentSet().det.Threshold {
 		t.Error("restarted detector differs from the frozen one")
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -254,7 +255,51 @@ func TestSnapshotV1Compat(t *testing.T) {
 	if err != nil {
 		t.Fatalf("v1 snapshot rejected: %v", err)
 	}
-	if v1.det.RefMax != srv.det.RefMax {
+	if v1.currentSet().det.RefMax != srv.currentSet().det.RefMax {
 		t.Error("v1 snapshot lost the detector")
+	}
+}
+
+// TestSnapshotModelMismatch: restarting serve with a snapshot cut under one
+// model but an explicit -model of a different rank must fail with the typed
+// errSnapshotMismatch — the monitor's rolling state (diagnosis weights, epoch
+// cause indices) is meaningless under the wrong basis, and restoring it
+// silently would corrupt every report the WAL then replays.
+func TestSnapshotModelMismatch(t *testing.T) {
+	fx := serveFixtures(t)
+	dir := t.TempDir()
+	srv := walServer(t, fx, dir)
+	ts := httptest.NewServer(srv.handler())
+
+	// Diagnosed state in the snapshot ties it to the rank-6 model.
+	batch := []trace.Record{fx.hotReport(t, fx.nodes()[0], 1), fx.hotReport(t, fx.nodes()[1], 1)}
+	if resp, body := postJSON(t, ts.URL+"/report", batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("report: %d %s", resp.StatusCode, body)
+	}
+	ingestAll(srv)
+	srv.drainTick()
+	if err := srv.writeSnapshot(); err != nil {
+		t.Fatalf("writeSnapshot: %v", err)
+	}
+	ts.Close()
+	srv.wal.Close()
+
+	// A different-rank model for the same deployment.
+	otherModel := filepath.Join(dir, "model-rank4.json")
+	if err := run([]string{"train", "-in", fx.tracePath, "-out", otherModel, "-rank", "4", "-all-states"}); err != nil {
+		t.Fatalf("train rank-4 model: %v", err)
+	}
+	_, err := buildServer(serveOptions{
+		modelPath:     otherModel,
+		calibratePath: fx.tracePath,
+		snapshotPath:  filepath.Join(dir, "snapshot.json"),
+		walPath:       filepath.Join(dir, "wal"),
+		queueSize:     8,
+	})
+	if err == nil {
+		t.Fatal("restart with a mismatched model succeeded")
+	}
+	if !errors.Is(err, errSnapshotMismatch) {
+		t.Errorf("err = %v, want errSnapshotMismatch", err)
 	}
 }

@@ -130,9 +130,16 @@ func run() error {
 		}
 		fmt.Printf("epoch %2d  PRR %.3f  alerts %d\n", er.Epoch, er.PRR, len(alerts))
 	}
+	// Summarize from the monitor's exported counters — the same DriftStats
+	// snapshot `vn2 serve` publishes at /metrics (model_version,
+	// drift_residual_p50/p90/p99, drift_unattributed) — rather than
+	// re-deriving residual statistics from the alert stream by hand.
 	st := mon.Stats()
+	drift := mon.DriftStats()
 	fmt.Printf("\nmonitor: %d reports, %d flagged, %d diagnosed, %d gap states (max gap %d)\n",
 		st.Reports, st.Flagged, st.Diagnosed, st.GapReports, st.MaxGap)
+	fmt.Printf("model v%d: residual p50 %.2f p90 %.2f p99 %.2f over %d-state window, %d unattributed\n",
+		drift.ModelVersion, drift.P50, drift.P90, drift.P99, drift.Window, drift.Unattributed)
 	return nil
 }
 

@@ -93,7 +93,7 @@ func (s *Stream) NormFloat64() float64 {
 			float64(u>>32&0xffff) + float64(u>>48)
 	}
 	// sum of 12 lanes + 12 half-steps, scaled to (0,12), centered on 0.
-	return (sum + 6) / 65536 - 6
+	return (sum+6)/65536 - 6
 }
 
 // NormMax bounds the support of NormFloat64: |NormFloat64()| < NormMax.

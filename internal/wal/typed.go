@@ -1,0 +1,48 @@
+package wal
+
+// Typed payload envelope. The WAL itself stores opaque bytes; the serve
+// path needs two record kinds in one log — sensor reports and model-swap
+// control records — replayed in a single LSN order so recovery re-applies
+// model swaps at exactly the position they happened between reports.
+//
+// A typed payload starts with a reserved 0x00 byte (no JSON payload — the
+// only kind the log carried before typing existed — can begin with 0x00),
+// followed by one kind byte, followed by the inner payload. Anything not
+// starting with 0x00 decodes as KindRaw with the payload untouched, so
+// pre-existing logs replay exactly as before.
+
+// Kind tags a typed WAL payload.
+type Kind byte
+
+const (
+	// KindRaw is an untyped payload: either a legacy record written before
+	// the envelope existed, or a payload deliberately stored unwrapped (the
+	// serve path keeps sensor reports raw for backward compatibility).
+	KindRaw Kind = 0
+	// KindSwap is a model hot-swap control record (serve's swapRecord JSON).
+	KindSwap Kind = 'S'
+)
+
+// typedMagic is the reserved first byte of a typed payload.
+const typedMagic = 0x00
+
+// Encode wraps payload in the typed envelope. Encoding KindRaw returns the
+// payload unchanged (raw is the absence of an envelope).
+func Encode(kind Kind, payload []byte) []byte {
+	if kind == KindRaw {
+		return payload
+	}
+	out := make([]byte, 0, len(payload)+2)
+	out = append(out, typedMagic, byte(kind))
+	return append(out, payload...)
+}
+
+// Decode splits a WAL payload into its kind and inner payload. Payloads
+// that do not start with the typed magic byte — every record written before
+// the envelope existed — come back as KindRaw, unchanged.
+func Decode(data []byte) (Kind, []byte) {
+	if len(data) < 2 || data[0] != typedMagic {
+		return KindRaw, data
+	}
+	return Kind(data[1]), data[2:]
+}

@@ -2,6 +2,7 @@ package vn2
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/wsn-tools/vn2/internal/mat"
@@ -121,6 +122,26 @@ func (m *Model) DiagnoseBatch(states []trace.StateVector, cfg DiagnoseConfig) ([
 		out[i] = rankDiagnosis(weights.Row(i), residuals[i], cfg.MinStrength)
 	}
 	return out, nil
+}
+
+// NormalizedNorm returns ‖s‖ of a state delta in the model's normalized
+// magnitude space — the denominator that turns a Diagnosis.Residual into a
+// scale-free relative residual. A relative residual near 0 means the basis
+// explains the state; near 1 means it explains essentially nothing (the
+// drift signal the online monitor watches).
+func (m *Model) NormalizedNorm(delta []float64) (float64, error) {
+	if !m.trained() {
+		return 0, ErrNotTrained
+	}
+	s, err := m.normalize(delta)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v * v
+	}
+	return math.Sqrt(sum), nil
 }
 
 func rankDiagnosis(w []float64, residual, minStrength float64) *Diagnosis {

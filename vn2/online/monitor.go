@@ -74,6 +74,22 @@ type Config struct {
 	// MinStrength is passed through to diagnosis ranking; ≤0 uses the
 	// vn2 default.
 	MinStrength float64
+	// ResidualThreshold is the relative-residual cutoff above which a
+	// diagnosed exception counts as unattributed (the basis explains too
+	// little of it) and enters the quarantine buffer. Relative residual is
+	// ‖s − wΨ‖/‖s‖ in the model's normalized space: 0 = fully explained,
+	// 1 = not explained at all. Defaults to 0.5.
+	ResidualThreshold float64
+	// QuarantineSize bounds the buffer of unattributed exception states kept
+	// for the next shadow retrain; the oldest are evicted when it is full.
+	// Defaults to 512.
+	QuarantineSize int
+	// ResidualWindow bounds the rolling sample window behind DriftStats'
+	// residual quantiles and unattributed rate. Defaults to 256.
+	ResidualWindow int
+	// ModelVersion seeds the monitor's model generation counter; 0 means 1.
+	// SwapModel advances it.
+	ModelVersion uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +104,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = -1
+	}
+	if c.ResidualThreshold <= 0 {
+		c.ResidualThreshold = 0.5
+	}
+	if c.QuarantineSize == 0 {
+		c.QuarantineSize = 512
+	}
+	if c.ResidualWindow == 0 {
+		c.ResidualWindow = 256
+	}
+	if c.ModelVersion == 0 {
+		c.ModelVersion = 1
 	}
 	return c
 }
@@ -158,6 +186,42 @@ type Stats struct {
 	MaxGap int `json:"max_gap"`
 	// LastEpoch is the newest epoch seen across all nodes.
 	LastEpoch int `json:"last_epoch"`
+	// Unattributed counts diagnosed exceptions whose relative residual met
+	// ResidualThreshold (or whose diagnosis ranked no cause at all): states
+	// the current basis could not explain. This is the drift signal.
+	Unattributed uint64 `json:"unattributed"`
+	// Quarantined counts unattributed states admitted to the quarantine
+	// buffer; QuarantineShed counts oldest entries evicted to make room.
+	Quarantined    uint64 `json:"quarantined"`
+	QuarantineShed uint64 `json:"quarantine_shed"`
+	// Swaps counts accepted SwapModel calls over the monitor's lifetime.
+	Swaps uint64 `json:"swaps"`
+}
+
+// DriftStats summarizes how well the current model explains the recent
+// stream: the rolling relative-residual window and the unattributed-exception
+// rate the serve path's lifecycle trigger watches.
+type DriftStats struct {
+	// ModelVersion is the generation of the model the window was measured
+	// against; SwapModel resets the window and bumps this.
+	ModelVersion uint64 `json:"model_version"`
+	// Window is how many diagnosed states the rolling window holds (bounded
+	// by Config.ResidualWindow); WindowUnattributed is how many of those were
+	// unattributed, and UnattributedRate is their ratio (0 when empty).
+	Window             int     `json:"window"`
+	WindowUnattributed int     `json:"window_unattributed"`
+	UnattributedRate   float64 `json:"unattributed_rate"`
+	// Unattributed is the cumulative counter (across the model's lifetime,
+	// reset on swap only in the window, never in Stats).
+	Unattributed uint64 `json:"unattributed"`
+	// MeanResidual and the quantiles describe the window's relative
+	// residuals (‖s−wΨ‖/‖s‖, nearest-rank quantiles); all 0 when empty.
+	MeanResidual float64 `json:"mean_residual"`
+	P50          float64 `json:"p50"`
+	P90          float64 `json:"p90"`
+	P99          float64 `json:"p99"`
+	// Quarantine is the current quarantine-buffer length.
+	Quarantine int `json:"quarantine"`
 }
 
 // Summary is a consistent snapshot of the monitor's rolling state.
@@ -171,6 +235,8 @@ type Summary struct {
 	Epochs []EpochCauses `json:"epochs"`
 	// Recent holds the most recently diagnosed states, oldest first.
 	Recent []Flagged `json:"recent"`
+	// Drift is the rolling residual/unattributed view of the same instant.
+	Drift DriftStats `json:"drift"`
 }
 
 type lastReport struct {
@@ -194,20 +260,31 @@ type epochAcc struct {
 	contribs []Contribution
 }
 
+// resSample is one diagnosed state's contribution to the rolling residual
+// window.
+type resSample struct {
+	rel          float64
+	unattributed bool
+}
+
 // Monitor is the streaming sink service core. All methods are safe for
 // concurrent use; Ingest stays O(M) per report and Drain batches the
-// expensive NNLS solves.
+// expensive NNLS solves. The model and detector are mutable via SwapModel —
+// every read of either goes through mu.
 type Monitor struct {
-	cfg   Config
-	model *vn2.Model
-	det   *trace.Detector
+	cfg Config
 
-	mu      sync.Mutex
-	last    map[packet.NodeID]lastReport
-	pending []pendingState
-	epochs  map[int]*epochAcc
-	recent  []Flagged
-	stats   Stats
+	mu        sync.Mutex
+	model     *vn2.Model
+	det       *trace.Detector
+	version   uint64
+	last      map[packet.NodeID]lastReport
+	pending   []pendingState
+	epochs    map[int]*epochAcc
+	recent    []Flagged
+	residuals []resSample
+	quar      []trace.StateVector
+	stats     Stats
 
 	// drainMu serializes drains so two concurrent Drain calls cannot
 	// interleave their merges (ingest keeps flowing meanwhile: the solve
@@ -229,11 +306,12 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 			ErrBadConfig, c.Detector.Metrics(), c.Model.Metrics())
 	}
 	return &Monitor{
-		cfg:    c,
-		model:  c.Model,
-		det:    c.Detector,
-		last:   make(map[packet.NodeID]lastReport),
-		epochs: make(map[int]*epochAcc),
+		cfg:     c,
+		model:   c.Model,
+		det:     c.Detector,
+		version: c.ModelVersion,
+		last:    make(map[packet.NodeID]lastReport),
+		epochs:  make(map[int]*epochAcc),
 	}, nil
 }
 
@@ -241,14 +319,14 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 // seed the monitor from the tail of a calibration trace so the first live
 // report already produces a state vector.
 func (m *Monitor) Warm(rec trace.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(rec.Vector) != m.det.Metrics() {
 		return fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
 	}
 	if k := firstNonFinite(rec.Vector); k >= 0 {
 		return fmt.Errorf("%w: metric %d", ErrNonFinite, k)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if lr, ok := m.last[rec.Node]; ok && rec.Epoch <= lr.epoch {
 		m.stats.Stale++
 		return fmt.Errorf("%w: node %d epoch %d ≤ %d", ErrStaleReport, rec.Node, rec.Epoch, lr.epoch)
@@ -280,23 +358,17 @@ func (m *Monitor) storeLast(rec trace.Record) {
 // returned alongside it.
 func (m *Monitor) Ingest(rec trace.Record) (Observation, error) {
 	obs := Observation{Node: rec.Node, Epoch: rec.Epoch}
-	if len(rec.Vector) != m.det.Metrics() {
-		m.mu.Lock()
-		m.stats.Reports++
-		m.stats.Invalid++
-		m.mu.Unlock()
-		return obs, fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
-	}
-	if k := firstNonFinite(rec.Vector); k >= 0 {
-		m.mu.Lock()
-		m.stats.Reports++
-		m.stats.Invalid++
-		m.mu.Unlock()
-		return obs, fmt.Errorf("%w: node %d epoch %d metric %d", ErrNonFinite, rec.Node, rec.Epoch, k)
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Reports++
+	if len(rec.Vector) != m.det.Metrics() {
+		m.stats.Invalid++
+		return obs, fmt.Errorf("%w: got %d metrics, want %d", trace.ErrVectorLength, len(rec.Vector), m.det.Metrics())
+	}
+	if k := firstNonFinite(rec.Vector); k >= 0 {
+		m.stats.Invalid++
+		return obs, fmt.Errorf("%w: node %d epoch %d metric %d", ErrNonFinite, rec.Node, rec.Epoch, k)
+	}
 	lr, ok := m.last[rec.Node]
 	if ok && rec.Epoch == lr.epoch && equalVectors(rec.Vector, lr.vector) {
 		// Exact retransmission: absorb it instead of first-differencing it
@@ -367,6 +439,7 @@ func (m *Monitor) Drain() ([]Flagged, error) {
 	m.mu.Lock()
 	pend := m.pending
 	m.pending = nil
+	model, version := m.model, m.version
 	m.mu.Unlock()
 	if len(pend) == 0 {
 		return nil, nil
@@ -376,7 +449,7 @@ func (m *Monitor) Drain() ([]Flagged, error) {
 	for i, p := range pend {
 		states[i] = p.state
 	}
-	diags, err := m.model.DiagnoseBatch(states, vn2.DiagnoseConfig{
+	diags, err := model.DiagnoseBatch(states, vn2.DiagnoseConfig{
 		Workers:     m.cfg.Workers,
 		MinStrength: m.cfg.MinStrength,
 	})
@@ -390,8 +463,10 @@ func (m *Monitor) Drain() ([]Flagged, error) {
 	}
 
 	out := make([]Flagged, len(pend))
+	samples := make([]resSample, len(pend))
 	for i, p := range pend {
 		out[i] = Flagged{State: p.state, Score: p.score, Diagnosis: diags[i]}
+		samples[i] = m.classify(model, p.state.Delta, diags[i])
 	}
 
 	m.mu.Lock()
@@ -413,6 +488,30 @@ func (m *Monitor) Drain() ([]Flagged, error) {
 	if over := len(m.recent) - m.cfg.MaxRecent; over > 0 {
 		m.recent = append(m.recent[:0], m.recent[over:]...)
 	}
+	// The drift window and quarantine describe ONE model generation. If a
+	// swap landed while the solve ran, these samples were measured against
+	// the outgoing model — folding them into the new generation's window
+	// would poison its baseline, so they are dropped. Epoch distributions
+	// and the recent ring merge regardless: they record what was served.
+	if m.version == version {
+		for i, sm := range samples {
+			m.residuals = append(m.residuals, sm)
+			if !sm.unattributed {
+				continue
+			}
+			m.stats.Unattributed++
+			if len(m.quar) >= m.cfg.QuarantineSize {
+				shed := len(m.quar) - m.cfg.QuarantineSize + 1
+				m.quar = append(m.quar[:0], m.quar[shed:]...)
+				m.stats.QuarantineShed += uint64(shed)
+			}
+			m.quar = append(m.quar, copyState(out[i].State))
+			m.stats.Quarantined++
+		}
+		if over := len(m.residuals) - m.cfg.ResidualWindow; over > 0 {
+			m.residuals = append(m.residuals[:0], m.residuals[over:]...)
+		}
+	}
 	// Prune epochs that fell out of the rolling window.
 	floor := m.stats.LastEpoch - m.cfg.History
 	for e := range m.epochs {
@@ -421,6 +520,29 @@ func (m *Monitor) Drain() ([]Flagged, error) {
 		}
 	}
 	return out, nil
+}
+
+// classify turns one diagnosis into its drift-window sample: the relative
+// residual ‖s−wΨ‖/‖s‖ and whether the state counts as unattributed (residual
+// past the threshold, or an empty diagnosis of a state the detector flagged).
+func (m *Monitor) classify(model *vn2.Model, delta []float64, d *vn2.Diagnosis) resSample {
+	norm, err := model.NormalizedNorm(delta)
+	var rel float64
+	switch {
+	case err != nil || norm < 1e-12:
+		// A flagged state with a ~zero normalized norm should not happen
+		// (the detector flagged it for deviating); treat any leftover
+		// residual as fully unexplained rather than dividing by ~0.
+		if d.Residual > 1e-12 {
+			rel = 1
+		}
+	default:
+		rel = d.Residual / norm
+		if rel > 1 {
+			rel = 1
+		}
+	}
+	return resSample{rel: rel, unattributed: rel >= m.cfg.ResidualThreshold || len(d.Ranked) == 0}
 }
 
 // Snapshot returns a consistent copy of the rolling state: counters, the
@@ -434,6 +556,7 @@ func (m *Monitor) Snapshot() Summary {
 		Rank:    m.model.Rank,
 		Epochs:  make([]EpochCauses, 0, len(m.epochs)),
 		Recent:  append([]Flagged(nil), m.recent...),
+		Drift:   m.driftLocked(),
 	}
 	for _, ec := range m.epochs {
 		s.Epochs = append(s.Epochs, ec.causes(m.model.Rank))
@@ -495,4 +618,135 @@ func (m *Monitor) Pending() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.pending)
+}
+
+// ModelVersion returns the generation of the currently serving model.
+func (m *Monitor) ModelVersion() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// DriftStats returns the rolling drift view: residual quantiles and the
+// unattributed rate over the current model's sample window.
+func (m *Monitor) DriftStats() DriftStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.driftLocked()
+}
+
+// driftLocked computes DriftStats. Caller holds mu.
+func (m *Monitor) driftLocked() DriftStats {
+	ds := DriftStats{
+		ModelVersion: m.version,
+		Window:       len(m.residuals),
+		Unattributed: m.stats.Unattributed,
+		Quarantine:   len(m.quar),
+	}
+	if len(m.residuals) == 0 {
+		return ds
+	}
+	rels := make([]float64, len(m.residuals))
+	var sum float64
+	for i, s := range m.residuals {
+		rels[i] = s.rel
+		sum += s.rel
+		if s.unattributed {
+			ds.WindowUnattributed++
+		}
+	}
+	ds.UnattributedRate = float64(ds.WindowUnattributed) / float64(len(m.residuals))
+	ds.MeanResidual = sum / float64(len(m.residuals))
+	sort.Float64s(rels)
+	nearest := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(rels)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(rels) {
+			i = len(rels) - 1
+		}
+		return rels[i]
+	}
+	ds.P50, ds.P90, ds.P99 = nearest(0.50), nearest(0.90), nearest(0.99)
+	return ds
+}
+
+// Quarantine returns a deep copy of the quarantined unattributed states,
+// oldest first — the shadow retrainer's raw material.
+func (m *Monitor) Quarantine() []trace.StateVector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]trace.StateVector, len(m.quar))
+	for i, s := range m.quar {
+		out[i] = copyState(s)
+	}
+	return out
+}
+
+// RecentWindow returns a deep copy of the recent diagnosed ring, oldest
+// first — the lifecycle's held-out validation set: states the CURRENT model
+// already diagnosed, replayable against a candidate for an apples-to-apples
+// residual and dominant-cause comparison.
+func (m *Monitor) RecentWindow() []Flagged {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Flagged, len(m.recent))
+	for i, f := range m.recent {
+		out[i] = copyFlagged(f)
+	}
+	return out
+}
+
+// copyFlagged deep-copies one recent-ring entry.
+func copyFlagged(f Flagged) Flagged {
+	f.State = copyState(f.State)
+	if f.Diagnosis != nil {
+		d := *f.Diagnosis
+		d.Weights = append([]float64(nil), f.Diagnosis.Weights...)
+		d.Ranked = append([]vn2.RankedCause(nil), f.Diagnosis.Ranked...)
+		f.Diagnosis = &d
+	}
+	return f
+}
+
+// SwapModel atomically replaces the serving model (and optionally the
+// detector: nil keeps the current one) under a new generation number. The
+// version must advance — rollbacks re-install old model CONTENT under a NEW
+// version, keeping the generation counter monotonic so swap records replay
+// deterministically. The drift window and quarantine are cleared (they
+// describe the outgoing model); pending states stay queued and are diagnosed
+// by the new model; the recent ring and epoch distributions stay as the
+// record of what was actually served.
+func (m *Monitor) SwapModel(version uint64, model *vn2.Model, det *trace.Detector) error {
+	if model == nil || model.Metrics() == 0 || model.Rank <= 0 {
+		return fmt.Errorf("%w: swap model missing or untrained", ErrBadConfig)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if version <= m.version {
+		return fmt.Errorf("%w: swap version %d not after current %d", ErrBadConfig, version, m.version)
+	}
+	nd := m.det
+	if det != nil {
+		if !det.Valid() {
+			return fmt.Errorf("%w: swap detector uncalibrated", ErrBadConfig)
+		}
+		nd = det
+	}
+	if nd.Metrics() != model.Metrics() {
+		return fmt.Errorf("%w: detector has %d metrics, swap model %d",
+			ErrBadConfig, nd.Metrics(), model.Metrics())
+	}
+	if model.Metrics() != m.det.Metrics() {
+		return fmt.Errorf("%w: swap model has %d metrics, stream has %d",
+			ErrBadConfig, model.Metrics(), m.det.Metrics())
+	}
+	m.model = model
+	m.det = nd
+	m.version = version
+	m.residuals = nil
+	m.quar = nil
+	m.stats.Swaps++
+	return nil
 }

@@ -37,6 +37,12 @@ type EpochState struct {
 	Contribs []Contribution `json:"contribs"`
 }
 
+// ResidualSample is one drift-window entry in serializable form.
+type ResidualSample struct {
+	Rel          float64 `json:"rel"`
+	Unattributed bool    `json:"unattributed,omitempty"`
+}
+
 // MonitorState is the monitor's complete rolling state in serializable
 // form: counters, every node's diff slot, the flagged backlog, the
 // per-epoch contributions, and the recent ring. Together with a model and
@@ -49,6 +55,13 @@ type MonitorState struct {
 	Pending []PendingState `json:"pending,omitempty"`
 	Epochs  []EpochState   `json:"epochs,omitempty"`
 	Recent  []Flagged      `json:"recent,omitempty"`
+	// ModelVersion is the serving model's generation at export time; 0 (a
+	// pre-lifecycle state) keeps the restoring monitor's configured version.
+	ModelVersion uint64 `json:"model_version,omitempty"`
+	// Quarantine and Residuals carry the drift window: the unattributed
+	// states held for retraining and the rolling relative-residual samples.
+	Quarantine []trace.StateVector `json:"quarantine,omitempty"`
+	Residuals  []ResidualSample    `json:"residuals,omitempty"`
 }
 
 // State exports a consistent deep copy of the monitor's rolling state, with
@@ -81,7 +94,23 @@ func (m *Monitor) State() MonitorState {
 		st.Epochs = append(st.Epochs, es)
 	}
 	sort.Slice(st.Epochs, func(i, j int) bool { return st.Epochs[i].Epoch < st.Epochs[j].Epoch })
-	st.Recent = append([]Flagged(nil), m.recent...)
+	st.Recent = make([]Flagged, len(m.recent))
+	for i, f := range m.recent {
+		st.Recent[i] = copyFlagged(f)
+	}
+	st.ModelVersion = m.version
+	if len(m.quar) > 0 {
+		st.Quarantine = make([]trace.StateVector, len(m.quar))
+		for i, s := range m.quar {
+			st.Quarantine[i] = copyState(s)
+		}
+	}
+	if len(m.residuals) > 0 {
+		st.Residuals = make([]ResidualSample, len(m.residuals))
+		for i, s := range m.residuals {
+			st.Residuals[i] = ResidualSample{Rel: s.rel, Unattributed: s.unattributed}
+		}
+	}
 	return st
 }
 
@@ -92,11 +121,15 @@ func copyState(s trace.StateVector) trace.StateVector {
 
 // Restore loads an exported state into a freshly constructed monitor,
 // replacing whatever it held. Vector lengths are validated against the
-// detector; everything else is taken as-is (the state came from State on a
-// monitor with the same model/detector — the serve path enforces that by
-// persisting model, detector, and state in one snapshot file).
+// detector and diagnosis shapes against the model's rank, so a snapshot
+// whose monitor state disagrees with the model/detector it is restored
+// against fails with a typed ErrBadState instead of corrupting the stream
+// (the serve path surfaces that as a snapshot/model mismatch).
 func (m *Monitor) Restore(st MonitorState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	metrics := m.det.Metrics()
+	rank := m.model.Rank
 	for _, ns := range st.Nodes {
 		if len(ns.Vector) != metrics {
 			return fmt.Errorf("%w: node %d vector has %d metrics, want %d",
@@ -109,8 +142,32 @@ func (m *Monitor) Restore(st MonitorState) error {
 				ErrBadState, p.State.Node, len(p.State.Delta), metrics)
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	for _, s := range st.Quarantine {
+		if len(s.Delta) != metrics {
+			return fmt.Errorf("%w: quarantined state node %d delta has %d metrics, want %d",
+				ErrBadState, s.Node, len(s.Delta), metrics)
+		}
+	}
+	for _, f := range st.Recent {
+		if len(f.State.Delta) != metrics {
+			return fmt.Errorf("%w: recent state node %d delta has %d metrics, want %d",
+				ErrBadState, f.State.Node, len(f.State.Delta), metrics)
+		}
+		if f.Diagnosis != nil && len(f.Diagnosis.Weights) != rank {
+			return fmt.Errorf("%w: recent diagnosis for node %d has %d weights, model rank is %d",
+				ErrBadState, f.State.Node, len(f.Diagnosis.Weights), rank)
+		}
+	}
+	for _, es := range st.Epochs {
+		for _, c := range es.Contribs {
+			for _, rc := range c.Causes {
+				if rc.Cause < 0 || rc.Cause >= rank {
+					return fmt.Errorf("%w: epoch %d node %d cites cause %d outside model rank %d",
+						ErrBadState, es.Epoch, c.Node, rc.Cause, rank)
+				}
+			}
+		}
+	}
 	m.stats = st.Stats
 	m.last = make(map[packet.NodeID]lastReport, len(st.Nodes))
 	for _, ns := range st.Nodes {
@@ -128,6 +185,20 @@ func (m *Monitor) Restore(st MonitorState) error {
 		}
 		m.epochs[es.Epoch] = ec
 	}
-	m.recent = append([]Flagged(nil), st.Recent...)
+	m.recent = make([]Flagged, len(st.Recent))
+	for i, f := range st.Recent {
+		m.recent[i] = copyFlagged(f)
+	}
+	if st.ModelVersion != 0 {
+		m.version = st.ModelVersion
+	}
+	m.quar = nil
+	for _, s := range st.Quarantine {
+		m.quar = append(m.quar, copyState(s))
+	}
+	m.residuals = nil
+	for _, s := range st.Residuals {
+		m.residuals = append(m.residuals, resSample{rel: s.Rel, unattributed: s.Unattributed})
+	}
 	return nil
 }
