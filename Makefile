@@ -6,10 +6,11 @@ GO ?= go
 # Packages refactored onto internal/par; the race detector must stay clean
 # on them for any worker count. radio and env are included because the
 # parallel wsn phases call into them concurrently (keyed link draws and
-# pure environment queries). vn2/online and cmd/vn2 are included for the
-# streaming monitor and the serve path (concurrent ingest/drain/snapshot).
+# pure environment queries). vn2/online and vn2/sink are included for the
+# streaming monitor and the sink service (concurrent ingest/drain/snapshot,
+# the lifecycle hot-swap, and the event bus under /stream subscribers).
 # wal, retry, and chaos are the crash-safety layer under the same gate.
-RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./vn2/online/... ./cmd/vn2/...
+RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./vn2/online/... ./vn2/sink/... ./cmd/vn2/...
 
 # Short smoke budget per fuzz target inside `make check`; raise for a real
 # fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
@@ -28,7 +29,7 @@ BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCityS
 BENCH_TXT     ?= bench.txt
 BENCH_JSON    ?= BENCH_2.json
 
-.PHONY: check vet lint build test race fuzz chaos smoke bench bench-all
+.PHONY: check vet lint build test race fuzz chaos smoke smoke-stream bench bench-all
 
 check: vet lint build test race fuzz
 
@@ -59,10 +60,10 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # fuzz smokes the malformed-input decoders: the trace CSV reader and the
-# serve report-body decoder, seeded from the regression tables.
+# sink report-body decoder, seeded from the regression tables.
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZ_TIME)
-	$(GO) test ./cmd/vn2 -run '^$$' -fuzz FuzzDecodeReports -fuzztime $(FUZZ_TIME)
+	$(GO) test ./vn2/sink/ingest -run '^$$' -fuzz FuzzDecodeReports -fuzztime $(FUZZ_TIME)
 
 # chaos proves the crash-safety contract end to end: a fault-injected run
 # (duplication, reordering, delays, wire truncation) with a mid-run kill -9
@@ -72,11 +73,17 @@ chaos:
 	$(GO) run ./cmd/vn2 chaos -seed 1
 	$(GO) test ./cmd/vn2 -run TestChaos -count=1 -v
 
-# smoke boots the real `vn2 serve` stack end to end: build fixtures with the
-# CLI, start the HTTP server, post reports, and assert the diagnosis
-# round-trip, backpressure, and snapshot restore.
+# smoke boots the real sink stack end to end: build fixtures, start the HTTP
+# server, post reports, and assert the diagnosis round-trip, backpressure,
+# and snapshot restore.
 smoke:
-	$(GO) test ./cmd/vn2 -run 'TestServe|TestBuildServer' -count=1 -v
+	$(GO) test ./vn2/sink -run 'TestServe|TestNewErrors' -count=1 -v
+
+# smoke-stream is the visibility-plane smoke: a live /stream (SSE) client
+# sees events end to end, Last-Event-ID resume replays exactly the missed
+# events, /status answers, and the embedded dashboard serves from the binary.
+smoke-stream:
+	$(GO) test ./vn2/sink -run 'TestStream' -count=1 -v
 
 # bench runs the simulator scaling ladder with -benchmem, keeping the raw
 # benchstat-compatible text in $(BENCH_TXT) and a machine-readable summary

@@ -21,6 +21,7 @@ import (
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/internal/tracegen"
 	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink"
 )
 
 // chaosOptions parametrizes one chaos experiment.
@@ -217,19 +218,19 @@ func driveRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, kil
 		return nil, err
 	}
 	noSleep := func(time.Duration) {}
-	build := func() (*server, *httptest.Server, error) {
-		srv, err := buildServer(serveOptions{
-			modelPath:     o.modelPath,
-			calibratePath: o.calibPath,
-			snapshotPath:  filepath.Join(o.dir, "snapshot.json"),
-			walPath:       filepath.Join(o.dir, "wal"),
-			queueSize:     4096,
+	build := func() (*sink.Server, *httptest.Server, error) {
+		srv, err := sink.New(sink.Options{
+			ModelPath:     o.modelPath,
+			CalibratePath: o.calibPath,
+			SnapshotPath:  filepath.Join(o.dir, "snapshot.json"),
+			WALPath:       filepath.Join(o.dir, "wal"),
+			QueueSize:     4096,
+			Sleep:         noSleep,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		srv.sleep = noSleep
-		return srv, httptest.NewServer(srv.handler()), nil
+		return srv, httptest.NewServer(srv.Handler()), nil
 	}
 	srv, ts, err := build()
 	if err != nil {
@@ -266,19 +267,19 @@ func driveRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, kil
 			// buffers die with the process, no goodbye snapshot. Everything
 			// the clients were promised must come back from disk.
 			ts.Close()
-			srv.wal.Abort()
+			srv.AbortWAL()
 			logf("chaos: killed sink after batch %d (queue held %d reports), restarting from disk\n",
-				i+1, len(srv.queue))
+				i+1, srv.QueueDepth())
 			srv, ts, err = build()
 			if err != nil {
 				return nil, fmt.Errorf("restart after kill: %w", err)
 			}
 			continue
 		}
-		srv.ingestQueued()
-		srv.drainTick()
+		srv.IngestQueued()
+		srv.DrainTick()
 		if i+1 == snapshotAt {
-			if err := srv.persistSnapshot(context.Background()); err != nil {
+			if err := srv.PersistSnapshot(context.Background()); err != nil {
 				return nil, fmt.Errorf("mid-run snapshot: %w", err)
 			}
 		}
@@ -288,11 +289,11 @@ func driveRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, kil
 			return nil, fmt.Errorf("flush: %w", err)
 		}
 	}
-	srv.ingestQueued()
-	srv.drainTick()
-	st := srv.mon.State()
+	srv.IngestQueued()
+	srv.DrainTick()
+	st := srv.MonitorState()
 	ts.Close()
-	if err := srv.wal.Close(); err != nil {
+	if err := srv.CloseWAL(); err != nil {
 		return nil, err
 	}
 	return &st, nil

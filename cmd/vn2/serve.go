@@ -1,1130 +1,58 @@
 package main
 
+// The serve subcommand is a thin shell over vn2/sink: parse flags into
+// sink.Options, build the server, run until signaled. All sink behavior —
+// ingest, WAL, snapshots, lifecycle, degraded mode, the event bus and the
+// visibility plane — lives in vn2/sink and its sub-packages.
+
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"github.com/wsn-tools/vn2/internal/retry"
-	"github.com/wsn-tools/vn2/internal/trace"
-	"github.com/wsn-tools/vn2/internal/wal"
-	"github.com/wsn-tools/vn2/vn2"
-	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink"
 )
-
-// serveOptions collects the serve subcommand's configuration.
-type serveOptions struct {
-	addr          string
-	modelPath     string
-	calibratePath string
-	snapshotPath  string
-	walPath       string
-	threshold     float64
-	queueSize     int
-	maxPending    int
-	history       int
-	workers       int
-	drainEvery    time.Duration
-	snapshotEvery time.Duration
-
-	// Model lifecycle (all inert unless lifecycle is true).
-	modelsDir      string        // directory for persisted model generations
-	lifecycle      bool          // enable drift-triggered retrain + hot-swap
-	driftRate      float64       // unattributed-rate trigger (default 0.5)
-	driftMin       int           // min drift-window fill before triggering (default 32)
-	driftRegress   float64       // p50 regression factor trigger (default 4)
-	retrainTimeout time.Duration // shadow retrain deadline (default 2m)
-	probation      int           // post-swap window before commit/rollback (default 32)
-	rollbackMargin float64       // mean-residual regression factor that reverts (default 1.05)
-	residThreshold float64       // monitor's unattributed cutoff (default 0.5)
-	holdoutMin     int           // min held-out states to judge a candidate (default 8)
-	cooldownTicks  int           // base trigger cooldown, in drain ticks (default 8)
-	refreeze       bool          // re-anchor the detector on accepted swaps (opt-in)
-	lifecycleSync  bool          // run retrains inline in drainTick (tests/chaos only)
-}
-
-// lifecycleDefaults fills the zero lifecycle knobs. The lifecycle itself
-// stays off unless o.lifecycle is set — a zero-valued serveOptions (the
-// chaos harness, existing tests) behaves exactly as before.
-func (o *serveOptions) lifecycleDefaults() {
-	if o.driftRate <= 0 {
-		o.driftRate = 0.5
-	}
-	if o.driftMin <= 0 {
-		o.driftMin = 32
-	}
-	if o.driftRegress <= 0 {
-		o.driftRegress = 4
-	}
-	if o.retrainTimeout <= 0 {
-		o.retrainTimeout = 2 * time.Minute
-	}
-	if o.probation <= 0 {
-		o.probation = 32
-	}
-	if o.rollbackMargin <= 0 {
-		o.rollbackMargin = 1.05
-	}
-	if o.residThreshold <= 0 {
-		o.residThreshold = 0.5
-	}
-	if o.holdoutMin <= 0 {
-		o.holdoutMin = 8
-	}
-	if o.cooldownTicks <= 0 {
-		o.cooldownTicks = 8
-	}
-}
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	var o serveOptions
-	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
-	fs.StringVar(&o.modelPath, "model", "", "model JSON path (required unless -snapshot holds one)")
-	fs.StringVar(&o.calibratePath, "calibrate", "", "trace CSV to freeze the exception detector from (required unless -snapshot holds a detector)")
-	fs.StringVar(&o.snapshotPath, "snapshot", "", "snapshot file: loaded at startup when present, rewritten periodically")
-	fs.StringVar(&o.walPath, "wal", "", "write-ahead log directory: accepted reports are journaled before the 202 and replayed on restart (empty = no WAL)")
-	fs.Float64Var(&o.threshold, "threshold", 0, "exception cutoff eps/max(eps) (0 = paper's 0.01)")
-	fs.IntVar(&o.queueSize, "queue", 1024, "bounded ingest queue size; full queue returns 503")
-	fs.IntVar(&o.maxPending, "max-pending", 0, "bound on flagged states awaiting diagnosis (0 = 4096)")
-	fs.IntVar(&o.history, "history", 0, "rolling per-epoch diagnosis window, epochs (0 = 64)")
-	fs.IntVar(&o.workers, "workers", 0, "drain NNLS goroutines (0 = all cores); results identical for any value")
-	fs.DurationVar(&o.drainEvery, "drain-interval", 2*time.Second, "how often flagged states are batch-diagnosed")
-	fs.DurationVar(&o.snapshotEvery, "snapshot-interval", time.Minute, "how often the snapshot file is rewritten")
-	fs.StringVar(&o.modelsDir, "models", "", "directory for persisted model generations (required with -lifecycle)")
-	fs.BoolVar(&o.lifecycle, "lifecycle", false, "enable the self-healing model lifecycle: drift-triggered shadow retrain, validated hot-swap, rollback")
-	fs.Float64Var(&o.driftRate, "drift-rate", 0, "unattributed-exception rate that triggers a shadow retrain (0 = 0.5)")
-	fs.IntVar(&o.driftMin, "drift-min", 0, "diagnosed states the drift window must hold before the trigger can fire (0 = 32)")
-	fs.DurationVar(&o.retrainTimeout, "retrain-timeout", 0, "shadow retrain deadline (0 = 2m)")
-	fs.IntVar(&o.probation, "probation", 0, "post-swap diagnosed states before the swap commits or rolls back (0 = 32)")
-	fs.Float64Var(&o.residThreshold, "residual-threshold", 0, "relative residual above which an exception counts as unattributed (0 = 0.5)")
-	fs.BoolVar(&o.refreeze, "refreeze", false, "re-anchor the exception detector on accepted swaps (declares the drifted regime the new routine)")
+	var o sink.Options
+	fs.StringVar(&o.Addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&o.ModelPath, "model", "", "model JSON path (required unless -snapshot holds one)")
+	fs.StringVar(&o.CalibratePath, "calibrate", "", "trace CSV to freeze the exception detector from (required unless -snapshot holds a detector)")
+	fs.StringVar(&o.SnapshotPath, "snapshot", "", "snapshot file: loaded at startup when present, rewritten periodically")
+	fs.StringVar(&o.WALPath, "wal", "", "write-ahead log directory: accepted reports are journaled before the 202 and replayed on restart (empty = no WAL)")
+	fs.Float64Var(&o.Threshold, "threshold", 0, "exception cutoff eps/max(eps) (0 = paper's 0.01)")
+	fs.IntVar(&o.QueueSize, "queue", 1024, "bounded ingest queue size; full queue returns 503")
+	fs.IntVar(&o.MaxPending, "max-pending", 0, "bound on flagged states awaiting diagnosis (0 = 4096)")
+	fs.IntVar(&o.History, "history", 0, "rolling per-epoch diagnosis window, epochs (0 = 64)")
+	fs.IntVar(&o.Workers, "workers", 0, "drain NNLS goroutines (0 = all cores); results identical for any value")
+	fs.DurationVar(&o.DrainEvery, "drain-interval", 2*time.Second, "how often flagged states are batch-diagnosed")
+	fs.DurationVar(&o.SnapshotEvery, "snapshot-interval", time.Minute, "how often the snapshot file is rewritten")
+	fs.StringVar(&o.ModelsDir, "models", "", "directory for persisted model generations (required with -lifecycle)")
+	fs.BoolVar(&o.Lifecycle, "lifecycle", false, "enable the self-healing model lifecycle: drift-triggered shadow retrain, validated hot-swap, rollback")
+	fs.Float64Var(&o.DriftRate, "drift-rate", 0, "unattributed-exception rate that triggers a shadow retrain (0 = 0.5)")
+	fs.IntVar(&o.DriftMin, "drift-min", 0, "diagnosed states the drift window must hold before the trigger can fire (0 = 32)")
+	fs.DurationVar(&o.RetrainTimeout, "retrain-timeout", 0, "shadow retrain deadline (0 = 2m)")
+	fs.IntVar(&o.Probation, "probation", 0, "post-swap diagnosed states before the swap commits or rolls back (0 = 32)")
+	fs.Float64Var(&o.ResidThreshold, "residual-threshold", 0, "relative residual above which an exception counts as unattributed (0 = 0.5)")
+	fs.BoolVar(&o.Refreeze, "refreeze", false, "re-anchor the exception detector on accepted swaps (declares the drifted regime the new routine)")
+	fs.IntVar(&o.EventJournal, "event-journal", 0, "event-bus replay journal capacity for /stream resume (0 = 256)")
+	fs.IntVar(&o.StreamBuffer, "stream-buffer", 0, "per-/stream-subscriber event buffer; slow consumers drop oldest (0 = 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if o.lifecycle && o.modelsDir == "" {
+	if o.Lifecycle && o.ModelsDir == "" {
 		return fmt.Errorf("serve: -lifecycle requires -models")
 	}
-	srv, err := buildServer(o)
+	srv, err := sink.New(o)
 	if err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return srv.run(ctx)
-}
-
-// snapshotVersion guards the snapshot file format. Version 2 added the
-// monitor's rolling state and the WAL applied-LSN watermark; version 3 the
-// serving model's generation and swap history. Version 1 files (model +
-// detector + summary only) still load, they just re-warm; version 2 files
-// load as generation 1 with no history.
-const snapshotVersion = 3
-
-// snapshotFile is the periodic on-disk state: the model (as its vn2.Save
-// envelope, so restoring revalidates through vn2.Load), the frozen
-// detector, the rolling summary for observability, and — since version 2 —
-// the monitor's full rolling state plus the WAL watermark. A server
-// restarted with only -snapshot resumes mid-stream; a WAL replay on top
-// recovers everything accepted after the snapshot was cut.
-type snapshotFile struct {
-	Version  int                  `json:"version"`
-	SavedAt  time.Time            `json:"saved_at"`
-	Model    json.RawMessage      `json:"model"`
-	Detector *trace.Detector      `json:"detector"`
-	Summary  online.Summary       `json:"summary"`
-	Monitor  *online.MonitorState `json:"monitor,omitempty"`
-	// WALApplied is the largest LSN known ingested when the snapshot was
-	// cut: every record at or below it is reflected in Monitor. Captured
-	// BEFORE the monitor state is exported, so the state always covers at
-	// least the watermark — replaying a little extra is benign (the
-	// monitor's duplicate/stale handling absorbs it), losing some is not.
-	WALApplied uint64 `json:"wal_applied,omitempty"`
-	// ModelVersion is the serving generation whose envelope Model holds;
-	// Swaps is the lifecycle history at snapshot time. Version 3 fields.
-	ModelVersion uint64      `json:"model_version,omitempty"`
-	Swaps        []swapEvent `json:"swaps,omitempty"`
-}
-
-// buildServer loads the model, obtains a frozen detector (snapshot first,
-// else calibration trace), primes the monitor, restores snapshot state,
-// replays the WAL, and assembles the HTTP server without starting it.
-func buildServer(o serveOptions) (*server, error) {
-	o.lifecycleDefaults()
-	var snap *snapshotFile
-	if o.snapshotPath != "" {
-		b, err := os.ReadFile(o.snapshotPath)
-		switch {
-		case errors.Is(err, os.ErrNotExist):
-			// First run; the file appears after the first snapshot tick.
-		case err != nil:
-			return nil, fmt.Errorf("read snapshot: %w", err)
-		default:
-			snap = &snapshotFile{}
-			if err := json.Unmarshal(b, snap); err != nil {
-				return nil, fmt.Errorf("decode snapshot %s: %w", o.snapshotPath, err)
-			}
-			if snap.Version < 1 || snap.Version > snapshotVersion {
-				return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
-			}
-		}
-	}
-
-	// Model: explicit -model wins — unless the snapshot carries a LATER
-	// generation of the same deployment (a lifecycle swap happened after the
-	// operator exported the file behind -model); then the snapshot's copy is
-	// the truth.
-	var model *vn2.Model
-	var meta vn2.ModelMeta
-	var modelRaw json.RawMessage
-	var snapModel *vn2.Model
-	var snapMeta vn2.ModelMeta
-	if snap != nil && len(snap.Model) > 0 {
-		var err error
-		snapModel, snapMeta, err = vn2.LoadVersioned(bytes.NewReader(snap.Model))
-		if err != nil {
-			return nil, fmt.Errorf("load model from snapshot: %w", err)
-		}
-		if snapMeta.ModelVersion == 0 {
-			snapMeta.ModelVersion = snap.ModelVersion
-		}
-	}
-	switch {
-	case o.modelPath != "":
-		b, err := os.ReadFile(o.modelPath)
-		if err != nil {
-			return nil, err
-		}
-		model, meta, err = vn2.LoadVersioned(bytes.NewReader(b))
-		if err != nil {
-			return nil, fmt.Errorf("load model: %w", err)
-		}
-		modelRaw = json.RawMessage(b)
-		if snapModel != nil && snapMeta.ModelVersion > max64(meta.ModelVersion, 1) {
-			model, meta, modelRaw = snapModel, snapMeta, snap.Model
-		}
-	case snapModel != nil:
-		model, meta, modelRaw = snapModel, snapMeta, snap.Model
-	default:
-		return nil, fmt.Errorf("serve: -model is required (no snapshot model available)")
-	}
-	if meta.ModelVersion == 0 {
-		meta.ModelVersion = 1
-	}
-
-	// Detector: frozen calibration from the snapshot when present, else
-	// frozen from the calibration trace.
-	var det *trace.Detector
-	var warm *trace.Dataset
-	switch {
-	case snap != nil && snap.Detector.Valid():
-		det = snap.Detector
-	case o.calibratePath != "":
-		f, err := os.Open(o.calibratePath)
-		if err != nil {
-			return nil, err
-		}
-		ds, err := trace.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("read calibration trace: %w", err)
-		}
-		det, err = trace.NewDetector(ds.States(), o.threshold)
-		if err != nil {
-			return nil, fmt.Errorf("calibrate detector: %w", err)
-		}
-		warm = ds
-	default:
-		return nil, fmt.Errorf("serve: -calibrate is required (no snapshot detector available)")
-	}
-
-	mon, err := online.NewMonitor(online.Config{
-		Model:             model,
-		Detector:          det,
-		History:           o.history,
-		MaxPending:        o.maxPending,
-		Workers:           o.workers,
-		ResidualThreshold: o.residThreshold,
-		ModelVersion:      meta.ModelVersion,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if warm != nil {
-		// Prime each node's diff slot with its last calibration report so
-		// the first live report already yields a state vector.
-		for _, id := range warm.Nodes() {
-			recs := warm.Records(id)
-			if err := mon.Warm(recs[len(recs)-1]); err != nil {
-				return nil, fmt.Errorf("warm monitor: %w", err)
-			}
-		}
-	}
-	// Restore the monitor's rolling state (version ≥ 2 snapshots). This
-	// replaces the calibration warm above, which is the point: the
-	// snapshot's diff slots are newer. A shape mismatch means the snapshot
-	// was cut under a DIFFERENT model/detector than the one configured now —
-	// a typed, fatal operator error.
-	if snap != nil && snap.Monitor != nil {
-		if err := mon.Restore(*snap.Monitor); err != nil {
-			if errors.Is(err, online.ErrBadState) {
-				return nil, fmt.Errorf("%w: %v", errSnapshotMismatch, err)
-			}
-			return nil, fmt.Errorf("restore monitor state: %w", err)
-		}
-	}
-	if o.queueSize <= 0 {
-		o.queueSize = 1024
-	}
-	if o.maxPending <= 0 {
-		o.maxPending = 4096
-	}
-	s := &server{
-		opts:    o,
-		mon:     mon,
-		cur:     &modelSet{model: model, det: det, version: meta.ModelVersion, raw: modelRaw},
-		queue:   make(chan queuedReport, o.queueSize),
-		started: time.Now(),
-	}
-	if snap != nil {
-		s.swapHist = append(s.swapHist, snap.Swaps...)
-	}
-
-	// WAL: open, then replay everything retained past the snapshot's
-	// watermark into the monitor. Records at or below the watermark are
-	// already in the restored state; anything the replay re-offers is
-	// absorbed by the monitor's duplicate/stale handling, so recovery errs
-	// on the side of replaying too much.
-	if o.walPath != "" {
-		w, err := wal.Open(o.walPath, wal.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("open wal: %w", err)
-		}
-		var base uint64
-		if snap != nil {
-			base = snap.WALApplied
-		}
-		err = w.Replay(func(lsn uint64, payload []byte) error {
-			if lsn <= base {
-				s.walSkipped.Add(1)
-				return nil
-			}
-			kind, inner := wal.Decode(payload)
-			if kind == wal.KindSwap {
-				var rec swapRecord
-				if err := json.Unmarshal(inner, &rec); err != nil {
-					s.walBadRec.Add(1)
-					return nil
-				}
-				// A swap replays at exactly its LSN position: reports before
-				// it are drained under the outgoing model, reports after it
-				// under the new one — the same boundary the live queue
-				// enforced.
-				if err := s.replaySwap(rec); err != nil {
-					return err
-				}
-				s.walReplayed.Add(1)
-				return nil
-			}
-			var rec trace.Record
-			if err := json.Unmarshal(inner, &rec); err != nil {
-				// CRC passed, so this is a format drift, not corruption;
-				// count it and keep the rest of the log.
-				s.walBadRec.Add(1)
-				return nil
-			}
-			if _, err := mon.Ingest(rec); err != nil {
-				s.ingestErr.Add(1)
-			} else {
-				s.walReplayed.Add(1)
-				s.ingested.Add(1)
-			}
-			if mon.Pending() >= o.maxPending/2 {
-				// Keep the backlog bounded during long replays.
-				if _, err := mon.Drain(); err != nil {
-					return fmt.Errorf("drain during replay: %w", err)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			w.Abort()
-			return nil, fmt.Errorf("replay wal: %w", err)
-		}
-		s.wal = w
-		s.applied.init(w.NextLSN())
-	}
-	return s, nil
-}
-
-// queuedReport carries a report through the ingest queue together with its
-// WAL position (0 when the WAL is disabled). A non-nil swap makes the item a
-// model-swap barrier instead of a report (see pendingSwap).
-type queuedReport struct {
-	lsn  uint64
-	rec  trace.Record
-	swap *pendingSwap
-}
-
-// lsnTracker tracks the applied-LSN watermark: the largest L such that
-// every record with LSN ≤ L has been offered to the monitor. Ingest order
-// can differ from append order across concurrent requests, so completions
-// are collected in a set and the watermark advances over contiguous runs.
-type lsnTracker struct {
-	mu   sync.Mutex
-	next uint64 // lowest LSN not yet applied
-	done map[uint64]struct{}
-}
-
-func (t *lsnTracker) init(next uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.next = next
-	t.done = make(map[uint64]struct{})
-}
-
-func (t *lsnTracker) mark(lsn uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if lsn < t.next {
-		return
-	}
-	t.done[lsn] = struct{}{}
-	for {
-		if _, ok := t.done[t.next]; !ok {
-			return
-		}
-		delete(t.done, t.next)
-		t.next++
-	}
-}
-
-func (t *lsnTracker) watermark() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.next - 1
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// Degraded-mode reasons; the prefix picks which recovery probe clears it.
-const (
-	degradedWAL     = "wal"
-	degradedDrain   = "drain"
-	degradedBacklog = "backlog"
-)
-
-// drainFailLimit is how many consecutive failed diagnosis passes flip the
-// server into degraded mode.
-const drainFailLimit = 5
-
-// backlogTickLimit is how many consecutive drain ticks may observe a full
-// queue AND a full pending backlog before the server sheds to degraded.
-const backlogTickLimit = 3
-
-// server is the online sink service: a bounded ingest queue feeding the
-// monitor, periodic drains and snapshots, a WAL making every 202 durable,
-// and the HTTP surface. When persistence or diagnosis fails persistently it
-// degrades to a read-only "last-good diagnosis" mode instead of erroring:
-// ingest answers 503, /diagnosis serves the last good summary, /healthz and
-// /metrics carry the reason.
-type server struct {
-	opts    serveOptions
-	mon     *online.Monitor
-	queue   chan queuedReport
-	wal     *wal.WAL
-	applied lsnTracker
-	started time.Time
-	sleep   func(time.Duration) // retry sleeper; nil = time.Sleep (tests inject)
-
-	// Lifecycle state. cur is the serving generation; prevSet is kept during
-	// a swap's probation window so a regression can revert. swapGate
-	// excludes report journaling while a swap record is appended + enqueued,
-	// making queue order equal LSN order at the generation boundary.
-	lcMu     sync.Mutex
-	cur      *modelSet
-	prevSet  *modelSet
-	baseMean float64 // pre-swap mean residual: the rollback baseline
-	p50Base  float64 // healthy-regime p50 baseline for the regression trigger
-	p50Set   bool
-	swapHist []swapEvent
-	cooldown int // drain ticks the trigger stays quiet
-	rejectN  int // consecutive rejected candidates (backoff exponent)
-
-	swapGate   sync.RWMutex
-	snapMu     sync.Mutex // serializes snapshot capture against swap application
-	retraining atomic.Bool
-	retrainWG  sync.WaitGroup
-
-	retrains     atomic.Uint64 // shadow retrains launched
-	retrainFails atomic.Uint64 // retrains that errored/panicked/timed out
-	candRejects  atomic.Uint64 // candidates the validation gate refused
-	swapsN       atomic.Uint64 // applied hot-swaps (including rollbacks)
-	rollbacks    atomic.Uint64 // probation regressions that auto-reverted
-
-	received  atomic.Uint64 // reports offered by clients
-	accepted  atomic.Uint64 // reports that fit in the queue
-	rejected  atomic.Uint64 // reports shed by backpressure (503)
-	badReqs   atomic.Uint64 // malformed request bodies (400)
-	ingested  atomic.Uint64 // reports the monitor consumed cleanly
-	ingestErr atomic.Uint64 // stale/invalid/backlogged reports
-	drains    atomic.Uint64
-	drainErrs atomic.Uint64 // failed diagnosis passes (total)
-	snapshots atomic.Uint64
-	snapErrs  atomic.Uint64
-	walErrs   atomic.Uint64 // failed WAL appends/syncs/truncations
-
-	walReplayed atomic.Uint64 // records re-ingested from the WAL at startup
-	walSkipped  atomic.Uint64 // replay records at or below the snapshot watermark
-	walBadRec   atomic.Uint64 // replay records whose payload did not decode
-
-	degraded     atomic.Bool
-	degradedN    atomic.Uint64 // times the server entered degraded mode
-	drainFails   atomic.Uint64 // consecutive failed drains
-	backlogTicks atomic.Uint64 // consecutive drain ticks at full pressure
-
-	degMu     sync.Mutex
-	degReason string
-	degSince  time.Time
-	lastGood  *online.Summary // snapshot served read-only while degraded
-}
-
-// enterDegraded flips the server into read-only last-good mode. The first
-// reason wins until cleared.
-func (s *server) enterDegraded(reason string) {
-	s.degMu.Lock()
-	defer s.degMu.Unlock()
-	if s.degReason != "" {
-		return
-	}
-	s.degReason = reason
-	s.degSince = time.Now()
-	sum := s.mon.Snapshot()
-	s.lastGood = &sum
-	s.degraded.Store(true)
-	s.degradedN.Add(1)
-	fmt.Fprintf(os.Stderr, "vn2 serve: DEGRADED (%s): serving last-good diagnosis, shedding ingest\n", reason)
-}
-
-// clearDegraded exits degraded mode if the active reason starts with the
-// given class prefix (so a WAL probe can't clear a drain failure).
-func (s *server) clearDegraded(class string) {
-	s.degMu.Lock()
-	defer s.degMu.Unlock()
-	if s.degReason == "" || !strings.HasPrefix(s.degReason, class) {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "vn2 serve: recovered from degraded mode (%s)\n", s.degReason)
-	s.degReason = ""
-	s.lastGood = nil
-	s.degraded.Store(false)
-}
-
-func (s *server) degradedReason() (string, time.Time) {
-	s.degMu.Lock()
-	defer s.degMu.Unlock()
-	return s.degReason, s.degSince
-}
-
-// handler builds the HTTP surface.
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /report", s.handleReport)
-	mux.HandleFunc("GET /diagnosis", s.handleDiagnosis)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /model", s.handleModel)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// decodeReports parses a POST /report body: a bare trace.Record, a bare
-// array of records, or the {"reports": [...]} envelope. Split out so the
-// fuzz target can hit it directly.
-func decodeReports(raw []byte) ([]trace.Record, error) {
-	raw = bytes.TrimSpace(raw)
-	if len(raw) == 0 {
-		return nil, errors.New("empty body")
-	}
-	if raw[0] == '[' {
-		var recs []trace.Record
-		if err := json.Unmarshal(raw, &recs); err != nil {
-			return nil, err
-		}
-		if len(recs) == 0 {
-			return nil, errors.New("empty report array")
-		}
-		return recs, nil
-	}
-	var env reportEnvelope
-	if err := json.Unmarshal(raw, &env); err == nil && len(env.Reports) > 0 {
-		return env.Reports, nil
-	}
-	// Not the batch envelope: treat the body as one bare record.
-	var rec trace.Record
-	if err := json.Unmarshal(raw, &rec); err != nil {
-		return nil, err
-	}
-	if rec.Vector == nil {
-		return nil, errors.New("report without a vector")
-	}
-	return []trace.Record{rec}, nil
-}
-
-// reportEnvelope is the batched POST /report body; a bare trace.Record (or
-// bare array of records) is also accepted.
-type reportEnvelope struct {
-	Reports []trace.Record `json:"reports"`
-}
-
-// walAppend journals one record, retrying transient failures (a segment
-// rotation hiding behind Append gets the same retries) with
-// decorrelated-jitter backoff. The record is durable only after a later
-// walSync.
-func (s *server) walAppend(rec trace.Record) (uint64, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return 0, err
-	}
-	var lsn uint64
-	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a1)
-	err = retry.Do(context.Background(), b, 3, s.sleep, func() error {
-		l, err := s.wal.Append(payload)
-		if err != nil {
-			return err
-		}
-		lsn = l
-		return nil
-	})
-	if err != nil {
-		s.walErrs.Add(1)
-	}
-	return lsn, err
-}
-
-// walSync group-commits everything appended so far. One fsync covers every
-// record of the request (and any a concurrent request just appended).
-func (s *server) walSync() error {
-	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a2)
-	err := retry.Do(context.Background(), b, 3, s.sleep, s.wal.Sync)
-	if err != nil {
-		s.walErrs.Add(1)
-	}
-	return err
-}
-
-// walFail flips the server into degraded mode on a persistent journal
-// failure and answers the request with a 503: nothing is ACKed, the client
-// owns the retry.
-func (s *server) walFail(w http.ResponseWriter, op string, err error) {
-	s.enterDegraded(fmt.Sprintf("%s: %s: %v", degradedWAL, op, err))
-	w.Header().Set("Retry-After", "5")
-	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-		"error":  "journal unavailable, report not accepted",
-		"reason": err.Error(),
-	})
-}
-
-// handleReport journals and enqueues reports. The 202 is the durability
-// contract: it is sent only after every report in the request is in the
-// queue AND fsynced to the WAL (when enabled) — a kill -9 after the 202
-// loses nothing. A full queue is backpressure: the request gets 503 +
-// Retry-After and the client is told how many of its reports were accepted
-// before the queue filled; those accepted are journaled, the dropped are
-// not ACKed and must be retried.
-func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
-	if s.degraded.Load() {
-		reason, _ := s.degradedReason()
-		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":  "degraded: ingest shed, serving last-good diagnosis",
-			"reason": reason,
-		})
-		return
-	}
-	body := http.MaxBytesReader(w, r.Body, 8<<20)
-	raw, err := io.ReadAll(body)
-	var recs []trace.Record
-	if err == nil {
-		recs, err = decodeReports(raw)
-	}
-	if err != nil || len(recs) == 0 {
-		s.badReqs.Add(1)
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "body must be a report, an array of reports, or {\"reports\": [...]}"})
-		return
-	}
-	s.received.Add(uint64(len(recs)))
-
-	// Per record: journal (when the WAL is on), then enqueue. The fsync
-	// comes once at the end — records are in the queue before they are
-	// durable, which is fine because only the final 202 promises
-	// durability; a crash in between loses nothing the client was told
-	// was safe. A record journaled but shed by a full queue is marked
-	// applied immediately so it cannot stall the truncation watermark —
-	// if it survives into a replay that is surplus, not loss, and the
-	// monitor's duplicate/stale handling absorbs it.
-	queued := 0
-	shed := false
-	for _, rec := range recs {
-		// The read side of the swap gate: a record's WAL append and its
-		// queue insertion happen with no swap record between them, so the
-		// record lands on the same side of every generation boundary in
-		// both orders.
-		s.swapGate.RLock()
-		var lsn uint64
-		if s.wal != nil {
-			l, err := s.walAppend(rec)
-			if err != nil {
-				s.swapGate.RUnlock()
-				if queued > 0 {
-					_ = s.walSync() // best effort for what was enqueued
-				}
-				s.walFail(w, "append", err)
-				return
-			}
-			lsn = l
-		}
-		select {
-		case s.queue <- queuedReport{lsn: lsn, rec: rec}:
-			queued++
-		default:
-			if s.wal != nil {
-				s.applied.mark(lsn)
-			}
-			shed = true
-		}
-		s.swapGate.RUnlock()
-		if shed {
-			break
-		}
-	}
-	if s.wal != nil {
-		if err := s.walSync(); err != nil {
-			s.walFail(w, "sync", err)
-			return
-		}
-	}
-	if shed {
-		s.accepted.Add(uint64(queued))
-		s.rejected.Add(uint64(len(recs) - queued))
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"error":    "ingest queue full",
-			"accepted": queued,
-			"dropped":  len(recs) - queued,
-		})
-		return
-	}
-	s.accepted.Add(uint64(queued))
-	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": queued})
-}
-
-func (s *server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
-	if s.degraded.Load() {
-		s.degMu.Lock()
-		sum, reason := s.lastGood, s.degReason
-		s.degMu.Unlock()
-		if sum != nil {
-			w.Header().Set("X-Vn2-Degraded", reason)
-			writeJSON(w, http.StatusOK, sum)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, s.mon.Snapshot())
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	reason, since := s.degradedReason()
-	body := map[string]any{
-		"status":      "ok",
-		"uptime_s":    time.Since(s.started).Seconds(),
-		"queue_depth": len(s.queue),
-	}
-	if s.wal != nil {
-		body["wal_segments"] = s.wal.Segments()
-		body["wal_next_lsn"] = s.wal.NextLSN()
-		body["wal_applied"] = s.applied.watermark()
-	}
-	if reason != "" {
-		body["status"] = "degraded"
-		body["reason"] = reason
-		body["degraded_for_s"] = time.Since(since).Seconds()
-		writeJSON(w, http.StatusServiceUnavailable, body)
-		return
-	}
-	writeJSON(w, http.StatusOK, body)
-}
-
-// handleMetrics exposes expvar-style flat JSON counters: the server's own
-// queue/HTTP/WAL/degraded accounting plus the monitor's streaming stats.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.mon.Stats()
-	degraded := 0
-	if s.degraded.Load() {
-		degraded = 1
-	}
-	m := map[string]any{
-		"reports_received":      s.received.Load(),
-		"reports_accepted":      s.accepted.Load(),
-		"reports_rejected":      s.rejected.Load(),
-		"bad_requests":          s.badReqs.Load(),
-		"reports_ingested":      s.ingested.Load(),
-		"ingest_errors":         s.ingestErr.Load(),
-		"queue_depth":           len(s.queue),
-		"queue_capacity":        cap(s.queue),
-		"drains":                s.drains.Load(),
-		"drain_errors":          s.drainErrs.Load(),
-		"drain_fails_in_a_row":  s.drainFails.Load(),
-		"snapshots_written":     s.snapshots.Load(),
-		"snapshot_errors":       s.snapErrs.Load(),
-		"degraded":              degraded,
-		"degraded_entries":      s.degradedN.Load(),
-		"monitor_reports":       st.Reports,
-		"monitor_first_reports": st.FirstReports,
-		"monitor_stale":         st.Stale,
-		"monitor_duplicates":    st.Duplicates,
-		"monitor_invalid":       st.Invalid,
-		"monitor_normal":        st.Normal,
-		"monitor_flagged":       st.Flagged,
-		"monitor_dropped":       st.Dropped,
-		"monitor_diagnosed":     st.Diagnosed,
-		"monitor_gap_reports":   st.GapReports,
-		"monitor_max_gap":       st.MaxGap,
-		"monitor_last_epoch":    st.LastEpoch,
-		"pending_states":        s.mon.Pending(),
-	}
-	ds := s.mon.DriftStats()
-	m["model_version"] = ds.ModelVersion
-	m["model_swaps"] = s.swapsN.Load()
-	m["model_rollbacks"] = s.rollbacks.Load()
-	m["model_retrains"] = s.retrains.Load()
-	m["model_retrain_failures"] = s.retrainFails.Load()
-	m["model_candidates_rejected"] = s.candRejects.Load()
-	m["drift_window"] = ds.Window
-	m["drift_unattributed"] = st.Unattributed
-	m["drift_unattributed_rate"] = ds.UnattributedRate
-	m["drift_mean_residual"] = ds.MeanResidual
-	m["drift_residual_p50"] = ds.P50
-	m["drift_residual_p90"] = ds.P90
-	m["drift_residual_p99"] = ds.P99
-	m["quarantine_len"] = ds.Quarantine
-	if s.wal != nil {
-		m["wal_errors"] = s.walErrs.Load()
-		m["wal_segments"] = s.wal.Segments()
-		m["wal_next_lsn"] = s.wal.NextLSN()
-		m["wal_applied"] = s.applied.watermark()
-		m["wal_truncations"] = s.wal.Truncations()
-		m["wal_replayed"] = s.walReplayed.Load()
-		m["wal_replay_skipped"] = s.walSkipped.Load()
-		m["wal_replay_bad"] = s.walBadRec.Load()
-	}
-	writeJSON(w, http.StatusOK, m)
-}
-
-// ingestLoop consumes the queue until it is closed, feeding the monitor and
-// advancing the applied watermark. A report counts as applied whether the
-// monitor accepted it or rejected it as stale/duplicate/invalid — either
-// way it never needs replaying.
-func (s *server) ingestLoop() {
-	for q := range s.queue {
-		if q.swap != nil {
-			s.applySwapNow(q.swap)
-			if s.wal != nil && q.lsn != 0 {
-				s.applied.mark(q.lsn)
-			}
-			continue
-		}
-		if _, err := s.mon.Ingest(q.rec); err != nil {
-			s.ingestErr.Add(1)
-		} else {
-			s.ingested.Add(1)
-		}
-		if s.wal != nil && q.lsn != 0 {
-			s.applied.mark(q.lsn)
-		}
-	}
-}
-
-// ingestQueued synchronously feeds everything currently queued into the
-// monitor — the deterministic stand-in for ingestLoop used by the chaos
-// harness and tests, which drive the server without background goroutines.
-func (s *server) ingestQueued() {
-	for {
-		select {
-		case q := <-s.queue:
-			if q.swap != nil {
-				s.applySwapNow(q.swap)
-				if s.wal != nil && q.lsn != 0 {
-					s.applied.mark(q.lsn)
-				}
-				continue
-			}
-			if _, err := s.mon.Ingest(q.rec); err != nil {
-				s.ingestErr.Add(1)
-			} else {
-				s.ingested.Add(1)
-			}
-			if s.wal != nil && q.lsn != 0 {
-				s.applied.mark(q.lsn)
-			}
-		default:
-			return
-		}
-	}
-}
-
-// drainTick runs one batched diagnosis pass and drives the degraded-mode
-// state machine: consecutive drain failures or sustained full-queue +
-// full-backlog pressure degrade the server; a clean pass (or relieved
-// pressure, or a successful WAL probe) recovers it.
-func (s *server) drainTick() {
-	out, err := s.mon.Drain()
-	if err != nil {
-		total := s.drainErrs.Add(1)
-		fails := s.drainFails.Add(1)
-		// Log at 1, 2, 4, 8, ... so a persistent failure doesn't flood.
-		if total&(total-1) == 0 {
-			fmt.Fprintf(os.Stderr, "vn2 serve: drain failed (%d in a row, %d total): %v\n", fails, total, err)
-		}
-		if fails >= drainFailLimit {
-			s.enterDegraded(fmt.Sprintf("%s: %d consecutive diagnosis failures: %v", degradedDrain, fails, err))
-		}
-		return
-	}
-	s.drainFails.Store(0)
-	s.clearDegraded(degradedDrain)
-	if len(out) > 0 {
-		s.drains.Add(1)
-	}
-
-	// Sustained-backlog detection: the queue and the pending backlog both
-	// pinned at capacity across consecutive ticks means diagnosis cannot
-	// keep up — shed instead of timing out every client.
-	if len(s.queue) >= cap(s.queue) && s.mon.Pending() >= s.opts.maxPending {
-		if s.backlogTicks.Add(1) >= backlogTickLimit {
-			s.enterDegraded(fmt.Sprintf("%s: queue and pending backlog at capacity", degradedBacklog))
-		}
-	} else {
-		s.backlogTicks.Store(0)
-		if len(s.queue) < cap(s.queue)/2 && s.mon.Pending() < s.opts.maxPending/2 {
-			s.clearDegraded(degradedBacklog)
-		}
-	}
-
-	// WAL recovery probe: while degraded for a WAL reason, a successful
-	// sync means the disk came back.
-	if s.wal != nil && s.degraded.Load() {
-		if reason, _ := s.degradedReason(); strings.HasPrefix(reason, degradedWAL) {
-			if err := s.wal.Sync(); err == nil {
-				s.clearDegraded(degradedWAL)
-			}
-		}
-	}
-
-	// Lifecycle: only on a clean, non-degraded tick — a degraded server has
-	// bigger problems than drift, and its window is not trustworthy.
-	if s.opts.lifecycle && !s.degraded.Load() {
-		s.lifecycleTick()
-	}
-}
-
-// writeSnapshot atomically rewrites the snapshot file (tmp + rename), then
-// lets the WAL drop segments wholly covered by the snapshot. The watermark
-// is read BEFORE the monitor state so the state can only be newer — see
-// snapshotFile.WALApplied.
-func (s *server) writeSnapshot() error {
-	if s.opts.snapshotPath == "" {
-		return nil
-	}
-	// The capture is serialized against swap application (snapMu): the
-	// model envelope, the monitor state, and the history all describe the
-	// same side of any generation boundary. A torn capture (old model, new
-	// state) would recover with the wrong model and no replayable fix.
-	s.snapMu.Lock()
-	var wm uint64
-	if s.wal != nil {
-		wm = s.applied.watermark()
-	}
-	cur := s.currentSet()
-	st := s.mon.State()
-	sum := s.mon.Snapshot()
-	hist := s.swapHistory()
-	s.snapMu.Unlock()
-	b, err := json.Marshal(snapshotFile{
-		Version:      snapshotVersion,
-		SavedAt:      time.Now().UTC(),
-		Model:        cur.raw,
-		Detector:     cur.det,
-		Summary:      sum,
-		Monitor:      &st,
-		WALApplied:   wm,
-		ModelVersion: cur.version,
-		Swaps:        hist,
-	})
-	if err != nil {
-		s.snapErrs.Add(1)
-		return err
-	}
-	dir := filepath.Dir(s.opts.snapshotPath)
-	tmp, err := os.CreateTemp(dir, ".vn2-snapshot-*")
-	if err != nil {
-		s.snapErrs.Add(1)
-		return err
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		s.snapErrs.Add(1)
-		return err
-	}
-	// fsync before rename: a crash must never leave the snapshot path
-	// pointing at a file whose content didn't make it to disk.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		s.snapErrs.Add(1)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		s.snapErrs.Add(1)
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.opts.snapshotPath); err != nil {
-		os.Remove(tmp.Name())
-		s.snapErrs.Add(1)
-		return err
-	}
-	s.snapshots.Add(1)
-	if s.wal != nil {
-		if err := s.wal.TruncateBefore(wm + 1); err != nil {
-			s.walErrs.Add(1)
-			fmt.Fprintln(os.Stderr, "vn2 serve: wal truncate:", err)
-		}
-	}
-	return nil
-}
-
-// persistSnapshot is writeSnapshot with decorrelated-jitter retries; a
-// transient filesystem error should not cost a snapshot interval.
-func (s *server) persistSnapshot(ctx context.Context) error {
-	b := retry.New(50*time.Millisecond, time.Second, 0x5a9b)
-	return retry.Do(ctx, b, 3, s.sleep, s.writeSnapshot)
-}
-
-// run serves until ctx is canceled, then shuts down gracefully: stop
-// accepting requests, drain the queue into the monitor, run a final
-// diagnosis pass, write a final snapshot, and close the WAL.
-func (s *server) run(ctx context.Context) error {
-	ln, err := net.Listen("tcp", s.opts.addr)
-	if err != nil {
-		return err
-	}
-	httpSrv := &http.Server{Handler: s.handler()}
-
-	loopCtx, cancelLoops := context.WithCancel(context.Background())
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		s.ingestLoop()
-	}()
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		ticker := time.NewTicker(s.opts.drainEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-loopCtx.Done():
-				return
-			case <-ticker.C:
-				s.drainTick()
-			}
-		}
-	}()
-	if s.opts.snapshotPath != "" {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ticker := time.NewTicker(s.opts.snapshotEvery)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-loopCtx.Done():
-					return
-				case <-ticker.C:
-					if err := s.persistSnapshot(loopCtx); err != nil {
-						fmt.Fprintln(os.Stderr, "vn2 serve: snapshot:", err)
-					}
-				}
-			}
-		}()
-	}
-
-	fmt.Fprintf(os.Stderr, "vn2 serve: listening on http://%s (queue %d, drain %s, wal %q)\n",
-		ln.Addr(), cap(s.queue), s.opts.drainEvery, s.opts.walPath)
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
-
-	select {
-	case err := <-serveErr:
-		cancelLoops()
-		s.retrainWG.Wait()
-		close(s.queue)
-		wg.Wait()
-		if s.wal != nil {
-			s.wal.Close()
-		}
-		return err
-	case <-ctx.Done():
-	}
-	fmt.Fprintln(os.Stderr, "vn2 serve: shutting down")
-	// Budget must exceed net/http's ~5s grace for StateNew connections
-	// (dialed but never used), or a single racing client dial makes
-	// Shutdown report DeadlineExceeded.
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	shutdownErr := httpSrv.Shutdown(shutCtx)
-	// No more writers: let any in-flight shadow retrain land (or fail),
-	// drain what was already queued, then finish.
-	cancelLoops()
-	s.retrainWG.Wait()
-	close(s.queue)
-	wg.Wait()
-	s.drainTick()
-	if err := s.persistSnapshot(context.Background()); err != nil {
-		fmt.Fprintln(os.Stderr, "vn2 serve: final snapshot:", err)
-	}
-	if s.wal != nil {
-		if err := s.wal.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "vn2 serve: wal close:", err)
-		}
-	}
-	<-serveErr // Serve has returned http.ErrServerClosed by now
-	return shutdownErr
+	return srv.Run(ctx)
 }

@@ -606,6 +606,22 @@ func equalVectors(a, b []float64) bool {
 	return true
 }
 
+// EpochCauses returns the rolling cause distribution of one epoch, summed in
+// ascending node order (bit-identical regardless of how drains grouped the
+// states), and whether the epoch is still inside the rolling window. This is
+// the per-epoch hook behind the sink's EpochDiagnosed stream event: after a
+// drain, the sink asks for exactly the epochs that drain touched instead of
+// paying for a full Snapshot.
+func (m *Monitor) EpochCauses(epoch int) (EpochCauses, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ec := m.epochs[epoch]
+	if ec == nil {
+		return EpochCauses{}, false
+	}
+	return ec.causes(m.model.Rank), true
+}
+
 // Stats returns a copy of the counters.
 func (m *Monitor) Stats() Stats {
 	m.mu.Lock()

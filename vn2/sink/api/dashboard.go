@@ -1,0 +1,26 @@
+package api
+
+import (
+	"embed"
+	"net/http"
+)
+
+//go:embed static/dashboard.html
+var dashboardFS embed.FS
+
+// Dashboard serves the embedded single-page live dashboard. Everything —
+// markup, styles, scripts — is compiled into the binary; the page talks
+// only to this sink's own /stream and /status endpoints, so the whole
+// visibility plane ships as one file with no external assets.
+func Dashboard() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		page, err := dashboardFS.ReadFile("static/dashboard.html")
+		if err != nil {
+			Error(w, http.StatusInternalServerError, "dashboard asset missing", nil)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		_, _ = w.Write(page)
+	})
+}

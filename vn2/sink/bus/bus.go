@@ -1,0 +1,313 @@
+// Package bus is the sink's in-process event plane: a typed publish/
+// subscribe fan-out connecting the ingest, store, and lifecycle layers to
+// the HTTP visibility surface (GET /stream).
+//
+// Design constraints, in order:
+//
+//   - Publishing never blocks and never waits on a subscriber. Each
+//     subscriber owns a bounded ring buffer; when a slow consumer falls
+//     behind, its OLDEST buffered events are dropped and counted — the
+//     serving path is never the victim of a stuck dashboard.
+//   - No bus-level lock is held during fan-out. Publish assigns the
+//     sequence number and snapshots the subscriber list under the bus
+//     lock, releases it, and then touches each subscriber under that
+//     subscriber's own lock.
+//   - Events are totally ordered by Seq (assigned under the bus lock), so
+//     any two subscribers that both receive events A and B see them in the
+//     same order.
+//   - A bounded journal of recent events supports resume: a subscriber
+//     reconnecting with the last sequence it saw (SSE Last-Event-ID)
+//     replays everything newer that the journal still holds, atomically
+//     with its registration, so there is no gap between replay and live.
+//
+// Payloads are marshaled to JSON once at publish time and shared by every
+// subscriber, which is exactly the shape the SSE writer needs.
+package bus
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one published event. Seq is a bus-wide monotonically increasing
+// sequence number (starting at 1); V versions the payload schema of Type so
+// consumers can skip shapes they do not understand.
+type Event struct {
+	Seq  uint64          `json:"seq"`
+	Time time.Time       `json:"ts"`
+	Type string          `json:"type"`
+	V    int             `json:"v"`
+	Data json.RawMessage `json:"data"`
+}
+
+// DefaultJournal is the journal capacity when New is given 0.
+const DefaultJournal = 256
+
+// Bus is the event fan-out. The zero value is not usable; construct with New.
+type Bus struct {
+	mu        sync.Mutex
+	seq       uint64
+	subs      map[*Sub]struct{}
+	journal   []Event // ring: journal[(jHead+i)%cap] for i < jLen
+	jHead     int
+	jLen      int
+	published atomic.Uint64
+	encodeErr atomic.Uint64
+}
+
+// New builds a bus whose replay journal holds the last journalCap events
+// (0 = DefaultJournal).
+func New(journalCap int) *Bus {
+	if journalCap <= 0 {
+		journalCap = DefaultJournal
+	}
+	return &Bus{
+		subs:    make(map[*Sub]struct{}),
+		journal: make([]Event, journalCap),
+	}
+}
+
+// Publish marshals data, assigns the next sequence number, journals the
+// event, and fans it out to every subscriber. It never blocks: a full
+// subscriber ring drops that subscriber's oldest event. The returned Event
+// carries the assigned Seq; a marshal failure returns the error and
+// publishes nothing.
+func (b *Bus) Publish(typ string, version int, data any) (Event, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		b.encodeErr.Add(1)
+		return Event{}, err
+	}
+	b.mu.Lock()
+	b.seq++
+	ev := Event{Seq: b.seq, Time: time.Now().UTC(), Type: typ, V: version, Data: raw}
+	if b.jLen == len(b.journal) {
+		b.journal[b.jHead] = ev
+		b.jHead = (b.jHead + 1) % len(b.journal)
+	} else {
+		b.journal[(b.jHead+b.jLen)%len(b.journal)] = ev
+		b.jLen++
+	}
+	targets := make([]*Sub, 0, len(b.subs))
+	for s := range b.subs {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+	b.published.Add(1)
+	for _, s := range targets {
+		s.push(ev)
+	}
+	return ev, nil
+}
+
+// Subscribe attaches a live-only subscriber whose ring holds buffer events
+// (0 = 64).
+func (b *Bus) Subscribe(buffer int) *Sub {
+	return b.Resume(0, buffer)
+}
+
+// Resume attaches a subscriber that first replays every journaled event
+// with Seq > after, then receives live events — atomically, so nothing
+// published between replay and registration is lost. If after predates the
+// bounded journal, the subscriber simply gets the oldest events the journal
+// still holds (and can detect the gap from the first Seq it sees).
+func (b *Bus) Resume(after uint64, buffer int) *Sub {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	s := &Sub{
+		bus:    b,
+		buf:    make([]Event, buffer),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	for i := 0; i < b.jLen; i++ {
+		ev := b.journal[(b.jHead+i)%len(b.journal)]
+		if ev.Seq > after {
+			s.pushLocked(ev)
+		}
+	}
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// NextSeq is the sequence number the next published event will carry.
+func (b *Bus) NextSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq + 1
+}
+
+// Stats is the bus's observability view.
+type Stats struct {
+	Published   uint64 `json:"published"`
+	EncodeErrs  uint64 `json:"encode_errors"`
+	Subscribers int    `json:"subscribers"`
+	Dropped     uint64 `json:"dropped"`
+	JournalLen  int    `json:"journal_len"`
+	JournalCap  int    `json:"journal_cap"`
+}
+
+// Stats reports the published count, current subscribers, and the total
+// events dropped across all live subscribers' rings.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	subs := make([]*Sub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	st := Stats{
+		Published:  b.published.Load(),
+		EncodeErrs: b.encodeErr.Load(),
+		JournalLen: b.jLen,
+		JournalCap: len(b.journal),
+	}
+	b.mu.Unlock()
+	st.Subscribers = len(subs)
+	for _, s := range subs {
+		st.Dropped += s.Dropped()
+	}
+	return st
+}
+
+// Shutdown closes every current subscriber, waking any blocked Next with
+// ok=false. The bus itself stays usable (later publishes just have no
+// listeners) — this exists so graceful HTTP shutdown can unwind long-lived
+// /stream handlers instead of waiting out their connections.
+func (b *Bus) Shutdown() {
+	b.mu.Lock()
+	subs := make([]*Sub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+func (b *Bus) unsubscribe(s *Sub) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Sub is one subscriber: a bounded ring of undelivered events plus a drop
+// counter. Not safe for concurrent Next calls; one consumer per Sub.
+type Sub struct {
+	bus     *Bus
+	mu      sync.Mutex
+	buf     []Event
+	head, n int
+	dropped uint64
+	closed  bool
+	notify  chan struct{}
+}
+
+func (s *Sub) push(ev Event) {
+	s.mu.Lock()
+	s.pushLocked(ev)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Sub) pushLocked(ev Event) {
+	if s.closed {
+		return
+	}
+	if s.n == len(s.buf) {
+		// Slow consumer: shed its oldest buffered event, not the publisher.
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+}
+
+// Next blocks until an event is buffered, the context is done, or the
+// subscription is closed. ok is false exactly when no event is returned.
+func (s *Sub) Next(ctx context.Context) (ev Event, ok bool) {
+	ev, ok, _ = s.NextIdle(ctx, 0)
+	return ev, ok
+}
+
+// NextIdle is Next with an idle timeout: when idle > 0 and no event arrives
+// within it, NextIdle returns with idle=true (and ok=false) so the caller
+// can emit a keep-alive and come back. idle <= 0 blocks indefinitely.
+func (s *Sub) NextIdle(ctx context.Context, idleAfter time.Duration) (ev Event, ok, idle bool) {
+	var idleC <-chan time.Time
+	if idleAfter > 0 {
+		t := time.NewTimer(idleAfter)
+		defer t.Stop()
+		idleC = t.C
+	}
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			ev = s.buf[s.head]
+			s.buf[s.head] = Event{} // release the payload
+			s.head = (s.head + 1) % len(s.buf)
+			s.n--
+			s.mu.Unlock()
+			return ev, true, false
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false, false
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, false, false
+		case <-idleC:
+			return Event{}, false, true
+		case <-s.notify:
+		}
+	}
+}
+
+// TryNext returns a buffered event without blocking.
+func (s *Sub) TryNext() (Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Event{}, false
+	}
+	ev := s.buf[s.head]
+	s.buf[s.head] = Event{}
+	s.head = (s.head + 1) % len(s.buf)
+	s.n--
+	return ev, true
+}
+
+// Dropped is how many events this subscriber has lost to its bounded ring.
+func (s *Sub) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscriber. A blocked Next returns (Event{}, false).
+// Close is idempotent.
+func (s *Sub) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.bus.unsubscribe(s)
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,208 @@
+package sink
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/sink/api"
+	"github.com/wsn-tools/vn2/vn2/sink/ingest"
+)
+
+// Handler builds the HTTP surface: the original five endpoints plus the
+// visibility plane (/stream, /status, and the embedded dashboard at /).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /report", s.handleReport)
+	mux.HandleFunc("GET /diagnosis", s.handleDiagnosis)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /model", s.handleModel)
+	mux.Handle("GET /stream", api.Stream(s.bus, s.opts.StreamBuffer))
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.Handle("GET /{$}", api.Dashboard())
+	return mux
+}
+
+// walFail flips the server into degraded mode on a persistent journal
+// failure and answers the request with a 503: nothing is ACKed, the client
+// owns the retry.
+func (s *Server) walFail(w http.ResponseWriter, op string, err error) {
+	s.enterDegraded(fmt.Sprintf("%s: %s: %v", degradedWAL, op, err))
+	api.Unavailable(w, 5, "journal unavailable, report not accepted",
+		map[string]any{"reason": err.Error()})
+}
+
+// handleReport journals and enqueues reports. The 202 is the durability
+// contract: it is sent only after every report in the request is in the
+// queue AND fsynced to the WAL (when enabled) — a kill -9 after the 202
+// loses nothing. A full queue is backpressure: the request gets 503 +
+// Retry-After and the client is told how many of its reports were accepted
+// before the queue filled; those accepted are journaled, the dropped are
+// not ACKed and must be retried.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if s.deg.Active() {
+		reason, _ := s.deg.Reason()
+		api.Unavailable(w, 5, "degraded: ingest shed, serving last-good diagnosis",
+			map[string]any{"reason": reason})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	raw, err := io.ReadAll(body)
+	var recs []trace.Record
+	if err == nil {
+		recs, err = ingest.Decode(raw)
+	}
+	if err != nil || len(recs) == 0 {
+		s.badReqs.Add(1)
+		api.Error(w, http.StatusBadRequest, "body must be a report, an array of reports, or {\"reports\": [...]}", nil)
+		return
+	}
+	s.received.Add(uint64(len(recs)))
+
+	// Per record: journal (when the WAL is on), then enqueue. The fsync
+	// comes once at the end — records are in the queue before they are
+	// durable, which is fine because only the final 202 promises
+	// durability; a crash in between loses nothing the client was told
+	// was safe. A record journaled but shed by a full queue is marked
+	// applied immediately so it cannot stall the truncation watermark —
+	// if it survives into a replay that is surplus, not loss, and the
+	// monitor's duplicate/stale handling absorbs it.
+	queued := 0
+	shed := false
+	for _, rec := range recs {
+		// The read side of the swap gate: a record's WAL append and its
+		// queue insertion happen with no swap record between them, so the
+		// record lands on the same side of every generation boundary in
+		// both orders.
+		s.lc.Gate.RLock()
+		var lsn uint64
+		if s.jnl != nil {
+			l, err := s.jnl.AppendRecord(rec)
+			if err != nil {
+				s.lc.Gate.RUnlock()
+				if queued > 0 {
+					_ = s.jnl.Sync() // best effort for what was enqueued
+				}
+				s.walFail(w, "append", err)
+				return
+			}
+			lsn = l
+		}
+		select {
+		case s.queue <- ingest.Item{LSN: lsn, Rec: rec}:
+			queued++
+		default:
+			if s.jnl != nil {
+				s.applied.Mark(lsn)
+			}
+			shed = true
+		}
+		s.lc.Gate.RUnlock()
+		if shed {
+			break
+		}
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Sync(); err != nil {
+			s.walFail(w, "sync", err)
+			return
+		}
+	}
+	if shed {
+		s.accepted.Add(uint64(queued))
+		s.rejected.Add(uint64(len(recs) - queued))
+		api.Unavailable(w, 1, "ingest queue full", map[string]any{
+			"accepted": queued,
+			"dropped":  len(recs) - queued,
+		})
+		if queued > 0 {
+			s.publish(EvReportAccepted, reportAcceptedEvent{
+				Count: queued, Dropped: len(recs) - queued, QueueDepth: len(s.queue),
+			})
+		}
+		return
+	}
+	s.accepted.Add(uint64(queued))
+	api.WriteJSON(w, http.StatusAccepted, map[string]any{"accepted": queued})
+	s.publish(EvReportAccepted, reportAcceptedEvent{Count: queued, QueueDepth: len(s.queue)})
+}
+
+func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
+	if s.deg.Active() {
+		if sum := s.lastGood.Load(); sum != nil {
+			reason, _ := s.deg.Reason()
+			w.Header().Set("X-Vn2-Degraded", reason)
+			api.WriteJSON(w, http.StatusOK, sum)
+			return
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, s.mon.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reason, since := s.deg.Reason()
+	body := map[string]any{
+		"status":      "ok",
+		"uptime_s":    time.Since(s.started).Seconds(),
+		"queue_depth": len(s.queue),
+	}
+	if s.jnl != nil {
+		body["wal_segments"] = s.jnl.Segments()
+		body["wal_next_lsn"] = s.jnl.NextLSN()
+		body["wal_applied"] = s.applied.Watermark()
+	}
+	if reason != "" {
+		body["status"] = "degraded"
+		body["reason"] = reason
+		body["degraded_for_s"] = time.Since(since).Seconds()
+		api.WriteJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// handleMetrics serves the flat expvar-style counters gathered from every
+// layer's registered provider. The key set (and therefore the marshaled
+// bytes, since JSON maps sort keys) is byte-compatible with the
+// pre-registry handler.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, s.reg.Gather())
+}
+
+// handleStatus is the machine-readable superset of /metrics: every metrics
+// key plus uptime, model provenance, degraded detail, stream/bus health,
+// and the swap history.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	m := s.reg.Gather()
+	for k, v := range s.statusReg.Gather() {
+		m[k] = v
+	}
+	api.WriteJSON(w, http.StatusOK, m)
+}
+
+// handleModel answers GET /model: the serving generation, drift view, swap
+// history, and lifecycle machinery state.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	cur := s.lc.Current()
+	version, cooldown, probation := s.lc.State()
+	body := map[string]any{
+		"version":             version,
+		"rank":                cur.Model.Rank,
+		"metrics":             cur.Model.Metrics(),
+		"lifecycle":           s.opts.Lifecycle,
+		"drift":               s.mon.DriftStats(),
+		"retraining":          s.lc.Retraining(),
+		"probation":           probation,
+		"cooldown_ticks":      cooldown,
+		"retrains":            s.lc.Retrains.Load(),
+		"retrain_failures":    s.lc.RetrainFails.Load(),
+		"candidates_rejected": s.lc.CandRejects.Load(),
+		"swaps":               s.lc.Swaps.Load(),
+		"rollbacks":           s.lc.Rollbacks.Load(),
+		"history":             s.lc.History(),
+	}
+	api.WriteJSON(w, http.StatusOK, body)
+}

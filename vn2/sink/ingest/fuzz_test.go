@@ -1,4 +1,4 @@
-package main
+package ingest
 
 import (
 	"testing"
@@ -27,7 +27,7 @@ func FuzzDecodeReports(f *testing.F) {
 	f.Add([]byte(`[null]`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		recs, err := decodeReports(body)
+		recs, err := Decode(body)
 		if err != nil {
 			if len(recs) != 0 {
 				t.Fatalf("error %v but %d records returned", err, len(recs))

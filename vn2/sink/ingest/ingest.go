@@ -1,0 +1,66 @@
+// Package ingest is the sink's decode layer: it turns a POST /report body
+// into validated trace records, and defines the queue item that carries an
+// accepted record (or a model-swap barrier) from the HTTP edge to the
+// single ingest loop. It deliberately knows nothing about HTTP status
+// codes, the WAL, or the monitor — those live in sink/api, sink/store and
+// the sink root respectively.
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// Decode parses a POST /report body: a bare trace.Record, a bare array of
+// records, or the {"reports": [...]} envelope. Split out so the fuzz
+// target can hit it directly.
+func Decode(raw []byte) ([]trace.Record, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 {
+		return nil, errors.New("empty body")
+	}
+	if raw[0] == '[' {
+		var recs []trace.Record
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, errors.New("empty report array")
+		}
+		return recs, nil
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err == nil && len(env.Reports) > 0 {
+		return env.Reports, nil
+	}
+	// Not the batch envelope: treat the body as one bare record.
+	var rec trace.Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Vector == nil {
+		return nil, errors.New("report without a vector")
+	}
+	return []trace.Record{rec}, nil
+}
+
+// Envelope is the batched POST /report body; a bare trace.Record (or bare
+// array of records) is also accepted.
+type Envelope struct {
+	Reports []trace.Record `json:"reports"`
+}
+
+// Item is one entry on the ingest queue. Ordinary reports carry Rec (and
+// the LSN their WAL append produced, 0 when journaling is off). A non-nil
+// Apply marks a barrier: the ingest loop runs Apply instead of ingesting,
+// which is how a model hot-swap lands at an exact point in the report
+// order. Apply is an opaque closure so this package stays ignorant of the
+// lifecycle layer.
+type Item struct {
+	LSN   uint64
+	Rec   trace.Record
+	Apply func()
+}

@@ -1,0 +1,477 @@
+// Package lifecycle is the self-healing model layer of the sink:
+// residual-driven drift detection (vn2/online's DriftStats), shadow retrain
+// off the serving path, a validation gate over a held-out window, an atomic
+// versioned hot-swap journaled through the WAL, and a probation window with
+// automatic rollback. The Manager owns the generation state machine and the
+// two locks that order swaps against the rest of the sink (the swap gate
+// and the snapshot mutex); journaling and queue insertion are injected as
+// hooks so this package never touches the WAL or the ingest queue directly.
+// See DESIGN.md "Model lifecycle & drift" for the state machine and the
+// crash-consistency argument.
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink/store"
+)
+
+// Typed lifecycle failures surfaced at startup.
+var (
+	// ErrSwapFileMissing reports a WAL swap record whose persisted model file
+	// is gone. The swap ordering (file before record) makes this corruption
+	// or operator deletion, never a crash window.
+	ErrSwapFileMissing = errors.New("serve: model swap record references a missing model file")
+	// ErrSwapFileMismatch reports a swap model file whose embedded meta does
+	// not carry the version the WAL record promised.
+	ErrSwapFileMismatch = errors.New("serve: model swap file does not match its WAL record")
+)
+
+// Swap origins, recorded in WAL swap records and model-file meta.
+const (
+	OriginUpdate   = "update"
+	OriginRollback = "rollback"
+)
+
+// HistoryMax bounds the kept swap history.
+const HistoryMax = 64
+
+// Set is one immutable generation of serving state: the model, the detector
+// screening for it, its version, and its serialized envelope (what
+// snapshots embed and the models directory files contain).
+type Set struct {
+	Model   *vn2.Model
+	Det     *trace.Detector
+	Version uint64
+	Raw     json.RawMessage
+}
+
+// pendingSwap rides the ingest queue as a barrier item (through the Enqueue
+// hook's opaque apply closure): everything enqueued before it is diagnosed
+// by the outgoing model, everything after by the new one — the same
+// boundary a WAL replay reconstructs from the record's LSN.
+type pendingSwap struct {
+	rec store.SwapRecord
+	set *Set
+}
+
+// Config is the lifecycle's knobs, already defaulted by the sink.
+type Config struct {
+	Enabled        bool          // lifecycle machinery on/off (Tick is a no-op when false upstream)
+	ModelsDir      string        // directory for persisted model generations
+	DriftRate      float64       // unattributed-rate trigger
+	DriftMin       int           // min drift-window fill before triggering
+	DriftRegress   float64       // p50 regression factor trigger
+	RetrainTimeout time.Duration // shadow retrain deadline
+	Probation      int           // post-swap window before commit/rollback
+	RollbackMargin float64       // mean-residual regression factor that reverts
+	ResidThreshold float64       // monitor's unattributed cutoff
+	HoldoutMin     int           // min held-out states to judge a candidate
+	CooldownTicks  int           // base trigger cooldown, in drain ticks
+	Refreeze       bool          // re-anchor the detector on accepted swaps (opt-in)
+	Sync           bool          // run retrains inline in the tick (tests/chaos only)
+	Workers        int           // solver goroutines for retrain/validation
+}
+
+// Hooks are the seams back into the sink root. Enqueue must journal rec and
+// insert apply as a barrier into the ingest queue, both under Gate (the
+// sink implements the 5s full-queue fallback there). DrainErr counts a
+// failed pre-swap drain into the sink's drain_errors. OnSwap fires after a
+// swap (or rollback) is fully applied — the bus event seam. Any hook may be
+// nil.
+type Hooks struct {
+	Enqueue  func(rec store.SwapRecord, apply func()) error
+	DrainErr func()
+	OnSwap   func(ev store.SwapEvent)
+}
+
+// Manager owns the lifecycle state machine for one sink.
+type Manager struct {
+	cfg   Config
+	mon   *online.Monitor
+	sleep func(time.Duration)
+	hooks Hooks
+
+	// Gate excludes report journaling while a swap record is appended +
+	// enqueued, making queue order equal LSN order at the generation
+	// boundary. The sink's report path takes the read side.
+	Gate sync.RWMutex
+	// SnapMu serializes snapshot capture against swap application so no
+	// snapshot sees a half-applied swap. The sink's writeSnapshot holds it
+	// for the whole capture.
+	SnapMu sync.Mutex
+
+	// mu guards the generation state. cur is the serving generation; prev
+	// is kept during a swap's probation window so a regression can revert.
+	mu       sync.Mutex
+	cur      *Set
+	prev     *Set
+	baseMean float64 // pre-swap mean residual: the rollback baseline
+	p50Base  float64 // healthy-regime p50 baseline for the regression trigger
+	p50Set   bool
+	hist     []store.SwapEvent
+	cooldown int // drain ticks the trigger stays quiet
+	rejectN  int // consecutive rejected candidates (backoff exponent)
+
+	retraining atomic.Bool
+	wg         sync.WaitGroup
+
+	Retrains     atomic.Uint64 // shadow retrains launched
+	RetrainFails atomic.Uint64 // retrains that errored/panicked/timed out
+	CandRejects  atomic.Uint64 // candidates the validation gate refused
+	Swaps        atomic.Uint64 // applied hot-swaps (including rollbacks)
+	Rollbacks    atomic.Uint64 // probation regressions that auto-reverted
+}
+
+// New builds a Manager serving cur. sleep is the retry sleeper (nil =
+// time.Sleep).
+func New(cfg Config, mon *online.Monitor, cur *Set, sleep func(time.Duration), hooks Hooks) *Manager {
+	return &Manager{cfg: cfg, mon: mon, cur: cur, sleep: sleep, hooks: hooks}
+}
+
+// Current returns the serving generation.
+func (m *Manager) Current() *Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// History returns a copy of the swap history, oldest first.
+func (m *Manager) History() []store.SwapEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]store.SwapEvent(nil), m.hist...)
+}
+
+// SeedHistory installs snapshot-restored history (startup only).
+func (m *Manager) SeedHistory(hist []store.SwapEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hist = append(m.hist, hist...)
+}
+
+// State answers /model's mutable-state fields in one lock hold.
+func (m *Manager) State() (version uint64, cooldown int, probation bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur.Version, m.cooldown, m.prev != nil
+}
+
+// Retraining reports whether a shadow retrain is in flight.
+func (m *Manager) Retraining() bool { return m.retraining.Load() }
+
+// Wait blocks until any in-flight shadow retrain lands (shutdown path).
+func (m *Manager) Wait() { m.wg.Wait() }
+
+// InjectBaseline overrides the rollback baseline (tests provoke rollbacks
+// with it).
+func (m *Manager) InjectBaseline(v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.baseMean = v
+}
+
+// Metrics writes the lifecycle counters into a metrics gather.
+func (m *Manager) Metrics(out map[string]any) {
+	out["model_swaps"] = m.Swaps.Load()
+	out["model_rollbacks"] = m.Rollbacks.Load()
+	out["model_retrains"] = m.Retrains.Load()
+	out["model_retrain_failures"] = m.RetrainFails.Load()
+	out["model_candidates_rejected"] = m.CandRejects.Load()
+}
+
+// recordSwapLocked folds an applied swap into the history. Caller holds mu.
+func (m *Manager) recordSwapLocked(rec store.SwapRecord) store.SwapEvent {
+	ev := store.SwapEvent{
+		Version: rec.Version,
+		Parent:  rec.Parent,
+		Origin:  rec.Origin,
+		At:      time.Now().UTC(),
+	}
+	m.hist = append(m.hist, ev)
+	if over := len(m.hist) - HistoryMax; over > 0 {
+		m.hist = append(m.hist[:0], m.hist[over:]...)
+	}
+	return ev
+}
+
+// relResidual mirrors the monitor's classification arithmetic: the
+// scale-free residual ‖s−wΨ‖/‖s‖, clamped to [0,1].
+func relResidual(m *vn2.Model, delta []float64, residual float64) float64 {
+	norm, err := m.NormalizedNorm(delta)
+	if err != nil || norm < 1e-12 {
+		if residual > 1e-12 {
+			return 1
+		}
+		return 0
+	}
+	r := residual / norm
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// Tick advances the lifecycle state machine by one drain tick: probation
+// verdicts first (commit or roll back the newest swap), then cooldown, then
+// the drift trigger that launches a shadow retrain.
+func (m *Manager) Tick() {
+	ds := m.mon.DriftStats()
+
+	m.mu.Lock()
+	// Probation: after a swap the previous generation is kept until the new
+	// one has served a full window. A mean residual regressing past the
+	// pre-swap baseline by the rollback margin auto-reverts.
+	if m.prev != nil && ds.ModelVersion == m.cur.Version {
+		if ds.Window >= m.cfg.Probation {
+			if m.baseMean > 1e-9 && ds.MeanResidual > m.baseMean*m.cfg.RollbackMargin {
+				from, to := m.cur, m.prev
+				base := m.baseMean
+				m.prev = nil
+				// A reverted candidate earns a long quiet period: the drift
+				// that triggered it is still there, and retrying immediately
+				// would thrash.
+				m.cooldown = m.cfg.CooldownTicks * 8
+				m.mu.Unlock()
+				fmt.Fprintf(os.Stderr,
+					"vn2 serve: rollback: v%d mean residual %.4f regressed past pre-swap %.4f (margin %.2f), reverting to v%d content\n",
+					from.Version, ds.MeanResidual, base, m.cfg.RollbackMargin, to.Version)
+				if err := m.swapTo(to.Model, to.Det, from.Version, OriginRollback); err != nil {
+					fmt.Fprintln(os.Stderr, "vn2 serve: rollback swap:", err)
+				}
+				return
+			}
+			m.prev = nil // candidate survived probation: committed
+		}
+	}
+	if m.cooldown > 0 {
+		m.cooldown--
+		m.mu.Unlock()
+		return
+	}
+	if m.retraining.Load() {
+		m.mu.Unlock()
+		return
+	}
+	// Freeze the healthy-regime quantile baseline the first time the window
+	// fills for this generation; quantile regression is judged against it.
+	if ds.Window >= m.cfg.DriftMin && !m.p50Set {
+		m.p50Base, m.p50Set = ds.P50, true
+	}
+	trigger := ""
+	if ds.Window >= m.cfg.DriftMin {
+		switch {
+		case ds.UnattributedRate >= m.cfg.DriftRate:
+			trigger = fmt.Sprintf("unattributed rate %.3f >= %.3f over %d states",
+				ds.UnattributedRate, m.cfg.DriftRate, ds.Window)
+		case m.p50Set && m.p50Base > 1e-9 &&
+			ds.P50 >= m.p50Base*m.cfg.DriftRegress &&
+			ds.P50 >= m.cfg.ResidThreshold/2:
+			trigger = fmt.Sprintf("residual p50 %.4f regressed %.1fx past baseline %.4f",
+				ds.P50, ds.P50/m.p50Base, m.p50Base)
+		}
+	}
+	m.mu.Unlock()
+	if trigger == "" {
+		return
+	}
+	if !m.retraining.CompareAndSwap(false, true) {
+		return
+	}
+	m.Retrains.Add(1)
+	fmt.Fprintf(os.Stderr, "vn2 serve: drift detected (model v%d): %s; shadow retrain started\n", ds.ModelVersion, trigger)
+	if m.cfg.Sync {
+		m.runRetrain()
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.runRetrain()
+	}()
+}
+
+// retrainBackoff sets the post-failure cooldown: exponential in the number
+// of consecutive rejections so a persistent regime the model cannot learn
+// stops burning retrains.
+func (m *Manager) retrainBackoff() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejectN++
+	shift := min(m.rejectN, 6)
+	m.cooldown = m.cfg.CooldownTicks << shift
+}
+
+// applySwap installs a generation at its barrier position in the ingest
+// order: drain everything the outgoing model still owns, swap the monitor,
+// then publish the new current set. Runs on the sink's ingest path via the
+// barrier closure.
+func (m *Manager) applySwap(ps *pendingSwap) {
+	// Exclude snapshot capture for the whole transition so no snapshot sees
+	// a half-applied swap.
+	m.SnapMu.Lock()
+	defer m.SnapMu.Unlock()
+	if _, err := m.mon.Drain(); err != nil {
+		// The batch is back in pending and will be diagnosed by the new
+		// model; losing generation purity here beats losing the states.
+		if m.hooks.DrainErr != nil {
+			m.hooks.DrainErr()
+		}
+		fmt.Fprintln(os.Stderr, "vn2 serve: pre-swap drain failed:", err)
+	}
+	pre := m.mon.DriftStats()
+	if err := m.mon.SwapModel(ps.set.Version, ps.set.Model, ps.set.Det); err != nil {
+		fmt.Fprintf(os.Stderr, "vn2 serve: swap to v%d not applied: %v\n", ps.set.Version, err)
+		return
+	}
+	m.mu.Lock()
+	if ps.rec.Origin == OriginRollback {
+		m.prev = nil
+		m.baseMean = 0
+	} else {
+		m.prev = m.cur
+		m.baseMean = pre.MeanResidual
+	}
+	m.cur = ps.set
+	m.p50Base, m.p50Set = 0, false
+	ev := m.recordSwapLocked(ps.rec)
+	m.mu.Unlock()
+	m.Swaps.Add(1)
+	if ps.rec.Origin == OriginRollback {
+		m.Rollbacks.Add(1)
+	}
+	fmt.Fprintf(os.Stderr, "vn2 serve: model hot-swapped to v%d (%s, parent v%d)\n",
+		ps.set.Version, ps.rec.Origin, ps.rec.Parent)
+	if m.hooks.OnSwap != nil {
+		m.hooks.OnSwap(ev)
+	}
+}
+
+// swapTo persists the new generation, journals the swap, and enqueues the
+// barrier item that applies it. Ordering is the crash-consistency contract:
+//
+//  1. model (and detector) file: tmp + fsync + rename + dir fsync
+//  2. WAL swap record appended + fsynced under the swap gate
+//  3. barrier item enqueued under the same gate
+//
+// Steps 2–3 live behind the Enqueue hook (the sink root owns the journal
+// and the queue). A crash after (1) leaves an orphan file — harmless. A
+// crash after (2) replays the swap from the WAL against the file (1)
+// guaranteed. The gate excludes report journaling between (2) and (3), so
+// the queue order equals the LSN order at the boundary and a replay
+// reconstructs exactly which reports each generation diagnosed.
+func (m *Manager) swapTo(model *vn2.Model, det *trace.Detector, parent uint64, origin string) error {
+	if m.cfg.ModelsDir == "" {
+		return fmt.Errorf("serve: lifecycle swap requires -models")
+	}
+	version := parent + 1
+	var raw bytes.Buffer
+	err := model.SaveVersioned(&raw, vn2.ModelMeta{
+		ModelVersion: version,
+		Parent:       parent,
+		Origin:       origin,
+		SavedAt:      time.Now().UTC(),
+	})
+	if err != nil {
+		return fmt.Errorf("serialize model v%d: %w", version, err)
+	}
+	rec := store.SwapRecord{Version: version, Parent: parent, Origin: origin, File: store.ModelFileName(version)}
+	if err := m.persistFile(rec.File, raw.Bytes()); err != nil {
+		return fmt.Errorf("persist model v%d: %w", version, err)
+	}
+	cur := m.Current()
+	if det != cur.Det {
+		db, err := json.Marshal(det)
+		if err != nil {
+			return fmt.Errorf("serialize detector v%d: %w", version, err)
+		}
+		rec.Detector = store.DetectorFileName(version)
+		if err := m.persistFile(rec.Detector, db); err != nil {
+			return fmt.Errorf("persist detector v%d: %w", version, err)
+		}
+	}
+	set := &Set{Model: model, Det: det, Version: version, Raw: json.RawMessage(raw.Bytes())}
+	if m.hooks.Enqueue == nil {
+		return fmt.Errorf("serve: lifecycle swap has no enqueue hook")
+	}
+	ps := &pendingSwap{rec: rec, set: set}
+	return m.hooks.Enqueue(rec, func() { m.applySwap(ps) })
+}
+
+// ReplaySwap re-applies a journaled swap during WAL replay: load the
+// persisted generation and install it at the record's position. The
+// snapshot may already reflect the swap (its monitor state can be newer
+// than its watermark); then only the serving set is updated.
+func (m *Manager) ReplaySwap(rec store.SwapRecord) error {
+	if m.cfg.ModelsDir == "" {
+		return fmt.Errorf("%w: swap to v%d replayed but -models is not set", ErrSwapFileMissing, rec.Version)
+	}
+	b, err := os.ReadFile(filepath.Join(m.cfg.ModelsDir, rec.File))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s (v%d)", ErrSwapFileMissing, rec.File, rec.Version)
+	}
+	if err != nil {
+		return err
+	}
+	model, meta, err := vn2.LoadVersioned(bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("load swap model %s: %w", rec.File, err)
+	}
+	if meta.ModelVersion != rec.Version {
+		return fmt.Errorf("%w: %s carries v%d, record says v%d",
+			ErrSwapFileMismatch, rec.File, meta.ModelVersion, rec.Version)
+	}
+	det := m.Current().Det
+	if rec.Detector != "" {
+		db, err := os.ReadFile(filepath.Join(m.cfg.ModelsDir, rec.Detector))
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %s (v%d)", ErrSwapFileMissing, rec.Detector, rec.Version)
+		}
+		if err != nil {
+			return err
+		}
+		nd := &trace.Detector{}
+		if err := json.Unmarshal(db, nd); err != nil {
+			return fmt.Errorf("load swap detector %s: %w", rec.Detector, err)
+		}
+		if !nd.Valid() {
+			return fmt.Errorf("%w: %s holds an uncalibrated detector", ErrSwapFileMismatch, rec.Detector)
+		}
+		det = nd
+	}
+	if m.mon.ModelVersion() < rec.Version {
+		if _, err := m.mon.Drain(); err != nil {
+			return fmt.Errorf("drain before replayed swap: %w", err)
+		}
+		if err := m.mon.SwapModel(rec.Version, model, det); err != nil {
+			return fmt.Errorf("replay swap to v%d: %w", rec.Version, err)
+		}
+	}
+	m.mu.Lock()
+	m.cur = &Set{Model: model, Det: det, Version: rec.Version, Raw: json.RawMessage(b)}
+	m.prev = nil // probation does not survive a restart (documented)
+	m.recordSwapLocked(rec)
+	m.mu.Unlock()
+	return nil
+}
+
+// persistFile atomically writes one modelsDir file, directory fsync
+// included, so the rename is durable before the WAL record that references
+// the file by name.
+func (m *Manager) persistFile(name string, data []byte) error {
+	if err := os.MkdirAll(m.cfg.ModelsDir, 0o755); err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(filepath.Join(m.cfg.ModelsDir, name), data, true)
+}

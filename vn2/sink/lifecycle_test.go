@@ -1,4 +1,4 @@
-package main
+package sink
 
 import (
 	"context"
@@ -15,6 +15,8 @@ import (
 	"github.com/wsn-tools/vn2/internal/metricspec"
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/sink/lifecycle"
+	"github.com/wsn-tools/vn2/vn2/sink/store"
 )
 
 // driftReport is the drifted regime: a per-epoch counter ramp on metrics the
@@ -39,37 +41,37 @@ func shiftReport(fx fixtures, node, epoch int) trace.Record {
 }
 
 // lifecycleServer builds a lifecycle-enabled server driven synchronously:
-// tests call ingestAll/drainTick themselves, and retrains run inline.
-func lifecycleServer(t *testing.T, fx fixtures, dir string, mut func(*serveOptions)) *server {
+// tests call ingestAll/DrainTick themselves, and retrains run inline.
+func lifecycleServer(t *testing.T, fx fixtures, dir string, mut func(*Options)) *Server {
 	t.Helper()
-	o := serveOptions{
-		modelPath:     fx.modelPath,
-		calibratePath: fx.tracePath,
-		snapshotPath:  filepath.Join(dir, "snapshot.json"),
-		walPath:       filepath.Join(dir, "wal"),
-		modelsDir:     filepath.Join(dir, "models"),
-		queueSize:     256,
-		lifecycle:     true,
-		lifecycleSync: true,
-		driftMin:      8,
-		holdoutMin:    4,
-		probation:     6,
-		cooldownTicks: 1,
+	o := Options{
+		ModelPath:     fx.modelPath,
+		CalibratePath: fx.tracePath,
+		SnapshotPath:  filepath.Join(dir, "snapshot.json"),
+		WALPath:       filepath.Join(dir, "wal"),
+		ModelsDir:     filepath.Join(dir, "models"),
+		QueueSize:     256,
+		Lifecycle:     true,
+		LifecycleSync: true,
+		DriftMin:      8,
+		HoldoutMin:    4,
+		Probation:     6,
+		CooldownTicks: 1,
+		Sleep:         noSleep,
 	}
 	if mut != nil {
 		mut(&o)
 	}
-	srv, err := buildServer(o)
+	srv, err := New(o)
 	if err != nil {
-		t.Fatalf("buildServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	srv.sleep = func(time.Duration) {}
 	return srv
 }
 
 // postEpochs posts one batch per epoch (all nodes) of the given regime and
 // synchronously ingests each batch.
-func postEpochs(t *testing.T, srv *server, url string, fx fixtures,
+func postEpochs(t *testing.T, srv *Server, url string, fx fixtures,
 	gen func(fixtures, int, int) trace.Record, nodes []int, from, to int) {
 	t.Helper()
 	for e := from; e <= to; e++ {
@@ -93,8 +95,8 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
 	srv := lifecycleServer(t, fx, dir, nil)
-	defer srv.wal.Close()
-	ts := httptest.NewServer(srv.handler())
+	defer srv.jnl.Close()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	nodes := fx.nodes()[:4]
 
@@ -105,7 +107,7 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 		t.Fatalf("Drain: %v", err)
 	}
 	pre := srv.mon.DriftStats()
-	if pre.Window < srv.opts.driftMin || pre.UnattributedRate < srv.opts.driftRate {
+	if pre.Window < srv.opts.DriftMin || pre.UnattributedRate < srv.opts.DriftRate {
 		t.Fatalf("drift regime did not saturate the window: %+v", pre)
 	}
 	if pre.MeanResidual < 0.5 {
@@ -114,9 +116,9 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 
 	// One lifecycle tick: trigger → inline shadow retrain → gate → swap
 	// journaled and enqueued as a barrier.
-	srv.drainTick()
-	if got := srv.retrains.Load(); got != 1 {
-		t.Fatalf("retrains = %d, want 1 (rejects=%d fails=%d)", got, srv.candRejects.Load(), srv.retrainFails.Load())
+	srv.DrainTick()
+	if got := srv.lc.Retrains.Load(); got != 1 {
+		t.Fatalf("retrains = %d, want 1 (rejects=%d fails=%d)", got, srv.lc.CandRejects.Load(), srv.lc.RetrainFails.Load())
 	}
 	if srv.mon.ModelVersion() != 1 {
 		t.Fatal("swap applied before its queue barrier was consumed")
@@ -125,15 +127,15 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 	if got := srv.mon.ModelVersion(); got != 2 {
 		t.Fatalf("monitor model version = %d, want 2", got)
 	}
-	if got := srv.currentSet().version; got != 2 {
+	if got := srv.lc.Current().Version; got != 2 {
 		t.Fatalf("serving version = %d, want 2", got)
 	}
-	if srv.swapsN.Load() != 1 || srv.rollbacks.Load() != 0 {
-		t.Fatalf("swaps=%d rollbacks=%d, want 1/0", srv.swapsN.Load(), srv.rollbacks.Load())
+	if srv.lc.Swaps.Load() != 1 || srv.lc.Rollbacks.Load() != 0 {
+		t.Fatalf("swaps=%d rollbacks=%d, want 1/0", srv.lc.Swaps.Load(), srv.lc.Rollbacks.Load())
 	}
 
 	// The generation is persisted with its provenance.
-	f, err := os.Open(filepath.Join(dir, "models", modelFileName(2)))
+	f, err := os.Open(filepath.Join(dir, "models", store.ModelFileName(2)))
 	if err != nil {
 		t.Fatalf("persisted generation missing: %v", err)
 	}
@@ -142,7 +144,7 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load persisted generation: %v", err)
 	}
-	if meta.ModelVersion != 2 || meta.Parent != 1 || meta.Origin != originUpdate {
+	if meta.ModelVersion != 2 || meta.Parent != 1 || meta.Origin != lifecycle.OriginUpdate {
 		t.Errorf("persisted meta = %+v, want v2 from v1 via update", meta)
 	}
 
@@ -152,16 +154,16 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mv struct {
-		Version   uint64      `json:"version"`
-		Probation bool        `json:"probation"`
-		History   []swapEvent `json:"history"`
+		Version   uint64            `json:"version"`
+		Probation bool              `json:"probation"`
+		History   []store.SwapEvent `json:"history"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&mv)
 	resp.Body.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mv.Version != 2 || !mv.Probation || len(mv.History) != 1 || mv.History[0].Origin != originUpdate {
+	if mv.Version != 2 || !mv.Probation || len(mv.History) != 1 || mv.History[0].Origin != lifecycle.OriginUpdate {
 		t.Errorf("/model = %+v, want version 2 on probation with one update in history", mv)
 	}
 
@@ -177,16 +179,16 @@ func TestLifecycleDriftRetrainHotSwap(t *testing.T) {
 	if post.MeanResidual >= pre.MeanResidual || post.MeanResidual > 0.25 {
 		t.Errorf("post-swap mean residual %.4f did not improve on pre-swap %.4f", post.MeanResidual, pre.MeanResidual)
 	}
-	if post.UnattributedRate >= srv.opts.driftRate {
+	if post.UnattributedRate >= srv.opts.DriftRate {
 		t.Errorf("post-swap unattributed rate %.3f still at trigger level", post.UnattributedRate)
 	}
 
 	// Probation window is full and healthy: the next tick commits the swap.
-	srv.drainTick()
-	if _, _, probation := srv.lcState(); probation {
+	srv.DrainTick()
+	if _, _, probation := srv.lc.State(); probation {
 		t.Error("healthy candidate still on probation after a full window")
 	}
-	if srv.rollbacks.Load() != 0 {
+	if srv.lc.Rollbacks.Load() != 0 {
 		t.Error("healthy candidate was rolled back")
 	}
 
@@ -215,15 +217,15 @@ func TestLifecycleValidationGate(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
 	srv := lifecycleServer(t, fx, dir, nil)
-	defer srv.wal.Close()
-	ts := httptest.NewServer(srv.handler())
+	defer srv.jnl.Close()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	nodes := fx.nodes()[:4]
 
 	// Establish a swapped-in generation that explains the drifted regime, so
 	// the recent window holds well-attributed states.
 	postEpochs(t, srv, ts.URL, fx, driftReport, nodes, 1, 3)
-	srv.drainTick()
+	srv.DrainTick()
 	ingestAll(srv)
 	if srv.mon.ModelVersion() != 2 {
 		t.Fatalf("fixture swap did not land (version %d)", srv.mon.ModelVersion())
@@ -233,9 +235,9 @@ func TestLifecycleValidationGate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cur := srv.currentSet()
+	cur := srv.lc.Current()
 	holdout := srv.mon.RecentWindow()
-	if len(holdout) < srv.opts.holdoutMin {
+	if len(holdout) < srv.opts.HoldoutMin {
 		t.Fatalf("holdout too small: %d", len(holdout))
 	}
 
@@ -250,13 +252,13 @@ func TestLifecycleValidationGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reason := srv.validateCandidate(cur, stale, holdout); !strings.Contains(reason, "does not improve") {
+	if reason := srv.lc.ValidateCandidate(cur, stale, holdout); !strings.Contains(reason, "does not improve") {
 		t.Errorf("stale candidate: reason = %q, want non-improvement rejection", reason)
 	}
 
 	// A label-churning candidate: same span (so residuals improve on the
 	// inflated stored ones) with the dominant basis row swapped away.
-	b, err := json.Marshal(cur.model)
+	b, err := json.Marshal(cur.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,13 +279,13 @@ func TestLifecycleValidationGate(t *testing.T) {
 		// Inflate the stored residuals (still attributed: rel 0.3 < 0.5) so
 		// the churned candidate strictly improves the mean and the gate must
 		// fall through to the consistency check.
-		norm, err := cur.model.NormalizedNorm(holdout[i].State.Delta)
+		norm, err := cur.Model.NormalizedNorm(holdout[i].State.Delta)
 		if err != nil {
 			t.Fatal(err)
 		}
 		holdout[i].Diagnosis.Residual = 0.3 * norm
 	}
-	if reason := srv.validateCandidate(cur, churned, holdout); !strings.Contains(reason, "churn") {
+	if reason := srv.lc.ValidateCandidate(cur, churned, holdout); !strings.Contains(reason, "churn") {
 		t.Errorf("churned candidate: reason = %q, want dominant-cause churn rejection", reason)
 	}
 }
@@ -294,31 +296,31 @@ func TestLifecycleValidationGate(t *testing.T) {
 func TestLifecycleRetrainDeadline(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
-	srv := lifecycleServer(t, fx, dir, func(o *serveOptions) {
-		o.retrainTimeout = time.Nanosecond
+	srv := lifecycleServer(t, fx, dir, func(o *Options) {
+		o.RetrainTimeout = time.Nanosecond
 	})
-	defer srv.wal.Close()
-	ts := httptest.NewServer(srv.handler())
+	defer srv.jnl.Close()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	nodes := fx.nodes()[:4]
 
 	postEpochs(t, srv, ts.URL, fx, driftReport, nodes, 1, 3)
-	srv.drainTick()
+	srv.DrainTick()
 	ingestAll(srv)
-	if got := srv.retrains.Load(); got != 1 {
+	if got := srv.lc.Retrains.Load(); got != 1 {
 		t.Fatalf("retrains = %d, want 1", got)
 	}
-	if got := srv.retrainFails.Load(); got != 1 {
+	if got := srv.lc.RetrainFails.Load(); got != 1 {
 		t.Fatalf("retrain failures = %d, want 1 (deadline)", got)
 	}
-	if srv.mon.ModelVersion() != 1 || srv.swapsN.Load() != 0 {
+	if srv.mon.ModelVersion() != 1 || srv.lc.Swaps.Load() != 0 {
 		t.Fatalf("failed retrain changed the serving model: version %d, swaps %d",
-			srv.mon.ModelVersion(), srv.swapsN.Load())
+			srv.mon.ModelVersion(), srv.lc.Swaps.Load())
 	}
-	if srv.retraining.Load() {
+	if srv.lc.Retraining() {
 		t.Error("retraining flag stuck after a failed retrain")
 	}
-	if _, cooldown, _ := srv.lcState(); cooldown <= 0 {
+	if _, cooldown, _ := srv.lc.State(); cooldown <= 0 {
 		t.Error("no cooldown after a failed retrain; the trigger would thrash")
 	}
 	// Serving is alive and the next tick does not re-trigger (cooldown).
@@ -326,8 +328,8 @@ func TestLifecycleRetrainDeadline(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("ingest after failed retrain: %d %s", resp.StatusCode, body)
 	}
-	srv.drainTick()
-	if got := srv.retrains.Load(); got != 1 {
+	srv.DrainTick()
+	if got := srv.lc.Retrains.Load(); got != 1 {
 		t.Errorf("retrains = %d during cooldown, want still 1", got)
 	}
 }
@@ -340,10 +342,10 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 	nodes := fx.nodes()[:4]
 
 	// prep feeds the drifted regime and diagnoses it, without lifecycle ticks.
-	prep := func(t *testing.T, dir string) (*server, *httptest.Server) {
+	prep := func(t *testing.T, dir string) (*Server, *httptest.Server) {
 		t.Helper()
 		srv := lifecycleServer(t, fx, dir, nil)
-		ts := httptest.NewServer(srv.handler())
+		ts := httptest.NewServer(srv.Handler())
 		postEpochs(t, srv, ts.URL, fx, driftReport, nodes, 1, 3)
 		if _, err := srv.mon.Drain(); err != nil {
 			t.Fatalf("Drain: %v", err)
@@ -352,19 +354,19 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 	}
 	// rebuildTwice recovers twice from the same disk state and asserts the
 	// two recoveries agree bit-for-bit; returns the second (live) server.
-	rebuildTwice := func(t *testing.T, dir string, wantVersion uint64) *server {
+	rebuildTwice := func(t *testing.T, dir string, wantVersion uint64) *Server {
 		t.Helper()
 		a := lifecycleServer(t, fx, dir, nil)
 		stA, _ := json.Marshal(a.mon.State())
-		verA := a.currentSet().version
-		a.wal.Abort() // recovery must not dirty the log
+		verA := a.lc.Current().Version
+		a.jnl.Abort() // recovery must not dirty the log
 		b := lifecycleServer(t, fx, dir, nil)
 		stB, _ := json.Marshal(b.mon.State())
 		if string(stA) != string(stB) {
 			t.Fatal("two recoveries from identical disk state diverged")
 		}
-		if verA != wantVersion || b.currentSet().version != wantVersion {
-			t.Fatalf("recovered versions %d/%d, want %d", verA, b.currentSet().version, wantVersion)
+		if verA != wantVersion || b.lc.Current().Version != wantVersion {
+			t.Fatalf("recovered versions %d/%d, want %d", verA, b.lc.Current().Version, wantVersion)
 		}
 		if got := b.mon.ModelVersion(); got != wantVersion {
 			t.Fatalf("recovered monitor version %d, want %d", got, wantVersion)
@@ -378,21 +380,21 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 		dir := t.TempDir()
 		srv, ts := prep(t, dir)
 		ts.Close()
-		srv.wal.Abort()
+		srv.jnl.Abort()
 		var buf strings.Builder
-		err := srv.currentSet().model.SaveVersioned(&buf,
-			vn2.ModelMeta{ModelVersion: 2, Parent: 1, Origin: originUpdate})
+		err := srv.lc.Current().Model.SaveVersioned(&buf,
+			vn2.ModelMeta{ModelVersion: 2, Parent: 1, Origin: lifecycle.OriginUpdate})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := os.MkdirAll(filepath.Join(dir, "models"), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, "models", modelFileName(2)), []byte(buf.String()), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, "models", store.ModelFileName(2)), []byte(buf.String()), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		b := rebuildTwice(t, dir, 1)
-		b.wal.Close()
+		b.jnl.Close()
 	})
 
 	t.Run("swap journaled not applied", func(t *testing.T) {
@@ -400,15 +402,15 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 		// consumed: replay must finish the swap.
 		dir := t.TempDir()
 		srv, ts := prep(t, dir)
-		srv.drainTick() // trigger + retrain + journaled swap, barrier still queued
-		if srv.swapsN.Load() != 0 || srv.mon.ModelVersion() != 1 {
+		srv.DrainTick() // trigger + retrain + journaled swap, barrier still queued
+		if srv.lc.Swaps.Load() != 0 || srv.mon.ModelVersion() != 1 {
 			t.Fatal("swap applied before the crash point")
 		}
 		ts.Close()
-		srv.wal.Abort()
+		srv.jnl.Abort()
 		b := rebuildTwice(t, dir, 2)
 		// The recovered generation serves: the same regime is now explained.
-		ts2 := httptest.NewServer(b.handler())
+		ts2 := httptest.NewServer(b.Handler())
 		postEpochs(t, b, ts2.URL, fx, driftReport, nodes, 4, 5)
 		if _, err := b.mon.Drain(); err != nil {
 			t.Fatal(err)
@@ -418,7 +420,7 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 			t.Errorf("recovered generation does not explain the drifted regime: %+v", ds)
 		}
 		ts2.Close()
-		b.wal.Close()
+		b.jnl.Close()
 	})
 
 	t.Run("swap applied and snapshotted", func(t *testing.T) {
@@ -426,7 +428,7 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 		// journaled-only reports behind it.
 		dir := t.TempDir()
 		srv, ts := prep(t, dir)
-		srv.drainTick()
+		srv.DrainTick()
 		ingestAll(srv) // apply the swap
 		if srv.mon.ModelVersion() != 2 {
 			t.Fatal("fixture swap did not land")
@@ -444,12 +446,12 @@ func TestLifecycleSwapCrashRecovery(t *testing.T) {
 			t.Fatalf("post-snapshot batch: %d %s", resp.StatusCode, body)
 		}
 		ts.Close()
-		srv.wal.Abort()
+		srv.jnl.Abort()
 		b := rebuildTwice(t, dir, 2)
 		if got, want := b.mon.Stats().Reports, preStats.Reports+uint64(len(nodes)); got != want {
 			t.Errorf("recovered monitor saw %d reports, want %d", got, want)
 		}
-		b.wal.Close()
+		b.jnl.Close()
 	})
 }
 
@@ -460,26 +462,24 @@ func TestLifecycleRollback(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
 	srv := lifecycleServer(t, fx, dir, nil)
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	nodes := fx.nodes()[:4]
-	orig := srv.currentSet()
+	orig := srv.lc.Current()
 
 	// A legitimate swap onto the drifted regime.
 	postEpochs(t, srv, ts.URL, fx, driftReport, nodes, 1, 3)
-	srv.drainTick()
+	srv.DrainTick()
 	ingestAll(srv)
 	if srv.mon.ModelVersion() != 2 {
 		t.Fatalf("fixture swap did not land (version %d)", srv.mon.ModelVersion())
 	}
-	if _, _, probation := srv.lcState(); !probation {
+	if _, _, probation := srv.lc.State(); !probation {
 		t.Fatal("no probation window after the swap")
 	}
 	// Inject a regression baseline: pretend the pre-swap window was healthy,
 	// so the shifted regime below reads as a post-swap regression.
-	srv.lcMu.Lock()
-	srv.baseMean = 0.2
-	srv.lcMu.Unlock()
+	srv.lc.InjectBaseline(0.2)
 
 	// A second regime shift the new generation cannot explain: the probation
 	// mean saturates and must trip the rollback.
@@ -487,27 +487,27 @@ func TestLifecycleRollback(t *testing.T) {
 	if _, err := srv.mon.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	srv.drainTick() // probation verdict: rollback journaled + enqueued
+	srv.DrainTick() // probation verdict: rollback journaled + enqueued
 	ingestAll(srv)  // barrier applies it
 
-	if got := srv.rollbacks.Load(); got != 1 {
+	if got := srv.lc.Rollbacks.Load(); got != 1 {
 		t.Fatalf("rollbacks = %d, want 1", got)
 	}
 	if got := srv.mon.ModelVersion(); got != 3 {
 		t.Fatalf("monitor version after rollback = %d, want 3 (new generation, old content)", got)
 	}
-	cur := srv.currentSet()
-	if cur.version != 3 {
-		t.Fatalf("serving version = %d, want 3", cur.version)
+	cur := srv.lc.Current()
+	if cur.Version != 3 {
+		t.Fatalf("serving version = %d, want 3", cur.Version)
 	}
-	if cur.model != orig.model {
+	if cur.Model != orig.Model {
 		t.Error("rollback did not restore the pre-swap model content")
 	}
-	if _, cooldown, probation := srv.lcState(); probation || cooldown <= srv.opts.cooldownTicks {
+	if _, cooldown, probation := srv.lc.State(); probation || cooldown <= srv.opts.CooldownTicks {
 		t.Errorf("after rollback: probation=%v cooldown=%d, want committed with a long cooldown", probation, cooldown)
 	}
 	// The rollback is persisted with its provenance.
-	f, err := os.Open(filepath.Join(dir, "models", modelFileName(3)))
+	f, err := os.Open(filepath.Join(dir, "models", store.ModelFileName(3)))
 	if err != nil {
 		t.Fatalf("rollback generation not persisted: %v", err)
 	}
@@ -516,20 +516,20 @@ func TestLifecycleRollback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meta.ModelVersion != 3 || meta.Parent != 2 || meta.Origin != originRollback {
+	if meta.ModelVersion != 3 || meta.Parent != 2 || meta.Origin != lifecycle.OriginRollback {
 		t.Errorf("rollback meta = %+v, want v3 from v2 via rollback", meta)
 	}
-	hist := srv.swapHistory()
-	if len(hist) != 2 || hist[1].Origin != originRollback {
+	hist := srv.lc.History()
+	if len(hist) != 2 || hist[1].Origin != lifecycle.OriginRollback {
 		t.Errorf("history = %+v, want update then rollback", hist)
 	}
 
 	// kill -9 and recover: the rollback generation is the durable truth.
 	ts.Close()
-	srv.wal.Abort()
+	srv.jnl.Abort()
 	srv2 := lifecycleServer(t, fx, dir, nil)
-	defer srv2.wal.Close()
-	if got := srv2.currentSet().version; got != 3 {
+	defer srv2.jnl.Close()
+	if got := srv2.lc.Current().Version; got != 3 {
 		t.Errorf("recovered version = %d, want 3", got)
 	}
 	if got := srv2.mon.ModelVersion(); got != 3 {
@@ -544,17 +544,17 @@ func TestLifecycleRollback(t *testing.T) {
 func TestLifecycleConcurrentSwap(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
-	srv := lifecycleServer(t, fx, dir, func(o *serveOptions) {
-		o.addr = freePort(t)
-		o.lifecycleSync = false // retrains on their own goroutine
-		o.probation = 4
-		o.drainEvery = 5 * time.Millisecond
-		o.snapshotEvery = 20 * time.Millisecond
+	srv := lifecycleServer(t, fx, dir, func(o *Options) {
+		o.Addr = freePort(t)
+		o.LifecycleSync = false // retrains on their own goroutine
+		o.Probation = 4
+		o.DrainEvery = 5 * time.Millisecond
+		o.SnapshotEvery = 20 * time.Millisecond
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	runErr := make(chan error, 1)
-	go func() { runErr <- srv.run(ctx) }()
-	base := "http://" + srv.opts.addr
+	go func() { runErr <- srv.Run(ctx) }()
+	base := "http://" + srv.opts.Addr
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		resp, err := http.Get(base + "/healthz")
@@ -575,7 +575,7 @@ func TestLifecycleConcurrentSwap(t *testing.T) {
 		go func(node int) {
 			defer wg.Done()
 			for e := 1; e <= 400; e++ {
-				if srv.swapsN.Load() >= 1 && e > 40 {
+				if srv.lc.Swaps.Load() >= 1 && e > 40 {
 					return // swap landed and probation traffic delivered
 				}
 				resp, body := postJSON(t, base+"/report", driftReport(fx, node, e))
@@ -607,10 +607,10 @@ func TestLifecycleConcurrentSwap(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	for srv.swapsN.Load() == 0 {
+	for srv.lc.Swaps.Load() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("no hot-swap under load: retrains=%d fails=%d rejects=%d drift=%+v",
-				srv.retrains.Load(), srv.retrainFails.Load(), srv.candRejects.Load(), srv.mon.DriftStats())
+				srv.lc.Retrains.Load(), srv.lc.RetrainFails.Load(), srv.lc.CandRejects.Load(), srv.mon.DriftStats())
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -634,11 +634,11 @@ func TestLifecycleConcurrentSwap(t *testing.T) {
 		t.Errorf("monitor version = %d after swap", srv.mon.ModelVersion())
 	}
 	// The shutdown snapshot resumes at the swapped generation.
-	srv2, err := buildServer(serveOptions{snapshotPath: filepath.Join(dir, "snapshot.json"), queueSize: 8})
+	srv2, err := New(Options{SnapshotPath: filepath.Join(dir, "snapshot.json"), QueueSize: 8})
 	if err != nil {
 		t.Fatalf("restart from shutdown snapshot: %v", err)
 	}
-	if got := srv2.currentSet().version; got < 2 {
+	if got := srv2.lc.Current().Version; got < 2 {
 		t.Errorf("restarted at version %d, want the swapped generation", got)
 	}
 }

@@ -1,0 +1,115 @@
+package sink
+
+import (
+	"time"
+
+	"github.com/wsn-tools/vn2/vn2/sink/api"
+)
+
+// registerMetrics wires every layer's counters into the two registries:
+// reg carries exactly the legacy /metrics key set (byte-compatible with the
+// pre-refactor handler), statusReg the /status-only extras layered on top.
+func (s *Server) registerMetrics() {
+	s.reg = api.NewRegistry()
+
+	// HTTP edge + ingest queue.
+	s.reg.Add(func(m map[string]any) {
+		m["reports_received"] = s.received.Load()
+		m["reports_accepted"] = s.accepted.Load()
+		m["reports_rejected"] = s.rejected.Load()
+		m["bad_requests"] = s.badReqs.Load()
+		m["reports_ingested"] = s.ingested.Load()
+		m["ingest_errors"] = s.ingestErr.Load()
+		m["queue_depth"] = len(s.queue)
+		m["queue_capacity"] = cap(s.queue)
+		m["drains"] = s.drains.Load()
+		m["drain_errors"] = s.drainErrs.Load()
+		m["drain_fails_in_a_row"] = s.drainFails.Load()
+		m["snapshots_written"] = s.snapshots.Load()
+		m["snapshot_errors"] = s.snapErrs.Load()
+	})
+
+	// Degraded-mode state machine.
+	s.reg.Add(func(m map[string]any) {
+		degraded := 0
+		if s.deg.Active() {
+			degraded = 1
+		}
+		m["degraded"] = degraded
+		m["degraded_entries"] = s.deg.Entries()
+	})
+
+	// Monitor stream counters + drift view.
+	s.reg.Add(func(m map[string]any) {
+		st := s.mon.Stats()
+		m["monitor_reports"] = st.Reports
+		m["monitor_first_reports"] = st.FirstReports
+		m["monitor_stale"] = st.Stale
+		m["monitor_duplicates"] = st.Duplicates
+		m["monitor_invalid"] = st.Invalid
+		m["monitor_normal"] = st.Normal
+		m["monitor_flagged"] = st.Flagged
+		m["monitor_dropped"] = st.Dropped
+		m["monitor_diagnosed"] = st.Diagnosed
+		m["monitor_gap_reports"] = st.GapReports
+		m["monitor_max_gap"] = st.MaxGap
+		m["monitor_last_epoch"] = st.LastEpoch
+		m["pending_states"] = s.mon.Pending()
+		ds := s.mon.DriftStats()
+		m["model_version"] = ds.ModelVersion
+		m["drift_window"] = ds.Window
+		m["drift_unattributed"] = st.Unattributed
+		m["drift_unattributed_rate"] = ds.UnattributedRate
+		m["drift_mean_residual"] = ds.MeanResidual
+		m["drift_residual_p50"] = ds.P50
+		m["drift_residual_p90"] = ds.P90
+		m["drift_residual_p99"] = ds.P99
+		m["quarantine_len"] = ds.Quarantine
+	})
+
+	// Lifecycle counters.
+	s.reg.Add(s.lc.Metrics)
+
+	// Journal (only when the WAL is on, matching the legacy conditional).
+	s.reg.Add(func(m map[string]any) {
+		if s.jnl == nil {
+			return
+		}
+		m["wal_errors"] = s.jnl.Errs()
+		m["wal_segments"] = s.jnl.Segments()
+		m["wal_next_lsn"] = s.jnl.NextLSN()
+		m["wal_applied"] = s.applied.Watermark()
+		m["wal_truncations"] = s.jnl.Truncations()
+		m["wal_replayed"] = s.walReplayed.Load()
+		m["wal_replay_skipped"] = s.walSkipped.Load()
+		m["wal_replay_bad"] = s.walBadRec.Load()
+	})
+
+	// /status extras: everything useful that would break /metrics
+	// byte-compatibility.
+	s.statusReg = api.NewRegistry()
+	s.statusReg.Add(func(m map[string]any) {
+		m["started"] = s.started.UTC().Format(time.RFC3339Nano)
+		m["uptime_s"] = time.Since(s.started).Seconds()
+		m["uptime"] = time.Since(s.started).Round(time.Second).String()
+		m["lifecycle_enabled"] = s.opts.Lifecycle
+		version, cooldown, probation := s.lc.State()
+		m["model_version"] = version
+		m["model_cooldown_ticks"] = cooldown
+		m["model_probation"] = probation
+		m["model_retraining"] = s.lc.Retraining()
+		m["model_history"] = s.lc.History()
+		if reason, since := s.deg.Reason(); reason != "" {
+			m["degraded_reason"] = reason
+			m["degraded_for_s"] = time.Since(since).Seconds()
+		}
+		bst := s.bus.Stats()
+		m["stream_subscribers"] = bst.Subscribers
+		m["stream_dropped"] = bst.Dropped
+		m["stream_published"] = bst.Published
+		m["stream_encode_errors"] = bst.EncodeErrs
+		m["stream_journal_len"] = bst.JournalLen
+		m["stream_journal_cap"] = bst.JournalCap
+		m["stream_next_seq"] = s.bus.NextSeq()
+	})
+}

@@ -1,11 +1,9 @@
-package main
+package sink
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
-	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,118 +15,8 @@ import (
 
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink/store"
 )
-
-// serveFixtures builds (once) a calibration trace and a trained model with
-// the repo's own subcommands, exactly as an operator would.
-type fixtures struct {
-	dir       string
-	tracePath string
-	modelPath string
-	// tail maps each node to its last calibration record, for crafting the
-	// next live report.
-	tail map[int]trace.Record
-}
-
-var (
-	fixOnce sync.Once
-	fix     fixtures
-	fixErr  error
-)
-
-func serveFixtures(t *testing.T) fixtures {
-	t.Helper()
-	fixOnce.Do(func() {
-		dir, err := os.MkdirTemp("", "vn2-serve-test-")
-		if err != nil {
-			fixErr = err
-			return
-		}
-		fix.dir = dir
-		fix.tracePath = filepath.Join(dir, "trace.csv")
-		fix.modelPath = filepath.Join(dir, "model.json")
-		if err := run([]string{"tracegen", "-scenario", "testbed-expansive", "-seed", "3", "-out", fix.tracePath}); err != nil {
-			fixErr = fmt.Errorf("tracegen: %w", err)
-			return
-		}
-		if err := run([]string{"train", "-in", fix.tracePath, "-out", fix.modelPath, "-rank", "6", "-all-states"}); err != nil {
-			fixErr = fmt.Errorf("train: %w", err)
-			return
-		}
-		f, err := os.Open(fix.tracePath)
-		if err != nil {
-			fixErr = err
-			return
-		}
-		ds, err := trace.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			fixErr = err
-			return
-		}
-		fix.tail = make(map[int]trace.Record)
-		for _, id := range ds.Nodes() {
-			recs := ds.Records(id)
-			fix.tail[int(id)] = recs[len(recs)-1]
-		}
-	})
-	if fixErr != nil {
-		t.Fatalf("fixtures: %v", fixErr)
-	}
-	return fix
-}
-
-// hotReport derives the next report for a node with a violent counter jump
-// the frozen detector is certain to flag.
-func (f fixtures) hotReport(t *testing.T, node int, epochsAhead int) trace.Record {
-	t.Helper()
-	last, ok := f.tail[node]
-	if !ok {
-		t.Fatalf("node %d not in calibration trace", node)
-	}
-	v := append([]float64(nil), last.Vector...)
-	for k := 0; k < 6 && k < len(v); k++ {
-		v[k] += 1e7
-	}
-	return trace.Record{Node: last.Node, Epoch: last.Epoch + epochsAhead, Vector: v}
-}
-
-func (f fixtures) nodes() []int {
-	out := make([]int, 0, len(f.tail))
-	for id := range f.tail {
-		out = append(out, id)
-	}
-	return out
-}
-
-func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
-	t.Helper()
-	b, err := json.Marshal(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		t.Fatalf("POST %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	return resp, buf.Bytes()
-}
-
-func freePort(t *testing.T) string {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr
-}
 
 // TestServeRoundTrip is the smoke test the Makefile's `smoke` target runs:
 // start the real server, post reports, and assert a diagnosis round-trip,
@@ -136,22 +24,22 @@ func freePort(t *testing.T) string {
 func TestServeRoundTrip(t *testing.T) {
 	fx := serveFixtures(t)
 	snapPath := filepath.Join(t.TempDir(), "snapshot.json")
-	srv, err := buildServer(serveOptions{
-		addr:          freePort(t),
-		modelPath:     fx.modelPath,
-		calibratePath: fx.tracePath,
-		snapshotPath:  snapPath,
-		queueSize:     256,
-		drainEvery:    20 * time.Millisecond,
-		snapshotEvery: time.Hour, // final shutdown snapshot is the one under test
+	srv, err := New(Options{
+		Addr:          freePort(t),
+		ModelPath:     fx.modelPath,
+		CalibratePath: fx.tracePath,
+		SnapshotPath:  snapPath,
+		QueueSize:     256,
+		DrainEvery:    20 * time.Millisecond,
+		SnapshotEvery: time.Hour, // final shutdown snapshot is the one under test
 	})
 	if err != nil {
-		t.Fatalf("buildServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	runErr := make(chan error, 1)
-	go func() { runErr <- srv.run(ctx) }()
-	base := "http://" + srv.opts.addr
+	go func() { runErr <- srv.Run(ctx) }()
+	base := "http://" + srv.opts.Addr
 
 	// Wait for the listener.
 	deadline := time.Now().Add(5 * time.Second)
@@ -253,11 +141,11 @@ func TestServeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("snapshot not written: %v", err)
 	}
-	var snap snapshotFile
+	var snap store.Snapshot
 	if err := json.Unmarshal(b, &snap); err != nil {
 		t.Fatalf("snapshot decode: %v", err)
 	}
-	if snap.Version != snapshotVersion || !snap.Detector.Valid() || len(snap.Model) == 0 {
+	if snap.Version != store.SnapshotVersion || !snap.Detector.Valid() || len(snap.Model) == 0 {
 		t.Fatalf("snapshot incomplete: version=%d detector=%v model=%dB",
 			snap.Version, snap.Detector.Valid(), len(snap.Model))
 	}
@@ -266,12 +154,12 @@ func TestServeRoundTrip(t *testing.T) {
 	}
 
 	// Restart from the snapshot alone: no -model, no -calibrate.
-	srv2, err := buildServer(serveOptions{addr: "127.0.0.1:0", snapshotPath: snapPath, queueSize: 8})
+	srv2, err := New(Options{Addr: "127.0.0.1:0", SnapshotPath: snapPath, QueueSize: 8})
 	if err != nil {
 		t.Fatalf("restart from snapshot: %v", err)
 	}
-	if srv2.currentSet().det.RefMax != srv.currentSet().det.RefMax ||
-		srv2.currentSet().det.Threshold != srv.currentSet().det.Threshold {
+	if srv2.lc.Current().Det.RefMax != srv.lc.Current().Det.RefMax ||
+		srv2.lc.Current().Det.Threshold != srv.lc.Current().Det.Threshold {
 		t.Error("restarted detector differs from the frozen one")
 	}
 }
@@ -280,15 +168,15 @@ func TestServeRoundTrip(t *testing.T) {
 // and asserts the 503 + Retry-After backpressure contract.
 func TestServeBackpressure(t *testing.T) {
 	fx := serveFixtures(t)
-	srv, err := buildServer(serveOptions{
-		modelPath:     fx.modelPath,
-		calibratePath: fx.tracePath,
-		queueSize:     2,
+	srv, err := New(Options{
+		ModelPath:     fx.modelPath,
+		CalibratePath: fx.tracePath,
+		QueueSize:     2,
 	})
 	if err != nil {
-		t.Fatalf("buildServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	nodes := fx.nodes()
@@ -330,15 +218,15 @@ func TestServeBackpressure(t *testing.T) {
 // path's entry in the `make race` gate.
 func TestServeConcurrentIngest(t *testing.T) {
 	fx := serveFixtures(t)
-	srv, err := buildServer(serveOptions{
-		modelPath:     fx.modelPath,
-		calibratePath: fx.tracePath,
-		queueSize:     4096,
+	srv, err := New(Options{
+		ModelPath:     fx.modelPath,
+		CalibratePath: fx.tracePath,
+		QueueSize:     4096,
 	})
 	if err != nil {
-		t.Fatalf("buildServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	ingestDone := make(chan struct{})
@@ -376,7 +264,7 @@ func TestServeConcurrentIngest(t *testing.T) {
 				return
 			default:
 			}
-			srv.drainTick()
+			srv.DrainTick()
 			if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
 				resp.Body.Close()
 			}
@@ -390,7 +278,7 @@ func TestServeConcurrentIngest(t *testing.T) {
 	close(srv.queue)
 	<-ingestDone
 	<-obsDone
-	srv.drainTick()
+	srv.DrainTick()
 
 	workers := 8
 	if len(nodes) < workers {
@@ -409,23 +297,23 @@ func TestServeConcurrentIngest(t *testing.T) {
 	}
 }
 
-// TestBuildServerErrors covers the configuration failure modes.
-func TestBuildServerErrors(t *testing.T) {
+// TestNewErrors covers the configuration failure modes.
+func TestNewErrors(t *testing.T) {
 	fx := serveFixtures(t)
-	if _, err := buildServer(serveOptions{calibratePath: fx.tracePath}); err == nil || !strings.Contains(err.Error(), "-model") {
+	if _, err := New(Options{CalibratePath: fx.tracePath}); err == nil || !strings.Contains(err.Error(), "-model") {
 		t.Errorf("missing model err = %v", err)
 	}
-	if _, err := buildServer(serveOptions{modelPath: fx.modelPath}); err == nil || !strings.Contains(err.Error(), "-calibrate") {
+	if _, err := New(Options{ModelPath: fx.modelPath}); err == nil || !strings.Contains(err.Error(), "-calibrate") {
 		t.Errorf("missing calibrate err = %v", err)
 	}
-	if _, err := buildServer(serveOptions{modelPath: "/nonexistent.json", calibratePath: fx.tracePath}); err == nil {
+	if _, err := New(Options{ModelPath: "/nonexistent.json", CalibratePath: fx.tracePath}); err == nil {
 		t.Error("nonexistent model accepted")
 	}
 	badSnap := filepath.Join(t.TempDir(), "snap.json")
 	if err := os.WriteFile(badSnap, []byte(`{"version":99}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildServer(serveOptions{modelPath: fx.modelPath, calibratePath: fx.tracePath, snapshotPath: badSnap}); err == nil || !strings.Contains(err.Error(), "version") {
+	if _, err := New(Options{ModelPath: fx.modelPath, CalibratePath: fx.tracePath, SnapshotPath: badSnap}); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("bad snapshot version err = %v", err)
 	}
 }

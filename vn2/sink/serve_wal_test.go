@@ -1,4 +1,4 @@
-package main
+package sink
 
 import (
 	"encoding/json"
@@ -9,7 +9,6 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
-	"time"
 
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/vn2/online"
@@ -17,24 +16,24 @@ import (
 
 // walServer builds a server with WAL + snapshot enabled and its loops NOT
 // running, so tests drive ingest and drains deterministically.
-func walServer(t *testing.T, fx fixtures, dir string) *server {
+func walServer(t *testing.T, fx fixtures, dir string) *Server {
 	t.Helper()
-	srv, err := buildServer(serveOptions{
-		modelPath:     fx.modelPath,
-		calibratePath: fx.tracePath,
-		snapshotPath:  filepath.Join(dir, "snapshot.json"),
-		walPath:       filepath.Join(dir, "wal"),
-		queueSize:     256,
+	srv, err := New(Options{
+		ModelPath:     fx.modelPath,
+		CalibratePath: fx.tracePath,
+		SnapshotPath:  filepath.Join(dir, "snapshot.json"),
+		WALPath:       filepath.Join(dir, "wal"),
+		QueueSize:     256,
+		Sleep:         noSleep, // retries never wall-clock sleep in tests
 	})
 	if err != nil {
-		t.Fatalf("buildServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	srv.sleep = func(time.Duration) {} // retries never wall-clock sleep in tests
 	return srv
 }
 
 // ingestAll synchronously feeds everything queued into the monitor.
-func ingestAll(srv *server) { srv.ingestQueued() }
+func ingestAll(srv *Server) { srv.IngestQueued() }
 
 // TestServeWALRecovery: every report ACKed with a 202 survives kill -9. The
 // server is killed abruptly (WAL abandoned without flush, no final
@@ -44,7 +43,7 @@ func TestServeWALRecovery(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
 	srv := walServer(t, fx, dir)
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	nodes := fx.nodes()
@@ -68,7 +67,7 @@ func TestServeWALRecovery(t *testing.T) {
 	// allow.
 	post(1, 4)
 	ingestAll(srv)
-	srv.drainTick()
+	srv.DrainTick()
 	if err := srv.writeSnapshot(); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
@@ -77,16 +76,16 @@ func TestServeWALRecovery(t *testing.T) {
 	// in the queue at crash time — only the WAL knows these too.
 	post(2, 4)
 	ingestAll(srv)
-	srv.drainTick()
+	srv.DrainTick()
 	post(3, 2)
 
 	wantStats := srv.mon.Stats() // pre-crash monitor truth for the ingested part
 	ts.Close()
-	srv.wal.Abort() // kill -9: in-flight buffers gone, synced bytes survive
+	srv.jnl.Abort() // kill -9: in-flight buffers gone, synced bytes survive
 
 	// Rebuild from disk: snapshot (epoch +1 state) + WAL replay (+2, +3).
 	srv2 := walServer(t, fx, dir)
-	defer srv2.wal.Close()
+	defer srv2.jnl.Close()
 	st := srv2.mon.Stats()
 	// All 10 ACKed reports are back: 8 ingested pre-crash plus the 2 that
 	// were queued; replay may re-offer snapshot-covered records, which land
@@ -97,7 +96,7 @@ func TestServeWALRecovery(t *testing.T) {
 	if st.LastEpoch < wantStats.LastEpoch {
 		t.Fatalf("recovered LastEpoch %d regressed below %d", st.LastEpoch, wantStats.LastEpoch)
 	}
-	srv2.drainTick()
+	srv2.DrainTick()
 	if got := srv2.mon.Stats(); got.Diagnosed < wantStats.Diagnosed {
 		t.Fatalf("recovered diagnoses %d < pre-crash %d", got.Diagnosed, wantStats.Diagnosed)
 	}
@@ -127,22 +126,22 @@ func TestServeWALRecoveryIdempotent(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
 	srv := walServer(t, fx, dir)
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	batch := []trace.Record{fx.hotReport(t, fx.nodes()[0], 1), fx.hotReport(t, fx.nodes()[1], 1)}
 	if resp, body := postJSON(t, ts.URL+"/report", batch); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("report: %d %s", resp.StatusCode, body)
 	}
 	ts.Close()
-	srv.wal.Abort()
+	srv.jnl.Abort()
 
 	a := walServer(t, fx, dir)
-	a.drainTick()
+	a.DrainTick()
 	stA := a.mon.State()
-	a.wal.Abort() // recovery must not dirty the log
+	a.jnl.Abort() // recovery must not dirty the log
 	b := walServer(t, fx, dir)
-	b.drainTick()
+	b.DrainTick()
 	stB := b.mon.State()
-	b.wal.Close()
+	b.jnl.Close()
 	ja, _ := json.Marshal(stA)
 	jb, _ := json.Marshal(stB)
 	if string(ja) != string(jb) {
@@ -156,23 +155,23 @@ func TestServeWALRecoveryIdempotent(t *testing.T) {
 func TestServeDegradedWAL(t *testing.T) {
 	fx := serveFixtures(t)
 	srv := walServer(t, fx, t.TempDir())
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	if resp, body := postJSON(t, ts.URL+"/report", fx.hotReport(t, fx.nodes()[0], 1)); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("healthy report: %d %s", resp.StatusCode, body)
 	}
 	ingestAll(srv)
-	srv.drainTick()
+	srv.DrainTick()
 	goodDiag := srv.mon.Snapshot()
 
-	srv.wal.Close() // journal dies out from under the server
+	srv.jnl.Close() // journal dies out from under the server
 
 	resp, body := postJSON(t, ts.URL+"/report", fx.hotReport(t, fx.nodes()[1], 1))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("report on dead journal: %d %s, want 503", resp.StatusCode, body)
 	}
-	if !srv.degraded.Load() {
+	if !srv.deg.Active() {
 		t.Fatal("server did not degrade on persistent journal failure")
 	}
 
@@ -230,7 +229,7 @@ func TestSnapshotV1Compat(t *testing.T) {
 	if err := srv.writeSnapshot(); err != nil {
 		t.Fatal(err)
 	}
-	srv.wal.Close()
+	srv.jnl.Close()
 
 	path := filepath.Join(dir, "snapshot.json")
 	b, err := os.ReadFile(path)
@@ -251,25 +250,25 @@ func TestSnapshotV1Compat(t *testing.T) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	v1, err := buildServer(serveOptions{snapshotPath: path, queueSize: 8})
+	v1, err := New(Options{SnapshotPath: path, QueueSize: 8})
 	if err != nil {
 		t.Fatalf("v1 snapshot rejected: %v", err)
 	}
-	if v1.currentSet().det.RefMax != srv.currentSet().det.RefMax {
+	if v1.lc.Current().Det.RefMax != srv.lc.Current().Det.RefMax {
 		t.Error("v1 snapshot lost the detector")
 	}
 }
 
 // TestSnapshotModelMismatch: restarting serve with a snapshot cut under one
 // model but an explicit -model of a different rank must fail with the typed
-// errSnapshotMismatch — the monitor's rolling state (diagnosis weights, epoch
+// ErrSnapshotMismatch — the monitor's rolling state (diagnosis weights, epoch
 // cause indices) is meaningless under the wrong basis, and restoring it
 // silently would corrupt every report the WAL then replays.
 func TestSnapshotModelMismatch(t *testing.T) {
 	fx := serveFixtures(t)
 	dir := t.TempDir()
 	srv := walServer(t, fx, dir)
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 
 	// Diagnosed state in the snapshot ties it to the rank-6 model.
 	batch := []trace.Record{fx.hotReport(t, fx.nodes()[0], 1), fx.hotReport(t, fx.nodes()[1], 1)}
@@ -277,29 +276,29 @@ func TestSnapshotModelMismatch(t *testing.T) {
 		t.Fatalf("report: %d %s", resp.StatusCode, body)
 	}
 	ingestAll(srv)
-	srv.drainTick()
+	srv.DrainTick()
 	if err := srv.writeSnapshot(); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	ts.Close()
-	srv.wal.Close()
+	srv.jnl.Close()
 
 	// A different-rank model for the same deployment.
 	otherModel := filepath.Join(dir, "model-rank4.json")
-	if err := run([]string{"train", "-in", fx.tracePath, "-out", otherModel, "-rank", "4", "-all-states"}); err != nil {
+	if err := trainModelFile(fx.tracePath, otherModel, 4); err != nil {
 		t.Fatalf("train rank-4 model: %v", err)
 	}
-	_, err := buildServer(serveOptions{
-		modelPath:     otherModel,
-		calibratePath: fx.tracePath,
-		snapshotPath:  filepath.Join(dir, "snapshot.json"),
-		walPath:       filepath.Join(dir, "wal"),
-		queueSize:     8,
+	_, err := New(Options{
+		ModelPath:     otherModel,
+		CalibratePath: fx.tracePath,
+		SnapshotPath:  filepath.Join(dir, "snapshot.json"),
+		WALPath:       filepath.Join(dir, "wal"),
+		QueueSize:     8,
 	})
 	if err == nil {
 		t.Fatal("restart with a mismatched model succeeded")
 	}
-	if !errors.Is(err, errSnapshotMismatch) {
-		t.Errorf("err = %v, want errSnapshotMismatch", err)
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("err = %v, want ErrSnapshotMismatch", err)
 	}
 }

@@ -1,0 +1,410 @@
+package sink
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/retry"
+	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink/api"
+	"github.com/wsn-tools/vn2/vn2/sink/bus"
+	"github.com/wsn-tools/vn2/vn2/sink/ingest"
+	"github.com/wsn-tools/vn2/vn2/sink/lifecycle"
+	"github.com/wsn-tools/vn2/vn2/sink/store"
+)
+
+// Degraded-mode reasons; the prefix picks which recovery probe clears it.
+const (
+	degradedWAL     = "wal"
+	degradedDrain   = "drain"
+	degradedBacklog = "backlog"
+)
+
+// drainFailLimit is how many consecutive failed diagnosis passes flip the
+// server into degraded mode.
+const drainFailLimit = 5
+
+// backlogTickLimit is how many consecutive drain ticks may observe a full
+// queue AND a full pending backlog before the server sheds to degraded.
+const backlogTickLimit = 3
+
+// Server is the online sink service: a bounded ingest queue feeding the
+// monitor, periodic drains and snapshots, a WAL making every 202 durable,
+// the lifecycle manager, the event bus, and the HTTP surface. When
+// persistence or diagnosis fails persistently it degrades to a read-only
+// "last-good diagnosis" mode instead of erroring: ingest answers 503,
+// /diagnosis serves the last good summary, /healthz and /metrics carry the
+// reason.
+type Server struct {
+	opts    Options
+	mon     *online.Monitor
+	queue   chan ingest.Item
+	jnl     *store.Journal
+	applied store.Tracker
+	started time.Time
+	sleep   func(time.Duration) // retry sleeper; nil = time.Sleep (tests inject)
+
+	lc  *lifecycle.Manager
+	bus *bus.Bus
+
+	reg       *api.Registry // the /metrics keys (byte-compatible legacy set)
+	statusReg *api.Registry // /status extras layered on top of reg
+
+	received  atomic.Uint64 // reports offered by clients
+	accepted  atomic.Uint64 // reports that fit in the queue
+	rejected  atomic.Uint64 // reports shed by backpressure (503)
+	badReqs   atomic.Uint64 // malformed request bodies (400)
+	ingested  atomic.Uint64 // reports the monitor consumed cleanly
+	ingestErr atomic.Uint64 // stale/invalid/backlogged reports
+	drains    atomic.Uint64
+	drainErrs atomic.Uint64 // failed diagnosis passes (total)
+	snapshots atomic.Uint64
+	snapErrs  atomic.Uint64
+
+	walReplayed atomic.Uint64 // records re-ingested from the WAL at startup
+	walSkipped  atomic.Uint64 // replay records at or below the snapshot watermark
+	walBadRec   atomic.Uint64 // replay records whose payload did not decode
+
+	deg          api.Degraded
+	lastGood     atomic.Pointer[online.Summary] // served read-only while degraded
+	drainFails   atomic.Uint64                  // consecutive failed drains
+	backlogTicks atomic.Uint64                  // consecutive drain ticks at full pressure
+}
+
+// enterDegraded flips the server into read-only last-good mode. The first
+// reason wins until cleared. The last-good summary is captured before the
+// degraded flag publishes, so a reader that observes the flag always finds
+// the summary.
+func (s *Server) enterDegraded(reason string) {
+	entered := s.deg.Enter(reason, func() {
+		sum := s.mon.Snapshot()
+		s.lastGood.Store(&sum)
+	})
+	if !entered {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "vn2 serve: DEGRADED (%s): serving last-good diagnosis, shedding ingest\n", reason)
+	s.publish(EvDegradedEntered, degradedEvent{Reason: reason})
+}
+
+// clearDegraded exits degraded mode if the active reason starts with the
+// given class prefix (so a WAL probe can't clear a drain failure).
+func (s *Server) clearDegraded(class string) {
+	reason, cleared := s.deg.Clear(class, func() { s.lastGood.Store(nil) })
+	if !cleared {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "vn2 serve: recovered from degraded mode (%s)\n", reason)
+	s.publish(EvDegradedCleared, degradedEvent{Reason: reason})
+}
+
+// enqueueSwapBarrier is the lifecycle's Enqueue hook: journal the swap
+// record and insert the barrier item, both under the swap gate (see
+// lifecycle.Manager.swapTo for the ordering contract).
+func (s *Server) enqueueSwapBarrier(rec store.SwapRecord, apply func()) error {
+	s.lc.Gate.Lock()
+	defer s.lc.Gate.Unlock()
+	var lsn uint64
+	if s.jnl != nil {
+		l, err := s.jnl.AppendSwapSync(rec)
+		if err != nil {
+			return err
+		}
+		lsn = l
+	}
+	select {
+	case s.queue <- ingest.Item{LSN: lsn, Apply: apply}:
+		return nil
+	case <-time.After(5 * time.Second):
+		// The queue stayed full with nothing consuming it (only possible in
+		// a wedged server). The journaled record is not lost: a restart
+		// replays it.
+		if s.jnl != nil && lsn != 0 {
+			s.applied.Mark(lsn)
+		}
+		return fmt.Errorf("serve: ingest queue full, swap v%d deferred to WAL replay", rec.Version)
+	}
+}
+
+// ingestLoop consumes the queue until it is closed, feeding the monitor and
+// advancing the applied watermark. A report counts as applied whether the
+// monitor accepted it or rejected it as stale/duplicate/invalid — either
+// way it never needs replaying.
+func (s *Server) ingestLoop() {
+	for q := range s.queue {
+		s.ingestOne(q)
+	}
+}
+
+// IngestQueued synchronously feeds everything currently queued into the
+// monitor — the deterministic stand-in for ingestLoop used by the chaos
+// harness and tests, which drive the server without background goroutines.
+func (s *Server) IngestQueued() {
+	for {
+		select {
+		case q := <-s.queue:
+			s.ingestOne(q)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) ingestOne(q ingest.Item) {
+	if q.Apply != nil {
+		q.Apply()
+		if s.jnl != nil && q.LSN != 0 {
+			s.applied.Mark(q.LSN)
+		}
+		return
+	}
+	if _, err := s.mon.Ingest(q.Rec); err != nil {
+		s.ingestErr.Add(1)
+	} else {
+		s.ingested.Add(1)
+	}
+	if s.jnl != nil && q.LSN != 0 {
+		s.applied.Mark(q.LSN)
+	}
+}
+
+// DrainTick runs one batched diagnosis pass and drives the degraded-mode
+// state machine: consecutive drain failures or sustained full-queue +
+// full-backlog pressure degrade the server; a clean pass (or relieved
+// pressure, or a successful WAL probe) recovers it. Diagnosed epochs are
+// published to the event bus.
+func (s *Server) DrainTick() {
+	out, err := s.mon.Drain()
+	if err != nil {
+		total := s.drainErrs.Add(1)
+		fails := s.drainFails.Add(1)
+		// Log at 1, 2, 4, 8, ... so a persistent failure doesn't flood.
+		if total&(total-1) == 0 {
+			fmt.Fprintf(os.Stderr, "vn2 serve: drain failed (%d in a row, %d total): %v\n", fails, total, err)
+		}
+		if fails >= drainFailLimit {
+			s.enterDegraded(fmt.Sprintf("%s: %d consecutive diagnosis failures: %v", degradedDrain, fails, err))
+		}
+		return
+	}
+	s.drainFails.Store(0)
+	s.clearDegraded(degradedDrain)
+	if len(out) > 0 {
+		s.drains.Add(1)
+		s.publishDiagnosed(out)
+	}
+
+	// Sustained-backlog detection: the queue and the pending backlog both
+	// pinned at capacity across consecutive ticks means diagnosis cannot
+	// keep up — shed instead of timing out every client.
+	if len(s.queue) >= cap(s.queue) && s.mon.Pending() >= s.opts.MaxPending {
+		if s.backlogTicks.Add(1) >= backlogTickLimit {
+			s.enterDegraded(fmt.Sprintf("%s: queue and pending backlog at capacity", degradedBacklog))
+		}
+	} else {
+		s.backlogTicks.Store(0)
+		if len(s.queue) < cap(s.queue)/2 && s.mon.Pending() < s.opts.MaxPending/2 {
+			s.clearDegraded(degradedBacklog)
+		}
+	}
+
+	// WAL recovery probe: while degraded for a WAL reason, a successful
+	// sync means the disk came back.
+	if s.jnl != nil && s.deg.Active() {
+		if reason, _ := s.deg.Reason(); strings.HasPrefix(reason, degradedWAL) {
+			if err := s.jnl.Probe(); err == nil {
+				s.clearDegraded(degradedWAL)
+			}
+		}
+	}
+
+	// Lifecycle: only on a clean, non-degraded tick — a degraded server has
+	// bigger problems than drift, and its window is not trustworthy.
+	if s.opts.Lifecycle && !s.deg.Active() {
+		s.lc.Tick()
+	}
+}
+
+// writeSnapshot atomically rewrites the snapshot file (tmp + rename), then
+// lets the WAL drop segments wholly covered by the snapshot. The watermark
+// is read BEFORE the monitor state so the state can only be newer — see
+// store.Snapshot.WALApplied.
+func (s *Server) writeSnapshot() error {
+	if s.opts.SnapshotPath == "" {
+		return nil
+	}
+	// The capture is serialized against swap application (SnapMu): the
+	// model envelope, the monitor state, and the history all describe the
+	// same side of any generation boundary. A torn capture (old model, new
+	// state) would recover with the wrong model and no replayable fix.
+	s.lc.SnapMu.Lock()
+	var wm uint64
+	if s.jnl != nil {
+		wm = s.applied.Watermark()
+	}
+	cur := s.lc.Current()
+	st := s.mon.State()
+	sum := s.mon.Snapshot()
+	hist := s.lc.History()
+	s.lc.SnapMu.Unlock()
+	b, err := json.Marshal(store.Snapshot{
+		Version:      store.SnapshotVersion,
+		SavedAt:      time.Now().UTC(),
+		Model:        cur.Raw,
+		Detector:     cur.Det,
+		Summary:      sum,
+		Monitor:      &st,
+		WALApplied:   wm,
+		ModelVersion: cur.Version,
+		Swaps:        hist,
+	})
+	if err != nil {
+		s.snapErrs.Add(1)
+		return err
+	}
+	if err := store.WriteFileAtomic(s.opts.SnapshotPath, b, false); err != nil {
+		s.snapErrs.Add(1)
+		return err
+	}
+	s.snapshots.Add(1)
+	s.publish(EvSnapshotWritten, snapshotEvent{WALApplied: wm, Bytes: len(b), ModelVersion: cur.Version})
+	if s.jnl != nil {
+		if err := s.jnl.TruncateBefore(wm + 1); err != nil {
+			fmt.Fprintln(os.Stderr, "vn2 serve: wal truncate:", err)
+		}
+	}
+	return nil
+}
+
+// PersistSnapshot is writeSnapshot with decorrelated-jitter retries; a
+// transient filesystem error should not cost a snapshot interval.
+func (s *Server) PersistSnapshot(ctx context.Context) error {
+	b := retry.New(50*time.Millisecond, time.Second, 0x5a9b)
+	return retry.Do(ctx, b, 3, s.sleep, s.writeSnapshot)
+}
+
+// QueueDepth is the current ingest queue occupancy (chaos/test drive API).
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// MonitorState exports the monitor's rolling state (chaos/test drive API).
+func (s *Server) MonitorState() online.MonitorState { return s.mon.State() }
+
+// AbortWAL closes the journal without flushing — the crash-simulation hook.
+func (s *Server) AbortWAL() error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.Abort()
+}
+
+// CloseWAL flushes and closes the journal.
+func (s *Server) CloseWAL() error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.Close()
+}
+
+// Run serves until ctx is canceled, then shuts down gracefully: stop
+// accepting requests, drain the queue into the monitor, run a final
+// diagnosis pass, write a final snapshot, and close the WAL.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	// Unwind long-lived /stream subscribers when Shutdown starts; without
+	// this every open SSE connection would hold Shutdown to its deadline.
+	httpSrv.RegisterOnShutdown(s.bus.Shutdown)
+
+	loopCtx, cancelLoops := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.ingestLoop()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(s.opts.DrainEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-loopCtx.Done():
+				return
+			case <-ticker.C:
+				s.DrainTick()
+			}
+		}
+	}()
+	if s.opts.SnapshotPath != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(s.opts.SnapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-loopCtx.Done():
+					return
+				case <-ticker.C:
+					if err := s.PersistSnapshot(loopCtx); err != nil {
+						fmt.Fprintln(os.Stderr, "vn2 serve: snapshot:", err)
+					}
+				}
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "vn2 serve: listening on http://%s (queue %d, drain %s, wal %q)\n",
+		ln.Addr(), cap(s.queue), s.opts.DrainEvery, s.opts.WALPath)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		cancelLoops()
+		s.lc.Wait()
+		close(s.queue)
+		wg.Wait()
+		if s.jnl != nil {
+			s.jnl.Close()
+		}
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "vn2 serve: shutting down")
+	// Budget must exceed net/http's ~5s grace for StateNew connections
+	// (dialed but never used), or a single racing client dial makes
+	// Shutdown report DeadlineExceeded.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutCtx)
+	// No more writers: let any in-flight shadow retrain land (or fail),
+	// drain what was already queued, then finish.
+	cancelLoops()
+	s.lc.Wait()
+	close(s.queue)
+	wg.Wait()
+	s.DrainTick()
+	if err := s.PersistSnapshot(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "vn2 serve: final snapshot:", err)
+	}
+	if s.jnl != nil {
+		if err := s.jnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vn2 serve: wal close:", err)
+		}
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	return shutdownErr
+}

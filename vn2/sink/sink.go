@@ -1,0 +1,336 @@
+// Package sink is the online diagnosis sink service, decomposed into
+// layers:
+//
+//	sink/ingest    — POST /report body decoding and the queue item type
+//	sink/store     — WAL journal policy, snapshot format, LSN watermark
+//	sink/lifecycle — drift → shadow retrain → gate → hot-swap → rollback
+//	sink/api       — HTTP helpers: JSON responses, SSE, metrics registry,
+//	                 degraded-mode state machine, embedded dashboard
+//	sink/bus       — the event plane connecting all of the above to the
+//	                 live visibility surface (GET /stream)
+//
+// The root package wires them into one Server: a bounded ingest queue
+// feeding the monitor, periodic drains and snapshots, a WAL making every
+// 202 durable, and the HTTP surface — including the visibility plane
+// (/stream, /status, and the embedded dashboard at /). cmd/vn2's serve
+// subcommand is just flag parsing in front of New + Run.
+package sink
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink/bus"
+	"github.com/wsn-tools/vn2/vn2/sink/ingest"
+	"github.com/wsn-tools/vn2/vn2/sink/lifecycle"
+	"github.com/wsn-tools/vn2/vn2/sink/store"
+	"os"
+)
+
+// ErrSnapshotMismatch reports a snapshot whose monitor state does not fit
+// the model/detector it is being restored against (different rank or
+// metric shape) — restarting with the wrong model must fail loudly, not
+// corrupt the stream.
+var ErrSnapshotMismatch = errors.New("serve: snapshot monitor state does not match the configured model/detector")
+
+// Options collects the sink's configuration (the serve subcommand's flags).
+type Options struct {
+	Addr          string
+	ModelPath     string
+	CalibratePath string
+	SnapshotPath  string
+	WALPath       string
+	Threshold     float64
+	QueueSize     int
+	MaxPending    int
+	History       int
+	Workers       int
+	DrainEvery    time.Duration
+	SnapshotEvery time.Duration
+
+	// Model lifecycle (all inert unless Lifecycle is true).
+	ModelsDir      string        // directory for persisted model generations
+	Lifecycle      bool          // enable drift-triggered retrain + hot-swap
+	DriftRate      float64       // unattributed-rate trigger (default 0.5)
+	DriftMin       int           // min drift-window fill before triggering (default 32)
+	DriftRegress   float64       // p50 regression factor trigger (default 4)
+	RetrainTimeout time.Duration // shadow retrain deadline (default 2m)
+	Probation      int           // post-swap window before commit/rollback (default 32)
+	RollbackMargin float64       // mean-residual regression factor that reverts (default 1.05)
+	ResidThreshold float64       // monitor's unattributed cutoff (default 0.5)
+	HoldoutMin     int           // min held-out states to judge a candidate (default 8)
+	CooldownTicks  int           // base trigger cooldown, in drain ticks (default 8)
+	Refreeze       bool          // re-anchor the detector on accepted swaps (opt-in)
+	LifecycleSync  bool          // run retrains inline in DrainTick (tests/chaos only)
+
+	// Visibility plane.
+	EventJournal int // bus replay journal capacity (0 = bus.DefaultJournal)
+	StreamBuffer int // per-/stream-subscriber ring capacity (0 = 64)
+
+	// Sleep is the retry sleeper; nil = time.Sleep (tests inject a no-op).
+	Sleep func(time.Duration)
+}
+
+// lifecycleDefaults fills the zero lifecycle knobs. The lifecycle itself
+// stays off unless o.Lifecycle is set — a zero-valued Options (the chaos
+// harness, existing tests) behaves exactly as before.
+func (o *Options) lifecycleDefaults() {
+	if o.DriftRate <= 0 {
+		o.DriftRate = 0.5
+	}
+	if o.DriftMin <= 0 {
+		o.DriftMin = 32
+	}
+	if o.DriftRegress <= 0 {
+		o.DriftRegress = 4
+	}
+	if o.RetrainTimeout <= 0 {
+		o.RetrainTimeout = 2 * time.Minute
+	}
+	if o.Probation <= 0 {
+		o.Probation = 32
+	}
+	if o.RollbackMargin <= 0 {
+		o.RollbackMargin = 1.05
+	}
+	if o.ResidThreshold <= 0 {
+		o.ResidThreshold = 0.5
+	}
+	if o.HoldoutMin <= 0 {
+		o.HoldoutMin = 8
+	}
+	if o.CooldownTicks <= 0 {
+		o.CooldownTicks = 8
+	}
+}
+
+// New loads the model, obtains a frozen detector (snapshot first, else
+// calibration trace), primes the monitor, restores snapshot state, replays
+// the WAL, and assembles the Server without starting it.
+func New(o Options) (*Server, error) {
+	o.lifecycleDefaults()
+	var snap *store.Snapshot
+	if o.SnapshotPath != "" {
+		var err error
+		snap, err = store.ReadSnapshot(o.SnapshotPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Model: explicit -model wins — unless the snapshot carries a LATER
+	// generation of the same deployment (a lifecycle swap happened after the
+	// operator exported the file behind -model); then the snapshot's copy is
+	// the truth.
+	var model *vn2.Model
+	var meta vn2.ModelMeta
+	var modelRaw json.RawMessage
+	var snapModel *vn2.Model
+	var snapMeta vn2.ModelMeta
+	if snap != nil && len(snap.Model) > 0 {
+		var err error
+		snapModel, snapMeta, err = vn2.LoadVersioned(bytes.NewReader(snap.Model))
+		if err != nil {
+			return nil, fmt.Errorf("load model from snapshot: %w", err)
+		}
+		if snapMeta.ModelVersion == 0 {
+			snapMeta.ModelVersion = snap.ModelVersion
+		}
+	}
+	switch {
+	case o.ModelPath != "":
+		b, err := os.ReadFile(o.ModelPath)
+		if err != nil {
+			return nil, err
+		}
+		model, meta, err = vn2.LoadVersioned(bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("load model: %w", err)
+		}
+		modelRaw = json.RawMessage(b)
+		if snapModel != nil && snapMeta.ModelVersion > max(meta.ModelVersion, 1) {
+			model, meta, modelRaw = snapModel, snapMeta, snap.Model
+		}
+	case snapModel != nil:
+		model, meta, modelRaw = snapModel, snapMeta, snap.Model
+	default:
+		return nil, fmt.Errorf("serve: -model is required (no snapshot model available)")
+	}
+	if meta.ModelVersion == 0 {
+		meta.ModelVersion = 1
+	}
+
+	// Detector: frozen calibration from the snapshot when present, else
+	// frozen from the calibration trace.
+	var det *trace.Detector
+	var warm *trace.Dataset
+	switch {
+	case snap != nil && snap.Detector.Valid():
+		det = snap.Detector
+	case o.CalibratePath != "":
+		f, err := os.Open(o.CalibratePath)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read calibration trace: %w", err)
+		}
+		det, err = trace.NewDetector(ds.States(), o.Threshold)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate detector: %w", err)
+		}
+		warm = ds
+	default:
+		return nil, fmt.Errorf("serve: -calibrate is required (no snapshot detector available)")
+	}
+
+	mon, err := online.NewMonitor(online.Config{
+		Model:             model,
+		Detector:          det,
+		History:           o.History,
+		MaxPending:        o.MaxPending,
+		Workers:           o.Workers,
+		ResidualThreshold: o.ResidThreshold,
+		ModelVersion:      meta.ModelVersion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if warm != nil {
+		// Prime each node's diff slot with its last calibration report so
+		// the first live report already yields a state vector.
+		for _, id := range warm.Nodes() {
+			recs := warm.Records(id)
+			if err := mon.Warm(recs[len(recs)-1]); err != nil {
+				return nil, fmt.Errorf("warm monitor: %w", err)
+			}
+		}
+	}
+	// Restore the monitor's rolling state (version ≥ 2 snapshots). This
+	// replaces the calibration warm above, which is the point: the
+	// snapshot's diff slots are newer. A shape mismatch means the snapshot
+	// was cut under a DIFFERENT model/detector than the one configured now —
+	// a typed, fatal operator error.
+	if snap != nil && snap.Monitor != nil {
+		if err := mon.Restore(*snap.Monitor); err != nil {
+			if errors.Is(err, online.ErrBadState) {
+				return nil, fmt.Errorf("%w: %v", ErrSnapshotMismatch, err)
+			}
+			return nil, fmt.Errorf("restore monitor state: %w", err)
+		}
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 4096
+	}
+	s := &Server{
+		opts:    o,
+		mon:     mon,
+		queue:   make(chan ingest.Item, o.QueueSize),
+		started: time.Now(),
+		sleep:   o.Sleep,
+	}
+	s.bus = bus.New(o.EventJournal)
+	s.lc = lifecycle.New(lifecycle.Config{
+		Enabled:        o.Lifecycle,
+		ModelsDir:      o.ModelsDir,
+		DriftRate:      o.DriftRate,
+		DriftMin:       o.DriftMin,
+		DriftRegress:   o.DriftRegress,
+		RetrainTimeout: o.RetrainTimeout,
+		Probation:      o.Probation,
+		RollbackMargin: o.RollbackMargin,
+		ResidThreshold: o.ResidThreshold,
+		HoldoutMin:     o.HoldoutMin,
+		CooldownTicks:  o.CooldownTicks,
+		Refreeze:       o.Refreeze,
+		Sync:           o.LifecycleSync,
+		Workers:        o.Workers,
+	}, mon,
+		&lifecycle.Set{Model: model, Det: det, Version: meta.ModelVersion, Raw: modelRaw},
+		o.Sleep,
+		lifecycle.Hooks{
+			Enqueue:  s.enqueueSwapBarrier,
+			DrainErr: func() { s.drainErrs.Add(1) },
+			OnSwap:   s.onModelSwap,
+		})
+	if snap != nil {
+		s.lc.SeedHistory(snap.Swaps)
+	}
+
+	// WAL: open, then replay everything retained past the snapshot's
+	// watermark into the monitor. Records at or below the watermark are
+	// already in the restored state; anything the replay re-offers is
+	// absorbed by the monitor's duplicate/stale handling, so recovery errs
+	// on the side of replaying too much.
+	if o.WALPath != "" {
+		j, err := store.OpenJournal(o.WALPath, o.Sleep)
+		if err != nil {
+			return nil, fmt.Errorf("open wal: %w", err)
+		}
+		var base uint64
+		if snap != nil {
+			base = snap.WALApplied
+		}
+		err = j.Replay(func(lsn uint64, kind store.RecordKind, inner []byte) error {
+			if lsn <= base {
+				s.walSkipped.Add(1)
+				return nil
+			}
+			if kind == store.KindSwap {
+				var rec store.SwapRecord
+				if err := json.Unmarshal(inner, &rec); err != nil {
+					s.walBadRec.Add(1)
+					return nil
+				}
+				// A swap replays at exactly its LSN position: reports before
+				// it are drained under the outgoing model, reports after it
+				// under the new one — the same boundary the live queue
+				// enforced.
+				if err := s.lc.ReplaySwap(rec); err != nil {
+					return err
+				}
+				s.walReplayed.Add(1)
+				return nil
+			}
+			var rec trace.Record
+			if err := json.Unmarshal(inner, &rec); err != nil {
+				// CRC passed, so this is a format drift, not corruption;
+				// count it and keep the rest of the log.
+				s.walBadRec.Add(1)
+				return nil
+			}
+			if _, err := mon.Ingest(rec); err != nil {
+				s.ingestErr.Add(1)
+			} else {
+				s.walReplayed.Add(1)
+				s.ingested.Add(1)
+			}
+			if mon.Pending() >= o.MaxPending/2 {
+				// Keep the backlog bounded during long replays.
+				if _, err := mon.Drain(); err != nil {
+					return fmt.Errorf("drain during replay: %w", err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			j.Abort()
+			return nil, fmt.Errorf("replay wal: %w", err)
+		}
+		s.jnl = j
+		s.applied.Init(j.NextLSN())
+	}
+	s.registerMetrics()
+	return s, nil
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes path via tmp + fsync + rename so a crash never
+// leaves the path pointing at a file whose content didn't make it to disk.
+// With syncDir the containing directory is fsynced too, making the rename
+// itself durable — required when a WAL record is about to reference the
+// file by name (lifecycle model/detector generations); the periodic
+// snapshot skips it because a lost rename there just replays a little more
+// WAL.
+func WriteFileAtomic(path string, data []byte, syncDir bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if !syncDir {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,148 @@
+// Package store is the sink's durability layer: the report journal (a thin
+// policy wrapper over internal/wal adding retries, typed swap records and
+// error accounting), the snapshot file format, the applied-LSN watermark
+// tracker, and the atomic-file primitives the lifecycle uses for persisted
+// model generations. Nothing here knows about HTTP, the event bus, or the
+// monitor — callers hand in bytes and records and get LSNs back.
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/retry"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/wal"
+)
+
+// RecordKind aliases the WAL's frame kind so layers above store never
+// import internal/wal directly.
+type RecordKind = wal.Kind
+
+// Journal frame kinds.
+const (
+	KindRaw  = wal.KindRaw
+	KindSwap = wal.KindSwap
+)
+
+// Journal wraps the write-ahead log with the sink's append/sync policy:
+// decorrelated-jitter retries for transient report-path failures, no
+// retries on the swap path (the caller holds the swap gate and must fail
+// fast), and a single error counter feeding the wal_errors metric.
+type Journal struct {
+	w     *wal.WAL
+	sleep func(time.Duration) // retry sleeper; nil = time.Sleep (tests inject)
+	errs  atomic.Uint64
+}
+
+// OpenJournal opens (or creates) the WAL directory. sleep is the retry
+// sleeper; nil means time.Sleep.
+func OpenJournal(dir string, sleep func(time.Duration)) (*Journal, error) {
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{w: w, sleep: sleep}, nil
+}
+
+// AppendRecord journals one report, retrying transient failures (a segment
+// rotation hiding behind Append gets the same retries) with
+// decorrelated-jitter backoff. The record is durable only after a later
+// Sync.
+func (j *Journal) AppendRecord(rec trace.Record) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	var lsn uint64
+	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a1)
+	err = retry.Do(context.Background(), b, 3, j.sleep, func() error {
+		l, err := j.w.Append(payload)
+		if err != nil {
+			return err
+		}
+		lsn = l
+		return nil
+	})
+	if err != nil {
+		j.errs.Add(1)
+	}
+	return lsn, err
+}
+
+// Sync group-commits everything appended so far. One fsync covers every
+// record of the request (and any a concurrent request just appended).
+func (j *Journal) Sync() error {
+	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a2)
+	err := retry.Do(context.Background(), b, 3, j.sleep, j.w.Sync)
+	if err != nil {
+		j.errs.Add(1)
+	}
+	return err
+}
+
+// AppendSwapSync journals a model-swap record and fsyncs it immediately,
+// with NO retries: the caller holds the swap gate, and stalling there would
+// stall every report append behind the gate. A failure is the caller's to
+// surface; the swap simply does not happen.
+func (j *Journal) AppendSwapSync(rec SwapRecord) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := j.w.Append(wal.Encode(wal.KindSwap, payload))
+	if err != nil {
+		j.errs.Add(1)
+		return 0, fmt.Errorf("journal swap record: %w", err)
+	}
+	if err := j.w.Sync(); err != nil {
+		j.errs.Add(1)
+		return 0, fmt.Errorf("sync swap record: %w", err)
+	}
+	return lsn, nil
+}
+
+// Probe is a raw one-shot sync used as the degraded-mode recovery probe: a
+// success means the disk came back. It does not count toward wal_errors —
+// probing a known-bad journal would otherwise inflate the counter forever.
+func (j *Journal) Probe() error { return j.w.Sync() }
+
+// Replay walks every retained frame oldest-first, decoding the typed frame
+// header so the callback sees the kind and the inner payload.
+func (j *Journal) Replay(fn func(lsn uint64, kind RecordKind, inner []byte) error) error {
+	return j.w.Replay(func(lsn uint64, payload []byte) error {
+		kind, inner := wal.Decode(payload)
+		return fn(lsn, kind, inner)
+	})
+}
+
+// TruncateBefore drops segments wholly below lsn (snapshot-coordinated).
+func (j *Journal) TruncateBefore(lsn uint64) error {
+	err := j.w.TruncateBefore(lsn)
+	if err != nil {
+		j.errs.Add(1)
+	}
+	return err
+}
+
+// Errs is the total failed appends/syncs/truncations (the wal_errors
+// metric).
+func (j *Journal) Errs() uint64 { return j.errs.Load() }
+
+// NextLSN returns the LSN the next append will get.
+func (j *Journal) NextLSN() uint64 { return j.w.NextLSN() }
+
+// Segments returns the retained segment count.
+func (j *Journal) Segments() int { return j.w.Segments() }
+
+// Truncations returns how many TruncateBefore calls dropped segments.
+func (j *Journal) Truncations() uint64 { return j.w.Truncations() }
+
+// Close flushes, fsyncs and closes the journal.
+func (j *Journal) Close() error { return j.w.Close() }
+
+// Abort closes without flushing — the crash-simulation hook.
+func (j *Journal) Abort() error { return j.w.Abort() }

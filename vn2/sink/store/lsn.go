@@ -1,0 +1,47 @@
+package store
+
+import "sync"
+
+// Tracker tracks the applied-LSN watermark: the largest L such that every
+// record with LSN ≤ L has been offered to the monitor. Ingest order can
+// differ from append order across concurrent requests, so completions are
+// collected in a set and the watermark advances over contiguous runs.
+type Tracker struct {
+	mu   sync.Mutex
+	next uint64 // lowest LSN not yet applied
+	done map[uint64]struct{}
+}
+
+// Init resets the tracker; next is the lowest LSN not yet applied
+// (typically the journal's NextLSN after replay).
+func (t *Tracker) Init(next uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next = next
+	t.done = make(map[uint64]struct{})
+}
+
+// Mark records lsn as applied and advances the watermark over any
+// contiguous run it completes.
+func (t *Tracker) Mark(lsn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lsn < t.next {
+		return
+	}
+	t.done[lsn] = struct{}{}
+	for {
+		if _, ok := t.done[t.next]; !ok {
+			return
+		}
+		delete(t.done, t.next)
+		t.next++
+	}
+}
+
+// Watermark returns the largest LSN below which everything is applied.
+func (t *Tracker) Watermark() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - 1
+}

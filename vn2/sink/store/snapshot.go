@@ -1,0 +1,65 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// SnapshotVersion guards the snapshot file format. Version 2 added the
+// monitor's rolling state and the WAL applied-LSN watermark; version 3 the
+// serving model's generation and swap history. Version 1 files (model +
+// detector + summary only) still load, they just re-warm; version 2 files
+// load as generation 1 with no history.
+const SnapshotVersion = 3
+
+// Snapshot is the periodic on-disk state: the model (as its vn2.Save
+// envelope, so restoring revalidates through vn2.Load), the frozen
+// detector, the rolling summary for observability, and — since version 2 —
+// the monitor's full rolling state plus the WAL watermark. A server
+// restarted with only -snapshot resumes mid-stream; a WAL replay on top
+// recovers everything accepted after the snapshot was cut.
+type Snapshot struct {
+	Version  int                  `json:"version"`
+	SavedAt  time.Time            `json:"saved_at"`
+	Model    json.RawMessage      `json:"model"`
+	Detector *trace.Detector      `json:"detector"`
+	Summary  online.Summary       `json:"summary"`
+	Monitor  *online.MonitorState `json:"monitor,omitempty"`
+	// WALApplied is the largest LSN known ingested when the snapshot was
+	// cut: every record at or below it is reflected in Monitor. Captured
+	// BEFORE the monitor state is exported, so the state always covers at
+	// least the watermark — replaying a little extra is benign (the
+	// monitor's duplicate/stale handling absorbs it), losing some is not.
+	WALApplied uint64 `json:"wal_applied,omitempty"`
+	// ModelVersion is the serving generation whose envelope Model holds;
+	// Swaps is the lifecycle history at snapshot time. Version 3 fields.
+	ModelVersion uint64      `json:"model_version,omitempty"`
+	Swaps        []SwapEvent `json:"swaps,omitempty"`
+}
+
+// ReadSnapshot loads and version-checks a snapshot file. A missing file is
+// a first run, not an error: the result is (nil, nil).
+func ReadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// First run; the file appears after the first snapshot tick.
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("read snapshot: %w", err)
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(b, snap); err != nil {
+		return nil, fmt.Errorf("decode snapshot %s: %w", path, err)
+	}
+	if snap.Version < 1 || snap.Version > SnapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d", snap.Version)
+	}
+	return snap, nil
+}

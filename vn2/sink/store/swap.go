@@ -1,0 +1,37 @@
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// SwapRecord is the KindSwap WAL payload: which model generation starts at
+// this LSN. File (and Detector when the swap refroze one) name files inside
+// the models directory; they are persisted and fsynced BEFORE the record is
+// appended, so a replayed record's files always exist.
+type SwapRecord struct {
+	Version  uint64 `json:"version"`
+	Parent   uint64 `json:"parent"`
+	Origin   string `json:"origin"`
+	File     string `json:"file"`
+	Detector string `json:"detector,omitempty"`
+}
+
+// SwapEvent is one history entry, kept for /model, the snapshot, and the
+// ModelSwapped/ModelRolledBack stream events.
+type SwapEvent struct {
+	Version uint64    `json:"version"`
+	Parent  uint64    `json:"parent"`
+	Origin  string    `json:"origin"`
+	At      time.Time `json:"at"`
+}
+
+// ModelFileName names a persisted model generation inside the models dir.
+func ModelFileName(version uint64) string {
+	return fmt.Sprintf("model-v%06d.json", version)
+}
+
+// DetectorFileName names a persisted detector generation.
+func DetectorFileName(version uint64) string {
+	return fmt.Sprintf("detector-v%06d.json", version)
+}
