@@ -10,7 +10,8 @@ GO ?= go
 # streaming monitor and the sink service (concurrent ingest/drain/snapshot,
 # the lifecycle hot-swap, and the event bus under /stream subscribers).
 # wal, retry, and chaos are the crash-safety layer under the same gate.
-RACE_PKGS = ./internal/par/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./vn2/online/... ./vn2/sink/... ./cmd/vn2/...
+# mat carries the pool-backed blocked kernels (MulIntoOn and friends).
+RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./vn2/online/... ./vn2/sink/... ./cmd/vn2/...
 
 # Short smoke budget per fuzz target inside `make check`; raise for a real
 # fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
@@ -22,14 +23,22 @@ FUZZ_TIME ?= 3s
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-# The simulator scaling ladder `make bench` runs: per-epoch cost at CitySee
-# scale, the worker sweep, and end-to-end trace generation at 60/120/286
-# nodes.
-BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining
+# The scaling ladders `make bench` runs: per-epoch cost at CitySee scale,
+# the worker sweep, end-to-end trace generation at 60/120/286/1000 nodes,
+# and the blocked-GEMM size ladder.
+BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining|BenchmarkGEMM
 BENCH_TXT     ?= bench.txt
-BENCH_JSON    ?= BENCH_2.json
+BENCH_JSON    ?= BENCH_7.json
 
-.PHONY: check vet lint build test race fuzz chaos smoke smoke-stream bench bench-all
+# benchdiff inputs: two benchstat-compatible texts to compare.
+BENCH_OLD ?= bench.old.txt
+BENCH_NEW ?= $(BENCH_TXT)
+
+# Pinned benchstat version for `make benchdiff` (same degrade-to-skip
+# policy as the linters).
+BENCHSTAT_VERSION ?= v0.0.0-20240604174448-7c4a4e372563
+
+.PHONY: check vet lint build test race fuzz chaos smoke smoke-stream bench bench-all benchdiff
 
 check: vet lint build test race fuzz
 
@@ -96,3 +105,13 @@ bench:
 # ablations) without archiving the output.
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# benchdiff compares two bench runs with benchstat when it is on PATH and
+# skips gracefully when it is not, mirroring the lint policy. Typical use:
+#   cp bench.txt bench.old.txt && <change code> && make bench benchdiff
+benchdiff:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_OLD) $(BENCH_NEW); \
+	else \
+		echo "benchdiff: benchstat not found; skipping (go install golang.org/x/perf/cmd/benchstat@$(BENCHSTAT_VERSION))"; \
+	fi

@@ -19,6 +19,7 @@ import (
 	"github.com/wsn-tools/vn2/internal/mat"
 	"github.com/wsn-tools/vn2/internal/nmf"
 	"github.com/wsn-tools/vn2/internal/nnls"
+	"github.com/wsn-tools/vn2/internal/par"
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/internal/tracegen"
 	"github.com/wsn-tools/vn2/internal/wsn"
@@ -450,6 +451,7 @@ func BenchmarkSimulatorEpoch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer n.Close()
 	// Warm the routing tree.
 	if _, err := n.Run(3); err != nil {
 		b.Fatal(err)
@@ -585,6 +587,41 @@ func BenchmarkMulParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkGEMM measures the cache-blocked matmul kernel on square matrices
+// across the size ladder, sequentially and fanned out over every core
+// through a reused pool. The 64 rung fits L1/L2 entirely (blocking is free),
+// 256 spans the blocking sweet spot, and 1024 is firmly memory-bound — the
+// regime the B-panel blocking exists for.
+func BenchmarkGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	for _, size := range []int{64, 256, 1024} {
+		a, err := mat.RandomPositive(size, size, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x, err := mat.RandomPositive(size, size, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := mat.MustNew(size, size)
+		b.Run(fmt.Sprintf("size%d/seq", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mat.MulInto(dst, a, x)
+			}
+		})
+		b.Run(fmt.Sprintf("size%d/allcores", size), func(b *testing.B) {
+			p := par.NewPool(-1)
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.MulIntoOn(p, dst, a, x)
+			}
+		})
+	}
+}
+
 // BenchmarkFactorizeParallel measures NMF training on the CitySee-scale
 // exception matrix across worker counts, with a fixed sweep budget so every
 // sub-run does identical arithmetic.
@@ -623,9 +660,11 @@ func BenchmarkWSNStepParallel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer n.Close()
 		if _, err := n.Run(3); err != nil { // warm the routing tree
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := n.Step(); err != nil {
@@ -646,7 +685,7 @@ func BenchmarkWSNStepParallel(b *testing.B) {
 // exercises the spatial link pruning, the dense link cache, and the
 // parallel beacon/traffic phases together.
 func BenchmarkCitySeeTraining(b *testing.B) {
-	for _, nodes := range []int{60, 120, 286} {
+	for _, nodes := range []int{60, 120, 286, 1000} {
 		for _, workers := range []int{0, -1} {
 			nodes, workers := nodes, workers
 			mode := "seq"

@@ -335,6 +335,7 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer n.Close()
 	for i := 0; i < *epochs; i++ {
 		r, err := n.Step()
 		if err != nil {

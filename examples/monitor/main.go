@@ -42,6 +42,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer n.Close()
 
 	// Warm-up: collect a training window.
 	fmt.Printf("warm-up: %d epochs...\n", warmupEpochs)

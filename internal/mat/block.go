@@ -1,0 +1,159 @@
+package mat
+
+// Cache-blocked product kernels. The naive ikj loops stream the whole of b
+// through cache once per row of a; past ~L2-sized operands every element of
+// b is a miss. Blocking tiles the k and j dimensions so a kc×jc panel of b
+// stays resident while a strip of dst rows accumulates against it, and the
+// register-tiled micro-kernels amortize each loaded b element across several
+// dst rows.
+//
+// The blocking preserves the package determinism contract bit for bit: for
+// any fixed dst element, contributions are still added one k at a time, in
+// ascending k order — the k-panel loop is the outermost, panels are visited
+// ascending, and the micro-kernels accumulate directly into dst (MulInto,
+// MulATBInto) or through a register carried across panels (MulABTInto),
+// never through per-panel partial sums that would regroup the additions.
+// Unrolling across dst *rows* shares b loads without touching any single
+// element's accumulation order. Results are therefore bit-identical to the
+// naive reference kernels for any (kc, jc) and any row partition — the
+// invariant block_test.go enforces over a grid of block sizes.
+const (
+	// blockKC is the k-panel height: 64 rows of b (resp. a) per panel keep
+	// the panel at jc×kc×8 = 128KB, L2-resident on the CI hosts.
+	blockKC = 64
+	// blockJC is the j-panel width: 256 columns keep a 4-row dst strip plus
+	// one b row at 10KB, inside L1.
+	blockJC = 256
+)
+
+// mulIntoBlocked computes rows [i0, i1) of dst = a*b with (kc, jc) cache
+// blocking. Bit-identical to mulIntoRows on the same row range.
+func mulIntoBlocked(dst, a, b *Dense, i0, i1, kc, jc int) {
+	for i := i0; i < i1; i++ {
+		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range dRow {
+			dRow[j] = 0
+		}
+	}
+	for k0 := 0; k0 < a.cols; k0 += kc {
+		k1 := min(k0+kc, a.cols)
+		for j0 := 0; j0 < b.cols; j0 += jc {
+			j1 := min(j0+jc, b.cols)
+			i := i0
+			for ; i+4 <= i1; i += 4 {
+				mulTile4(dst, a, b, i, k0, k1, j0, j1)
+			}
+			for ; i < i1; i++ {
+				mulTile1(dst, a, b, i, k0, k1, j0, j1)
+			}
+		}
+	}
+}
+
+// mulTile4 accumulates one k-panel into four consecutive dst rows, loading
+// each b row once for all four.
+func mulTile4(dst, a, b *Dense, i, k0, k1, j0, j1 int) {
+	d0 := dst.data[i*dst.cols+j0 : i*dst.cols+j1]
+	d1 := dst.data[(i+1)*dst.cols+j0 : (i+1)*dst.cols+j1]
+	d2 := dst.data[(i+2)*dst.cols+j0 : (i+2)*dst.cols+j1]
+	d3 := dst.data[(i+3)*dst.cols+j0 : (i+3)*dst.cols+j1]
+	for k := k0; k < k1; k++ {
+		bRow := b.data[k*b.cols+j0 : k*b.cols+j1]
+		a0 := a.data[i*a.cols+k]
+		a1 := a.data[(i+1)*a.cols+k]
+		a2 := a.data[(i+2)*a.cols+k]
+		a3 := a.data[(i+3)*a.cols+k]
+		for j, bv := range bRow {
+			d0[j] += a0 * bv
+			d1[j] += a1 * bv
+			d2[j] += a2 * bv
+			d3[j] += a3 * bv
+		}
+	}
+}
+
+func mulTile1(dst, a, b *Dense, i, k0, k1, j0, j1 int) {
+	dRow := dst.data[i*dst.cols+j0 : i*dst.cols+j1]
+	for k := k0; k < k1; k++ {
+		av := a.data[i*a.cols+k]
+		bRow := b.data[k*b.cols+j0 : k*b.cols+j1]
+		for j, bv := range bRow {
+			dRow[j] += av * bv
+		}
+	}
+}
+
+// mulATBIntoBlocked computes rows [i0, i1) of dst = aᵀ*b (columns [i0, i1)
+// of a) with (kc, jc) cache blocking over the shared row dimension of a and
+// b. Bit-identical to mulATBIntoRows on the same row range.
+func mulATBIntoBlocked(dst, a, b *Dense, i0, i1, kc, jc int) {
+	for i := i0; i < i1; i++ {
+		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range dRow {
+			dRow[j] = 0
+		}
+	}
+	for k0 := 0; k0 < a.rows; k0 += kc {
+		k1 := min(k0+kc, a.rows)
+		for j0 := 0; j0 < b.cols; j0 += jc {
+			j1 := min(j0+jc, b.cols)
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				d0 := dst.data[i*dst.cols+j0 : i*dst.cols+j1]
+				d1 := dst.data[(i+1)*dst.cols+j0 : (i+1)*dst.cols+j1]
+				for k := k0; k < k1; k++ {
+					av0 := a.data[k*a.cols+i]
+					av1 := a.data[k*a.cols+i+1]
+					bRow := b.data[k*b.cols+j0 : k*b.cols+j1]
+					for j, bv := range bRow {
+						d0[j] += av0 * bv
+						d1[j] += av1 * bv
+					}
+				}
+			}
+			for ; i < i1; i++ {
+				dRow := dst.data[i*dst.cols+j0 : i*dst.cols+j1]
+				for k := k0; k < k1; k++ {
+					av := a.data[k*a.cols+i]
+					bRow := b.data[k*b.cols+j0 : k*b.cols+j1]
+					for j, bv := range bRow {
+						dRow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// mulABTIntoBlocked computes rows [i0, i1) of dst = a*bᵀ with (kc, jc)
+// cache blocking: kc-wide segments of the shared column dimension, jc-row
+// panels of b. Each dst element carries its dot product through a register
+// within a panel and through dst itself across panels, so the fold over k
+// stays a single left-to-right chain. Bit-identical to mulABTIntoRows on
+// the same row range.
+func mulABTIntoBlocked(dst, a, b *Dense, i0, i1, kc, jc int) {
+	for i := i0; i < i1; i++ {
+		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := range dRow {
+			dRow[j] = 0
+		}
+	}
+	for k0 := 0; k0 < a.cols; k0 += kc {
+		k1 := min(k0+kc, a.cols)
+		for j0 := 0; j0 < b.rows; j0 += jc {
+			j1 := min(j0+jc, b.rows)
+			for i := i0; i < i1; i++ {
+				aSeg := a.data[i*a.cols+k0 : i*a.cols+k1]
+				dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
+				for j := j0; j < j1; j++ {
+					bSeg := b.data[j*b.cols+k0 : j*b.cols+k1]
+					s := dRow[j]
+					for k, av := range aSeg {
+						s += av * bSeg[k]
+					}
+					dRow[j] = s
+				}
+			}
+		}
+	}
+}

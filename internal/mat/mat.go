@@ -197,7 +197,7 @@ func Mul(a, b *Dense) (*Dense, error) {
 // validated by the caller.
 func MulInto(dst, a, b *Dense) {
 	checkMulInto(dst, a, b)
-	mulIntoRows(dst, a, b, 0, dst.rows)
+	mulIntoBlocked(dst, a, b, 0, dst.rows, blockKC, blockJC)
 }
 
 func checkMulInto(dst, a, b *Dense) {
@@ -208,10 +208,11 @@ func checkMulInto(dst, a, b *Dense) {
 	guardAlias("MulInto", dst, a, b)
 }
 
-// mulIntoRows computes rows [i0, i1) of dst = a*b. The ikj loop order keeps
-// the inner loop streaming over contiguous rows; per-element accumulation
-// order is independent of the row range, so any row partition of dst is
-// bit-identical to the full sequential pass.
+// mulIntoRows computes rows [i0, i1) of dst = a*b with the naive ikj loop
+// nest. It is the reference kernel the blocked implementation must match bit
+// for bit: per-element accumulation runs over k ascending, independent of
+// the row range, so any row partition — and any (kc, jc) blocking that keeps
+// k ascending per element — is bit-identical to the full sequential pass.
 func mulIntoRows(dst, a, b *Dense, i0, i1 int) {
 	for i := i0; i < i1; i++ {
 		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
@@ -220,9 +221,6 @@ func mulIntoRows(dst, a, b *Dense, i0, i1 int) {
 		}
 		aRow := a.data[i*a.cols : (i+1)*a.cols]
 		for k, av := range aRow {
-			if av == 0 {
-				continue
-			}
 			bRow := b.data[k*b.cols : (k+1)*b.cols]
 			for j, bv := range bRow {
 				dRow[j] += av * bv
@@ -245,7 +243,7 @@ func MulATB(a, b *Dense) (*Dense, error) {
 // or b (aliasing panics); a and b may alias each other (Gram products).
 func MulATBInto(dst, a, b *Dense) {
 	checkMulATBInto(dst, a, b)
-	mulATBIntoRows(dst, a, b, 0, dst.rows)
+	mulATBIntoBlocked(dst, a, b, 0, dst.rows, blockKC, blockJC)
 }
 
 func checkMulATBInto(dst, a, b *Dense) {
@@ -257,9 +255,10 @@ func checkMulATBInto(dst, a, b *Dense) {
 }
 
 // mulATBIntoRows computes rows [i0, i1) of dst = aᵀ*b — i.e. columns
-// [i0, i1) of a. Accumulation runs over k ascending for every dst element
-// regardless of the row range, keeping any partition bit-identical to the
-// sequential pass.
+// [i0, i1) of a — with the naive k-outer loop nest. It is the reference
+// kernel for the blocked implementation: accumulation runs over k ascending
+// for every dst element regardless of the row range, keeping any partition
+// and any order-preserving blocking bit-identical to the sequential pass.
 func mulATBIntoRows(dst, a, b *Dense, i0, i1 int) {
 	for i := i0; i < i1; i++ {
 		dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
@@ -272,9 +271,6 @@ func mulATBIntoRows(dst, a, b *Dense, i0, i1 int) {
 		bRow := b.data[k*b.cols : (k+1)*b.cols]
 		for i := i0; i < i1; i++ {
 			av := aRow[i]
-			if av == 0 {
-				continue
-			}
 			dRow := dst.data[i*dst.cols : (i+1)*dst.cols]
 			for j, bv := range bRow {
 				dRow[j] += av * bv
@@ -297,7 +293,7 @@ func MulABT(a, b *Dense) (*Dense, error) {
 // or b (aliasing panics); a and b may alias each other (Gram products).
 func MulABTInto(dst, a, b *Dense) {
 	checkMulABTInto(dst, a, b)
-	mulABTIntoRows(dst, a, b, 0, dst.rows)
+	mulABTIntoBlocked(dst, a, b, 0, dst.rows, blockKC, blockJC)
 }
 
 func checkMulABTInto(dst, a, b *Dense) {
@@ -308,7 +304,10 @@ func checkMulABTInto(dst, a, b *Dense) {
 	guardAlias("MulABTInto", dst, a, b)
 }
 
-// mulABTIntoRows computes rows [i0, i1) of dst = a*bᵀ.
+// mulABTIntoRows computes rows [i0, i1) of dst = a*bᵀ with the naive
+// per-element dot product — the reference kernel for the blocked
+// implementation, which must keep each element's fold over k a single
+// left-to-right chain to match it bit for bit.
 func mulABTIntoRows(dst, a, b *Dense, i0, i1 int) {
 	for i := i0; i < i1; i++ {
 		aRow := a.data[i*a.cols : (i+1)*a.cols]

@@ -40,7 +40,7 @@ func guardAlias(op string, dst, a, b *Dense) {
 func MulIntoP(dst, a, b *Dense, workers int) {
 	checkMulInto(dst, a, b)
 	par.For(dst.rows, workers, func(i0, i1 int) {
-		mulIntoRows(dst, a, b, i0, i1)
+		mulIntoBlocked(dst, a, b, i0, i1, blockKC, blockJC)
 	})
 }
 
@@ -50,7 +50,7 @@ func MulIntoP(dst, a, b *Dense, workers int) {
 func MulATBIntoP(dst, a, b *Dense, workers int) {
 	checkMulATBInto(dst, a, b)
 	par.For(dst.rows, workers, func(i0, i1 int) {
-		mulATBIntoRows(dst, a, b, i0, i1)
+		mulATBIntoBlocked(dst, a, b, i0, i1, blockKC, blockJC)
 	})
 }
 
@@ -60,6 +60,35 @@ func MulATBIntoP(dst, a, b *Dense, workers int) {
 func MulABTIntoP(dst, a, b *Dense, workers int) {
 	checkMulABTInto(dst, a, b)
 	par.For(dst.rows, workers, func(i0, i1 int) {
-		mulABTIntoRows(dst, a, b, i0, i1)
+		mulABTIntoBlocked(dst, a, b, i0, i1, blockKC, blockJC)
+	})
+}
+
+// MulIntoOn is MulInto with dst rows dispatched over a reusable pool: the
+// hot-loop form for callers (the NMF sweeps) that run many products per
+// iteration and must not pay the per-call goroutine spawn of MulIntoP.
+// Bit-identical to MulInto for any pool size.
+func MulIntoOn(p *par.Pool, dst, a, b *Dense) {
+	checkMulInto(dst, a, b)
+	p.Run(dst.rows, func(i0, i1 int) {
+		mulIntoBlocked(dst, a, b, i0, i1, blockKC, blockJC)
+	})
+}
+
+// MulATBIntoOn is MulATBInto dispatched over a reusable pool.
+// Bit-identical to MulATBInto for any pool size.
+func MulATBIntoOn(p *par.Pool, dst, a, b *Dense) {
+	checkMulATBInto(dst, a, b)
+	p.Run(dst.rows, func(i0, i1 int) {
+		mulATBIntoBlocked(dst, a, b, i0, i1, blockKC, blockJC)
+	})
+}
+
+// MulABTIntoOn is MulABTInto dispatched over a reusable pool.
+// Bit-identical to MulABTInto for any pool size.
+func MulABTIntoOn(p *par.Pool, dst, a, b *Dense) {
+	checkMulABTInto(dst, a, b)
+	p.Run(dst.rows, func(i0, i1 int) {
+		mulABTIntoBlocked(dst, a, b, i0, i1, blockKC, blockJC)
 	})
 }

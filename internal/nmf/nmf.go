@@ -149,6 +149,7 @@ func Factorize(e *mat.Dense, cfg Config) (*Result, error) {
 
 	res := &Result{W: w, Psi: psi, History: make([]float64, 0, cfg.MaxIter)}
 	st := newUpdateState(n, m, cfg.Rank, cfg.Workers)
+	defer st.close()
 	prev := math.Inf(1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		switch cfg.Objective {
@@ -169,105 +170,179 @@ func Factorize(e *mat.Dense, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// updateState holds scratch buffers reused across sweeps so that a
-// factorization performs O(1) allocations after setup.
+// updateState holds the pool and scratch buffers reused across sweeps so a
+// factorization performs O(1) allocations after setup. The sweeps are fused:
+// instead of materializing the full numerator/denominator matrices (four
+// r×m / n×r products plus two n×m caches in the pre-pool implementation),
+// each dispatch computes numerator, denominator and the multiplicative
+// update in one pass while the touched stripe or row is cache-hot. Scratch
+// falls from O(n·m) to O(r·m + workers·m).
+//
+// Ownership rules: st.num and st.den are shared across workers but written
+// in disjoint column stripes; scratch[k] is owned exclusively by pool worker
+// slot k for the duration of one dispatch; rowObj is written one disjoint
+// row per index. close must be called when the factorization finishes.
 type updateState struct {
-	wtE, wtWPsi *mat.Dense // r×m numerator/denominator for the Ψ update
-	ePsiT, wPP  *mat.Dense // n×r numerator/denominator for the W update
-	wtW         *mat.Dense // r×r Gram matrix of W
-	psiPsiT     *mat.Dense // r×r Gram matrix of Ψ
-	approx      *mat.Dense // n×m cache of WΨ for objective evaluation
-	ratio       *mat.Dense // n×m cache of E/(WΨ+ε) for the KL sweep
-	klSum       []float64  // length-r KL column/row sums of W / Ψ
-	workers     int        // goroutine bound for sweeps (par.Workers norm)
+	wtW     *mat.Dense     // r×r Gram matrix WᵀW for the Ψ denominator
+	psiPsiT *mat.Dense     // r×r Gram matrix ΨΨᵀ for the W denominator
+	num     *mat.Dense     // r×m fused Ψ-update numerator (column stripes)
+	den     *mat.Dense     // r×m fused Ψ-update denominator (column stripes)
+	klSum   []float64      // length-r KL column/row sums of W / Ψ
+	rowObj  []float64      // length-n per-row objective partials
+	scratch []sweepScratch // one slot per pool worker
+	pool    *par.Pool
+}
+
+// sweepScratch is the per-worker working set of the fused kernels.
+type sweepScratch struct {
+	vec  []float64 // length m: one approx/ratio row segment
+	wNum []float64 // length r: one W row's numerator
+	wDen []float64 // length r: one W row's denominator
 }
 
 func newUpdateState(n, m, r, workers int) *updateState {
-	return &updateState{
-		wtE:     mat.MustNew(r, m),
-		wtWPsi:  mat.MustNew(r, m),
-		ePsiT:   mat.MustNew(n, r),
-		wPP:     mat.MustNew(n, r),
+	pool := par.NewPool(workers)
+	st := &updateState{
 		wtW:     mat.MustNew(r, r),
 		psiPsiT: mat.MustNew(r, r),
-		approx:  mat.MustNew(n, m),
-		ratio:   mat.MustNew(n, m),
+		num:     mat.MustNew(r, m),
+		den:     mat.MustNew(r, m),
 		klSum:   make([]float64, r),
-		workers: par.Workers(workers),
+		rowObj:  make([]float64, n),
+		scratch: make([]sweepScratch, pool.Workers()),
+		pool:    pool,
 	}
+	for k := range st.scratch {
+		st.scratch[k] = sweepScratch{
+			vec:  make([]float64, m),
+			wNum: make([]float64, r),
+			wDen: make([]float64, r),
+		}
+	}
+	return st
 }
+
+// close releases the pool's worker goroutines.
+func (st *updateState) close() { st.pool.Close() }
 
 // sweepEuclidean performs one pass of the Theorem 1 update rules:
 //
 //	Ψij ← Ψij (WᵀE)ij / (WᵀWΨ)ij
 //	Wij ← Wij (EΨᵀ)ij / (WΨΨᵀ)ij
 //
-// Matrix products and the row-wise multiplicative updates are row-
-// partitioned across st.workers; every row's arithmetic is independent of
-// the partition, so the sweep is bit-identical for any worker count.
+// Only the two r×r Gram matrices are materialized; everything else is fused.
+// The Ψ half runs over column stripes: (WᵀWΨ)[a][j] depends only on column
+// j of the old Ψ, so a stripe can compute its numerator and denominator from
+// pre-update values and then apply the update in place without seeing any
+// other stripe (the Jacobi semantics of the rule are preserved for any
+// partition). The W half is row-local given ΨΨᵀ and fuses per row. Every
+// element accumulates in the same fixed order (i-, c- and j-ascending)
+// regardless of partition, so the sweep is bit-identical for any worker
+// count — the parallel_test.go grid enforces this.
 func (st *updateState) sweepEuclidean(e, w, psi *mat.Dense) {
-	// Ψ update.
-	mat.MulATBIntoP(st.wtE, w, e, st.workers)
-	mat.MulATBIntoP(st.wtW, w, w, st.workers)
-	mat.MulIntoP(st.wtWPsi, st.wtW, psi, st.workers)
-	r, m := psi.Dims()
-	par.For(r, st.workers, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			pRow := psi.RawRow(i)
-			num := st.wtE.RawRow(i)
-			den := st.wtWPsi.RawRow(i)
-			for j := 0; j < m; j++ {
-				pRow[j] *= num[j] / (den[j] + epsDiv)
-			}
-		}
+	n, m := e.Dims()
+	mat.MulATBIntoOn(st.pool, st.wtW, w, w)
+	st.pool.Run(m, func(j0, j1 int) {
+		st.psiStripeEuclidean(e, w, psi, j0, j1)
 	})
-	// W update, using the freshly updated Ψ.
-	mat.MulABTIntoP(st.ePsiT, e, psi, st.workers)
-	mat.MulABTIntoP(st.psiPsiT, psi, psi, st.workers)
-	mat.MulIntoP(st.wPP, w, st.psiPsiT, st.workers)
-	n, _ := w.Dims()
-	par.For(n, st.workers, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			wRow := w.RawRow(i)
-			num := st.ePsiT.RawRow(i)
-			den := st.wPP.RawRow(i)
-			for j := 0; j < r; j++ {
-				wRow[j] *= num[j] / (den[j] + epsDiv)
-			}
-		}
+	mat.MulABTIntoOn(st.pool, st.psiPsiT, psi, psi)
+	st.pool.RunIndexed(n, func(worker, i0, i1 int) {
+		st.wRowsEuclidean(e, w, psi, worker, i0, i1)
 	})
 }
 
-// fillRatio caches R = E/(WΨ+ε) element-wise into st.ratio, assuming
-// st.approx already holds WΨ.
-func (st *updateState) fillRatio(e *mat.Dense) {
-	n, m := e.Dims()
-	par.For(n, st.workers, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			eRow := e.RawRow(i)
-			aRow := st.approx.RawRow(i)
-			rRow := st.ratio.RawRow(i)
-			for j := 0; j < m; j++ {
-				rRow[j] = eRow[j] / (aRow[j] + epsDiv)
+// psiStripeEuclidean updates Ψ columns [j0, j1): numerator (WᵀE) stripe,
+// denominator (WᵀWΨ) stripe from the old Ψ, then the in-place update.
+func (st *updateState) psiStripeEuclidean(e, w, psi *mat.Dense, j0, j1 int) {
+	r := psi.Rows()
+	n := e.Rows()
+	for a := 0; a < r; a++ {
+		num := st.num.RawRow(a)[j0:j1]
+		for j := range num {
+			num[j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		wRow := w.RawRow(i)
+		eSeg := e.RawRow(i)[j0:j1]
+		for a, wv := range wRow {
+			num := st.num.RawRow(a)[j0:j1]
+			for j, ev := range eSeg {
+				num[j] += wv * ev
 			}
 		}
-	})
+	}
+	for a := 0; a < r; a++ {
+		den := st.den.RawRow(a)[j0:j1]
+		for j := range den {
+			den[j] = 0
+		}
+		gRow := st.wtW.RawRow(a)
+		for c, gv := range gRow {
+			pSeg := psi.RawRow(c)[j0:j1]
+			for j, pv := range pSeg {
+				den[j] += gv * pv
+			}
+		}
+	}
+	for a := 0; a < r; a++ {
+		pSeg := psi.RawRow(a)[j0:j1]
+		num := st.num.RawRow(a)[j0:j1]
+		den := st.den.RawRow(a)[j0:j1]
+		for j := range pSeg {
+			pSeg[j] *= num[j] / (den[j] + epsDiv)
+		}
+	}
+}
+
+// wRowsEuclidean updates W rows [i0, i1): each row's numerator (EΨᵀ) and
+// denominator (WΨΨᵀ) depend only on that row and the precomputed ΨΨᵀ, so
+// the whole update fuses into one pass per row. ΨΨᵀ is read by rows — it is
+// bitwise symmetric (each (a,c)/(c,a) pair sums identical products in
+// identical order), so row a stands in for column a exactly.
+func (st *updateState) wRowsEuclidean(e, w, psi *mat.Dense, worker, i0, i1 int) {
+	r := psi.Rows()
+	s := &st.scratch[worker]
+	for i := i0; i < i1; i++ {
+		eRow := e.RawRow(i)
+		wRow := w.RawRow(i)
+		for a := 0; a < r; a++ {
+			pRow := psi.RawRow(a)
+			var sum float64
+			for j, ev := range eRow {
+				sum += ev * pRow[j]
+			}
+			s.wNum[a] = sum
+		}
+		for a := 0; a < r; a++ {
+			gRow := st.psiPsiT.RawRow(a)
+			var sum float64
+			for c, wv := range wRow {
+				sum += wv * gRow[c]
+			}
+			s.wDen[a] = sum
+		}
+		for a := 0; a < r; a++ {
+			wRow[a] *= s.wNum[a] / (s.wDen[a] + epsDiv)
+		}
+	}
 }
 
 // sweepKL performs one pass of the KL-divergence update rules, expressed
-// over the ratio matrix R = E/(WΨ+ε) so both halves reduce to fused
-// transpose-products over contiguous rows instead of the strided At(i,a)
-// column walks the first implementation used:
+// over the ratio matrix R = E/(WΨ+ε):
 //
 //	Ψaj ← Ψaj · (WᵀR)aj / Σi Wia
 //	Wia ← Wia · (RΨᵀ)ia / Σj Ψaj
+//
+// R is never materialized: each fused dispatch recomputes the ratio row
+// segment it needs into per-worker scratch, eliminating the two n×m caches
+// (approx, ratio) the unfused sweep carried. Column j of WΨ depends only on
+// column j of Ψ, so the Ψ half stripes by columns exactly like the
+// Euclidean sweep; the W half is row-local. Bit-identical across worker
+// counts for the same reason.
 func (st *updateState) sweepKL(e, w, psi *mat.Dense) {
 	n, m := e.Dims()
 	r := psi.Rows()
-	// Ψ update.
-	mat.MulIntoP(st.approx, w, psi, st.workers)
-	st.fillRatio(e)
-	mat.MulATBIntoP(st.wtE, w, st.ratio, st.workers)
 	colSum := st.klSum
 	for a := range colSum {
 		colSum[a] = 0
@@ -278,19 +353,10 @@ func (st *updateState) sweepKL(e, w, psi *mat.Dense) {
 			colSum[a] += v
 		}
 	}
-	par.For(r, st.workers, func(a0, a1 int) {
-		for a := a0; a < a1; a++ {
-			pRow := psi.RawRow(a)
-			num := st.wtE.RawRow(a)
-			for j := 0; j < m; j++ {
-				pRow[j] *= num[j] / (colSum[a] + epsDiv)
-			}
-		}
+	st.pool.RunIndexed(m, func(worker, j0, j1 int) {
+		st.psiStripeKL(e, w, psi, worker, j0, j1)
 	})
 	// W update, against the freshly updated Ψ.
-	mat.MulIntoP(st.approx, w, psi, st.workers)
-	st.fillRatio(e)
-	mat.MulABTIntoP(st.ePsiT, st.ratio, psi, st.workers)
 	rowSum := st.klSum
 	for a := 0; a < r; a++ {
 		pRow := psi.RawRow(a)
@@ -300,39 +366,145 @@ func (st *updateState) sweepKL(e, w, psi *mat.Dense) {
 		}
 		rowSum[a] = s
 	}
-	par.For(n, st.workers, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			wRow := w.RawRow(i)
-			num := st.ePsiT.RawRow(i)
-			for a := 0; a < r; a++ {
-				wRow[a] *= num[a] / (rowSum[a] + epsDiv)
-			}
-		}
+	st.pool.RunIndexed(n, func(worker, i0, i1 int) {
+		st.wRowsKL(e, w, psi, worker, i0, i1)
 	})
 }
 
+// psiStripeKL updates Ψ columns [j0, j1) for the KL rule, recomputing each
+// approx row segment (WΨ) and its ratio into the worker's scratch vector.
+func (st *updateState) psiStripeKL(e, w, psi *mat.Dense, worker, j0, j1 int) {
+	r := psi.Rows()
+	n := e.Rows()
+	vec := st.scratch[worker].vec[:j1-j0]
+	for a := 0; a < r; a++ {
+		num := st.num.RawRow(a)[j0:j1]
+		for j := range num {
+			num[j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		wRow := w.RawRow(i)
+		eSeg := e.RawRow(i)[j0:j1]
+		for j := range vec {
+			vec[j] = 0
+		}
+		for c, wv := range wRow {
+			pSeg := psi.RawRow(c)[j0:j1]
+			for j, pv := range pSeg {
+				vec[j] += wv * pv
+			}
+		}
+		for j, ev := range eSeg {
+			vec[j] = ev / (vec[j] + epsDiv)
+		}
+		for a, wv := range wRow {
+			num := st.num.RawRow(a)[j0:j1]
+			for j, rv := range vec {
+				num[j] += wv * rv
+			}
+		}
+	}
+	for a := 0; a < r; a++ {
+		pSeg := psi.RawRow(a)[j0:j1]
+		num := st.num.RawRow(a)[j0:j1]
+		d := st.klSum[a] + epsDiv
+		for j := range pSeg {
+			pSeg[j] *= num[j] / d
+		}
+	}
+}
+
+// wRowsKL updates W rows [i0, i1) for the KL rule, recomputing each row's
+// ratio against the freshly updated Ψ in the worker's scratch vector.
+func (st *updateState) wRowsKL(e, w, psi *mat.Dense, worker, i0, i1 int) {
+	r := psi.Rows()
+	m := e.Cols()
+	s := &st.scratch[worker]
+	vec := s.vec[:m]
+	for i := i0; i < i1; i++ {
+		eRow := e.RawRow(i)
+		wRow := w.RawRow(i)
+		for j := range vec {
+			vec[j] = 0
+		}
+		for c, wv := range wRow {
+			pRow := psi.RawRow(c)
+			for j, pv := range pRow {
+				vec[j] += wv * pv
+			}
+		}
+		for j, ev := range eRow {
+			vec[j] = ev / (vec[j] + epsDiv)
+		}
+		for a := 0; a < r; a++ {
+			pRow := psi.RawRow(a)
+			var sum float64
+			for j, rv := range vec {
+				sum += rv * pRow[j]
+			}
+			s.wNum[a] = sum
+		}
+		for a := 0; a < r; a++ {
+			wRow[a] *= s.wNum[a] / (st.klSum[a] + epsDiv)
+		}
+	}
+}
+
+// objective evaluates the divergence without materializing WΨ: each row's
+// contribution lands in st.rowObj[i] (disjoint writes), recomputing the
+// approx row in per-worker scratch, and the partials are summed in fixed
+// row order — never a partition-dependent reduction tree — so the value is
+// bit-identical for any worker count.
 func objective(o Objective, e, w, psi *mat.Dense, st *updateState) float64 {
-	mat.MulInto(st.approx, w, psi)
-	switch o {
-	case KullbackLeibler:
+	n := e.Rows()
+	st.pool.RunIndexed(n, func(worker, i0, i1 int) {
+		st.rowObjectives(o, e, w, psi, worker, i0, i1)
+	})
+	var total float64
+	for _, v := range st.rowObj {
+		total += v
+	}
+	if o == KullbackLeibler {
+		return total
+	}
+	return math.Sqrt(total)
+}
+
+// rowObjectives fills st.rowObj for rows [i0, i1): squared residual norm
+// per row for Euclidean, generalized KL divergence per row otherwise.
+func (st *updateState) rowObjectives(o Objective, e, w, psi *mat.Dense, worker, i0, i1 int) {
+	m := e.Cols()
+	vec := st.scratch[worker].vec[:m]
+	for i := i0; i < i1; i++ {
+		eRow := e.RawRow(i)
+		wRow := w.RawRow(i)
+		for j := range vec {
+			vec[j] = 0
+		}
+		for c, wv := range wRow {
+			pRow := psi.RawRow(c)
+			for j, pv := range pRow {
+				vec[j] += wv * pv
+			}
+		}
 		var d float64
-		n, m := e.Dims()
-		for i := 0; i < n; i++ {
-			eRow := e.RawRow(i)
-			aRow := st.approx.RawRow(i)
-			for j := 0; j < m; j++ {
-				ev, av := eRow[j], aRow[j]
+		if o == KullbackLeibler {
+			for j, ev := range eRow {
+				av := vec[j]
 				if ev > 0 {
 					d += ev*math.Log(ev/(av+epsDiv)) - ev + av
 				} else {
 					d += av
 				}
 			}
+		} else {
+			for j, ev := range eRow {
+				diff := ev - vec[j]
+				d += diff * diff
+			}
 		}
-		return d
-	default:
-		dist, _ := mat.FrobeniusDistance(e, st.approx)
-		return dist
+		st.rowObj[i] = d
 	}
 }
 

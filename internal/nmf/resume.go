@@ -71,6 +71,7 @@ func Resume(e, w0, psi0 *mat.Dense, cfg Config) (*Result, error) {
 
 	res := &Result{W: w, Psi: psi, History: make([]float64, 0, cfg.MaxIter)}
 	st := newUpdateState(n, m, rank, cfg.Workers)
+	defer st.close()
 	prev := math.Inf(1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		switch cfg.Objective {

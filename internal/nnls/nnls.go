@@ -88,59 +88,96 @@ func Solve(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
 	if len(s) != m {
 		return nil, fmt.Errorf("%w: state %d, basis %dx%d", ErrShape, len(s), r, m)
 	}
-	switch cfg.Solver {
-	case ProjectedGradient:
-		return solvePG(s, psi, cfg)
-	default:
-		return solveMU(s, psi, cfg)
+	g := gramOf(psi)
+	sc := newSolveScratch(r, m)
+	res := &Result{W: make([]float64, r)}
+	res.Residual, res.Iterations = solveWith(res.W, s, psi, g, sc, cfg)
+	return res, nil
+}
+
+// gramOf returns the Gram matrix G = ΨΨᵀ (r×r). It depends only on Ψ, so
+// batch solvers compute it once and share it across every row — the single
+// largest saving of the batch path (the per-row r²·m product dominated each
+// solve).
+func gramOf(psi *mat.Dense) *mat.Dense {
+	g := mat.MustNew(psi.Rows(), psi.Rows())
+	mat.MulABTInto(g, psi, psi)
+	return g
+}
+
+// solveScratch is the reusable working set of one solver goroutine: the
+// linear term b = Ψsᵀ, the gradient, and the residual's difference vector.
+// Batch solves allocate one per worker instead of fresh slices per row.
+type solveScratch struct {
+	b    []float64 // length r: Ψsᵀ for the current row
+	grad []float64 // length r
+	diff []float64 // length m: s − wΨ for the residual
+}
+
+func newSolveScratch(r, m int) *solveScratch {
+	return &solveScratch{
+		b:    make([]float64, r),
+		grad: make([]float64, r),
+		diff: make([]float64, m),
 	}
 }
 
-// residual computes ‖s − wΨ‖₂.
-func residual(s, w []float64, psi *mat.Dense) float64 {
-	r, m := psi.Dims()
-	var sum float64
-	for j := 0; j < m; j++ {
-		pred := 0.0
-		for i := 0; i < r; i++ {
-			pred += w[i] * psi.At(i, j)
+// fillB computes b = Ψsᵀ into the scratch.
+func (sc *solveScratch) fillB(s []float64, psi *mat.Dense) {
+	for i := range sc.b {
+		row := psi.RawRow(i)
+		var sum float64
+		for j, pv := range row {
+			sum += pv * s[j]
 		}
-		d := s[j] - pred
+		sc.b[i] = sum
+	}
+}
+
+// residualWith computes ‖s − wΨ‖₂ through the scratch difference vector:
+// one contiguous pass per basis row instead of the strided per-element
+// column walk. The accumulation order is fixed (rows i ascending into diff,
+// then j ascending for the norm), so every solve path produces identical
+// bits.
+func residualWith(diff, s, w []float64, psi *mat.Dense) float64 {
+	copy(diff, s)
+	for i, wv := range w {
+		row := psi.RawRow(i)
+		for j, pv := range row {
+			diff[j] -= wv * pv
+		}
+	}
+	var sum float64
+	for _, d := range diff {
 		sum += d * d
 	}
 	return math.Sqrt(sum)
 }
 
-// gram returns G = ΨΨᵀ (r×r) and b = Ψsᵀ (length r). Both only depend on Ψ
-// and s, so they are computed once per solve.
-func gram(s []float64, psi *mat.Dense) (g *mat.Dense, b []float64) {
-	r, m := psi.Dims()
-	g = mat.MustNew(r, r)
-	mat.MulABTInto(g, psi, psi)
-	b = make([]float64, r)
-	for i := 0; i < r; i++ {
-		row := psi.RawRow(i)
-		var sum float64
-		for j := 0; j < m; j++ {
-			sum += row[j] * s[j]
-		}
-		b[i] = sum
+// solveWith runs the configured solver, writing the solution into w (length
+// r, fully overwritten). g must be ΨΨᵀ; sc is caller-owned scratch. It
+// returns the final residual and the iteration count. cfg must already have
+// defaults applied.
+func solveWith(w, s []float64, psi, g *mat.Dense, sc *solveScratch, cfg Config) (float64, int) {
+	sc.fillB(s, psi)
+	switch cfg.Solver {
+	case ProjectedGradient:
+		return solvePGInto(w, s, psi, g, sc, cfg)
+	default:
+		return solveMUInto(w, s, psi, g, sc, cfg)
 	}
-	return g, b
 }
 
-func solveMU(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
-	r, _ := psi.Dims()
-	g, b := gram(s, psi)
-	w := make([]float64, r)
+func solveMUInto(w, s []float64, psi, g *mat.Dense, sc *solveScratch, cfg Config) (float64, int) {
+	r := len(w)
 	for i := range w {
 		w[i] = 1.0 / float64(r) // uniform positive start
 	}
-	res := &Result{}
+	iters := 0
 	prev := math.Inf(1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		for i := 0; i < r; i++ {
-			num := b[i]
+			num := sc.b[i]
 			if num < 0 {
 				// A negative correlation with the basis cannot be expressed
 				// with w ≥ 0; the multiplicative rule drives w_i to zero.
@@ -153,21 +190,18 @@ func solveMU(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
 			}
 			w[i] *= num / (den + epsDiv)
 		}
-		res.Iterations = iter + 1
-		obj := residual(s, w, psi)
+		iters = iter + 1
+		obj := residualWith(sc.diff, s, w, psi)
 		if !math.IsInf(prev, 1) && prev-obj <= cfg.Tolerance*math.Max(prev, 1) {
 			break
 		}
 		prev = obj
 	}
-	res.W = w
-	res.Residual = residual(s, w, psi)
-	return res, nil
+	return residualWith(sc.diff, s, w, psi), iters
 }
 
-func solvePG(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
-	r, _ := psi.Dims()
-	g, b := gram(s, psi)
+func solvePGInto(w, s []float64, psi, g *mat.Dense, sc *solveScratch, cfg Config) (float64, int) {
+	r := len(w)
 	// Lipschitz constant of the gradient is bounded by the trace of G.
 	var lip float64
 	for i := 0; i < r; i++ {
@@ -177,9 +211,10 @@ func solvePG(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
 		lip = 1
 	}
 	step := 1.0 / lip
-	w := make([]float64, r)
-	grad := make([]float64, r)
-	res := &Result{}
+	for i := range w {
+		w[i] = 0
+	}
+	iters := 0
 	prev := math.Inf(1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		// ∇f(w) = 2(Gw − b); the constant 2 folds into the step size.
@@ -189,24 +224,22 @@ func solvePG(s []float64, psi *mat.Dense, cfg Config) (*Result, error) {
 			for k := 0; k < r; k++ {
 				gw += gRow[k] * w[k]
 			}
-			grad[i] = gw - b[i]
+			sc.grad[i] = gw - sc.b[i]
 		}
 		for i := 0; i < r; i++ {
-			w[i] -= step * grad[i]
+			w[i] -= step * sc.grad[i]
 			if w[i] < 0 {
 				w[i] = 0
 			}
 		}
-		res.Iterations = iter + 1
-		obj := residual(s, w, psi)
+		iters = iter + 1
+		obj := residualWith(sc.diff, s, w, psi)
 		if !math.IsInf(prev, 1) && prev-obj <= cfg.Tolerance*math.Max(prev, 1) {
 			break
 		}
 		prev = obj
 	}
-	res.W = w
-	res.Residual = residual(s, w, psi)
-	return res, nil
+	return residualWith(sc.diff, s, w, psi), iters
 }
 
 // SolveBatch solves one NNLS problem per row of states, returning an

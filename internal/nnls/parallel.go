@@ -2,7 +2,6 @@ package nnls
 
 import (
 	"fmt"
-	"runtime"
 
 	"github.com/wsn-tools/vn2/internal/mat"
 	"github.com/wsn-tools/vn2/internal/par"
@@ -11,10 +10,11 @@ import (
 // SolveBatchParallel is SolveBatch with the rows statically partitioned
 // across a bounded set of workers (internal/par): rows are independent NNLS
 // problems, so a sink processing hundreds of node states per epoch can fan
-// them out. workers ≤ 0 uses GOMAXPROCS. Each row's solve is identical to
-// the sequential path and writes only its own output row, so results are
-// bit-identical to SolveBatch for any worker count; on failure the error of
-// the lowest failing row index is returned, exactly as SolveBatch would.
+// them out. workers follows the par.Workers norm shared by every worker
+// knob in the repository: 0 is sequential, ≥1 fans out, negative uses
+// GOMAXPROCS. Each row's solve is identical to the sequential path and
+// writes only its own output row, so results are bit-identical to
+// SolveBatch for any worker count.
 func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.Dense, []float64, error) {
 	n, _ := states.Dims()
 	r, _ := psi.Dims()
@@ -30,6 +30,9 @@ func SolveBatchParallel(states, psi *mat.Dense, cfg Config, workers int) (*mat.D
 // buffers: weights must be n×r and residuals length n. Steady-state batch
 // callers — a sink draining flagged states every epoch — reuse the same
 // buffers across calls instead of allocating an n×r matrix per drain.
+// The Gram matrix ΨΨᵀ is computed once and shared by every row, solutions
+// are written directly into the weights rows, and each chunk reuses one
+// scratch set — the batch does O(workers) allocations instead of O(rows).
 // Results are bit-identical to SolveBatchParallel for any worker count.
 func SolveBatchInto(weights *mat.Dense, residuals []float64, states, psi *mat.Dense, cfg Config, workers int) error {
 	n, m := states.Dims()
@@ -43,18 +46,13 @@ func SolveBatchInto(weights *mat.Dense, residuals []float64, states, psi *mat.De
 	if len(residuals) != n {
 		return fmt.Errorf("nnls: residuals buffer has %d entries, want %d", len(residuals), n)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return par.ForErr(n, workers, func(start, end int) error {
+	cfg = cfg.withDefaults()
+	g := gramOf(psi)
+	par.For(n, workers, func(start, end int) {
+		sc := newSolveScratch(r, m)
 		for i := start; i < end; i++ {
-			sol, err := Solve(states.RawRow(i), psi, cfg)
-			if err != nil {
-				return fmt.Errorf("row %d: %w", i, err)
-			}
-			weights.SetRow(i, sol.W)
-			residuals[i] = sol.Residual
+			residuals[i], _ = solveWith(weights.RawRow(i), states.RawRow(i), psi, g, sc, cfg)
 		}
-		return nil
 	})
+	return nil
 }

@@ -93,6 +93,7 @@ func Testbed(opts TestbedOptions) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("network: %w", err)
 	}
+	defer n.Close()
 
 	res := &Result{
 		Dataset:       trace.NewDataset(),

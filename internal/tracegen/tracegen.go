@@ -165,6 +165,7 @@ func CitySeeTraining(opts CitySeeOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer n.Close()
 	res := &Result{
 		Dataset:       trace.NewDataset(),
 		TotalNodes:    opts.Nodes,
@@ -210,6 +211,7 @@ func CitySeeSeptember(opts CitySeeOptions) (*Result, *SeptemberWindow, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	defer n.Close()
 	res := &Result{
 		Dataset:       trace.NewDataset(),
 		TotalNodes:    opts.Nodes,

@@ -1,0 +1,48 @@
+package wsn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// stepAllocCeiling is the per-epoch allocation budget at CitySee scale (286
+// nodes, the BenchmarkWSNStepParallel configuration). The sequential seed
+// measured ~277 allocs/op — report assembly, seen-map growth, and queue
+// churn — and the pool rework's whole point is that fanning out must not add
+// to that: phase dispatch reuses prebuilt kernels, pool-owned ranges, and
+// parked goroutines, so the ceiling holds at every worker count.
+const stepAllocCeiling = 277
+
+// TestStepAllocCeiling asserts the steady-state allocation budget of Step at
+// the benchmark configuration for a ladder of worker counts. This is the
+// regression guard for the per-pass closure allocations that once made the
+// parallel simulator allocate ~18× more than the sequential one.
+func TestStepAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("286-node epochs are too slow for -short")
+	}
+	topo, err := RandomTopology(286, 1200, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			n, err := New(Config{Seed: 17, Topology: topo, PacketsPerEpoch: 1, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			if _, err := n.Run(3); err != nil { // warm the routing tree
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if _, err := n.Step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > stepAllocCeiling {
+				t.Errorf("workers=%d: %.0f allocs per epoch, budget %d", workers, allocs, stepAllocCeiling)
+			}
+		})
+	}
+}

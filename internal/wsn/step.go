@@ -6,7 +6,6 @@ import (
 
 	"github.com/wsn-tools/vn2/internal/ctp"
 	"github.com/wsn-tools/vn2/internal/packet"
-	"github.com/wsn-tools/vn2/internal/par"
 )
 
 // initialTTL bounds how many hops a data packet may travel; looped packets
@@ -18,6 +17,10 @@ const initialTTL = 16
 // share of a duty-cycled low-power MAC: a neighborhood can move roughly
 // this many frames per second before CSMA pressure builds.
 const contentionPacketsPerSecond = 20.0
+
+// transmitGrain is the minimum active senders per pool chunk in the transmit
+// sub-phase: below it the per-pass handoff costs more than the transmits.
+const transmitGrain = 32
 
 // EpochResult summarizes one reporting epoch.
 type EpochResult struct {
@@ -87,11 +90,7 @@ func (n *Network) Run(count int) ([]*EpochResult, error) {
 // queries are pure per (time, position), so the fan-out is safe and every
 // phase reads the same per-node value instead of re-querying per link.
 func (n *Network) sampleNoise() {
-	par.For(len(n.nodes), n.workers, func(start, end int) {
-		for i := start; i < end; i++ {
-			n.noise[i] = n.field.NoiseFloor(n.nodes[i].pos)
-		}
-	})
+	n.pool.Run(len(n.nodes), n.noiseFn)
 }
 
 // agePower advances uptime, applies spontaneous reboots, and fails nodes
@@ -133,31 +132,7 @@ func (n *Network) beaconPhase() {
 		nd.ctr.beacon++
 		nd.epochTx++
 	}
-	links := n.beaconLinks()
-	par.For(len(n.nodes)-1, n.workers, func(start, end int) {
-		for j := 1 + start; j < 1+end; j++ {
-			rx := n.nodes[j]
-			if !rx.up {
-				continue
-			}
-			noise := n.noise[j]
-			// Link lists are symmetric (path loss, shadowing and injected
-			// degradation all are), so j's outbound list is also its
-			// inbound sender list.
-			for _, i := range links[j] {
-				tx := n.nodes[i]
-				if !tx.up {
-					continue
-				}
-				rssi, heard := n.medium.Beacon(i, j, tx.pos, rx.pos, noise)
-				if heard {
-					// Hearing our own beacon is impossible by construction
-					// (lists exclude self), so the error is unreachable.
-					_ = rx.table.HearBeacon(tx.id, rssi, n.adv[i])
-				}
-			}
-		}
-	})
+	n.pool.Run(len(n.nodes)-1, n.beaconFn)
 }
 
 // routingPhase ages tables and re-selects parents. Each node mutates only
@@ -165,16 +140,7 @@ func (n *Network) beaconPhase() {
 // fans out across workers with results bit-identical to the sequential
 // pass for any worker count.
 func (n *Network) routingPhase() {
-	par.For(len(n.nodes)-1, n.workers, func(start, end int) {
-		for i := 1 + start; i < 1+end; i++ {
-			nd := n.nodes[i]
-			if !nd.up {
-				continue
-			}
-			nd.table.Tick(n.cfg.NeighborStaleEpochs)
-			nd.table.SelectParent()
-		}
-	})
+	n.pool.Run(len(n.nodes)-1, n.routeFn)
 }
 
 // pendingInject is one scheduled self-generated packet.
@@ -309,11 +275,10 @@ func (n *Network) transmitPass() bool {
 		n.intents = make([]delivery, len(n.active))
 	}
 	n.intents = n.intents[:len(n.active)]
-	par.For(len(n.active), n.workers, func(start, end int) {
-		for k := start; k < end; k++ {
-			n.intents[k] = n.transmitOne(n.nodes[n.active[k]])
-		}
-	})
+	// A transmit is a few microseconds of work; grain-gate the fan-out so
+	// the short active lists of a draining epoch run inline instead of
+	// paying a goroutine handoff per pass.
+	n.pool.RunGrain(len(n.active), transmitGrain, n.transmitFn)
 	for k := range n.intents {
 		if n.intents[k].attempted {
 			return true
@@ -486,19 +451,5 @@ func (n *Network) collectReports(res *EpochResult) {
 // arithmetic with disjoint writes (node state plus perEpochTx[i]), so the
 // phase fans out across workers bit-identically to the sequential pass.
 func (n *Network) accountEnergy() {
-	const (
-		txSecondsPerAttempt = 0.004
-		idleDutyCycle       = 0.02
-	)
-	par.For(len(n.nodes), n.workers, func(start, end int) {
-		for i := start; i < end; i++ {
-			nd := n.nodes[i]
-			if nd.up && !nd.isSink() {
-				nd.voltage -= n.cfg.BaseDrainPerEpoch + n.cfg.TxDrainPerPacket*float64(nd.epochTx)
-				nd.radioOn += float64(nd.epochTx)*txSecondsPerAttempt + idleDutyCycle*n.cfg.ReportInterval.Seconds()
-			}
-			n.perEpochTx[i] = nd.epochTx
-			nd.epochTx = 0
-		}
-	})
+	n.pool.Run(len(n.nodes), n.energyFn)
 }

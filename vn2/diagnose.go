@@ -107,13 +107,9 @@ func (m *Model) DiagnoseBatch(states []trace.StateVector, cfg DiagnoseConfig) ([
 		return nil, err
 	}
 	solverCfg := nnls.Config{Solver: cfg.Solver, MaxIter: cfg.MaxIter}
-	var weights *mat.Dense
-	var residuals []float64
-	if cfg.Workers != 0 {
-		weights, residuals, err = nnls.SolveBatchParallel(sm, m.Psi, solverCfg, cfg.Workers)
-	} else {
-		weights, residuals, err = nnls.SolveBatch(sm, m.Psi, solverCfg)
-	}
+	// cfg.Workers passes straight through: nnls shares the par.Workers norm
+	// (0 sequential, ≥1 fan-out, negative GOMAXPROCS), so no branch needed.
+	weights, residuals, err := nnls.SolveBatchParallel(sm, m.Psi, solverCfg, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("project states: %w", err)
 	}
