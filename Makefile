@@ -11,7 +11,9 @@ GO ?= go
 # the lifecycle hot-swap, and the event bus under /stream subscribers).
 # wal, retry, and chaos are the crash-safety layer under the same gate.
 # mat carries the pool-backed blocked kernels (MulIntoOn and friends).
-RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./vn2/online/... ./vn2/sink/... ./cmd/vn2/...
+# packet carries the wire codecs (fixed-point packets and the batched
+# binary frame format the sink's /report/bin path decodes).
+RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./internal/packet/... ./vn2/online/... ./vn2/sink/... ./cmd/vn2/...
 
 # Short smoke budget per fuzz target inside `make check`; raise for a real
 # fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
@@ -25,10 +27,11 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 # The scaling ladders `make bench` runs: per-epoch cost at CitySee scale,
 # the worker sweep, end-to-end trace generation at 60/120/286/1000 nodes,
-# and the blocked-GEMM size ladder.
-BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining|BenchmarkGEMM
+# the blocked-GEMM size ladder, and the ingest decode ladder (JSON vs
+# binary vs binary+delta at 1/8/64-report batches).
+BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining|BenchmarkGEMM|BenchmarkIngestDecode
 BENCH_TXT     ?= bench.txt
-BENCH_JSON    ?= BENCH_7.json
+BENCH_JSON    ?= BENCH_8.json
 
 # benchdiff inputs: two benchstat-compatible texts to compare.
 BENCH_OLD ?= bench.old.txt
@@ -68,11 +71,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# fuzz smokes the malformed-input decoders: the trace CSV reader and the
-# sink report-body decoder, seeded from the regression tables.
+# fuzz smokes the malformed-input decoders: the trace CSV reader, the sink
+# report-body decoder, the three mote packet codecs, and the batched binary
+# frame decoder — each seeded from a committed corpus under testdata/.
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZ_TIME)
 	$(GO) test ./vn2/sink/ingest -run '^$$' -fuzz FuzzDecodeReports -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/packet -run '^$$' -fuzz 'FuzzC1$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/packet -run '^$$' -fuzz 'FuzzC2$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/packet -run '^$$' -fuzz 'FuzzC3$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/packet -run '^$$' -fuzz 'FuzzFrame$$' -fuzztime $(FUZZ_TIME)
 
 # chaos proves the crash-safety contract end to end: a fault-injected run
 # (duplication, reordering, delays, wire truncation) with a mid-run kill -9
@@ -80,6 +88,7 @@ fuzz:
 # per-epoch diagnoses bit for bit.
 chaos:
 	$(GO) run ./cmd/vn2 chaos -seed 1
+	$(GO) run ./cmd/vn2 chaos -seed 1 -bin
 	$(GO) test ./cmd/vn2 -run TestChaos -count=1 -v
 
 # smoke boots the real sink stack end to end: build fixtures, start the HTTP

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/sink/ingest"
+)
+
+// --- Ingest decode ladder ----------------------------------------------------
+
+// ingestFrames is how many consecutive epoch batches the ladder cycles
+// through; with delta encoding, frame 0 is full (cold encoder) and frames
+// 1..ingestFrames-1 are deltas, so the cycle wraps cleanly — the full frame
+// re-arms the decoder's cache every revolution.
+const ingestFrames = 8
+
+// ingestWorkload builds the report stream the decode ladder replays: each
+// batch is one epoch of `batch` nodes reporting slowly-moving counters, so
+// successive epochs differ in a few vector slots — the regime delta
+// encoding exists for.
+func ingestWorkload(batch int) [][]trace.Record {
+	const m = 16
+	out := make([][]trace.Record, ingestFrames)
+	vecs := make(map[packet.NodeID][]float64)
+	for f := 0; f < ingestFrames; f++ {
+		recs := make([]trace.Record, batch)
+		for i := 0; i < batch; i++ {
+			node := packet.NodeID(i + 1)
+			v, ok := vecs[node]
+			if !ok {
+				v = make([]float64, m)
+				for k := range v {
+					v[k] = float64(k*1000 + i)
+				}
+				vecs[node] = v
+			}
+			v[f%m] += 1 // a transmit counter ticking
+			v[(f+5)%m] += 7
+			v[m-1] += 0.125 // radio-on time accumulating
+			recs[i] = trace.Record{Node: node, Epoch: 100 + f, Vector: append([]float64(nil), v...)}
+		}
+		out[f] = recs
+	}
+	return out
+}
+
+// reportIngestMetrics derives the ladder's headline numbers: reports/sec
+// through the decoder and allocations per report (total mallocs across the
+// run divided by reports decoded — the ≤1 alloc/report budget).
+func reportIngestMetrics(b *testing.B, batch int, mallocs uint64) {
+	reports := float64(b.N) * float64(batch)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(reports/s, "reports/s")
+	}
+	b.ReportMetric(float64(mallocs)/reports, "allocs/report")
+	b.ReportMetric(float64(batch), "batch")
+}
+
+// BenchmarkIngestDecode measures the sink's decode hot path across the
+// ingest ladder: batch sizes 1/8/64 × (per-report JSON, binary full
+// frames, binary delta frames). The JSON rung decodes the same records
+// through ingest.Decode; the binary rungs run the frame decoder plus delta
+// reconstruction — the full /report/bin decode path minus HTTP and WAL.
+func BenchmarkIngestDecode(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		batches := ingestWorkload(batch)
+
+		b.Run(fmt.Sprintf("json/batch%d", batch), func(b *testing.B) {
+			bodies := make([][]byte, len(batches))
+			for i, recs := range batches {
+				body, err := json.Marshal(recs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bodies[i] = body
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < b.N; i++ {
+				recs, err := ingest.Decode(bodies[i%ingestFrames])
+				if err != nil || len(recs) != batch {
+					b.Fatalf("decode: %d records, %v", len(recs), err)
+				}
+			}
+			runtime.ReadMemStats(&ms1)
+			reportIngestMetrics(b, batch, ms1.Mallocs-ms0.Mallocs)
+		})
+
+		encodeFrames := func(b *testing.B, delta bool) [][]byte {
+			b.Helper()
+			enc := packet.NewFrameEncoder()
+			frames := make([][]byte, len(batches))
+			for i, recs := range batches {
+				enc.Reset()
+				for _, rec := range recs {
+					var err error
+					if delta {
+						err = enc.Add(rec.Node, rec.Epoch, rec.Vector)
+					} else {
+						err = enc.AddFull(rec.Node, rec.Epoch, rec.Vector)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				f, err := enc.Frame()
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames[i] = append([]byte(nil), f...)
+			}
+			return frames
+		}
+		runBin := func(b *testing.B, delta bool) {
+			frames := encodeFrames(b, delta)
+			dec := ingest.NewBinaryDecoder()
+			// Warm one full revolution so the decoder's arenas and cache
+			// maps reach steady state before the clock starts.
+			for _, f := range frames {
+				if _, err := dec.Decode(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			for i := 0; i < b.N; i++ {
+				recs, err := dec.Decode(frames[i%ingestFrames])
+				if err != nil || len(recs) != batch {
+					b.Fatalf("decode: %d records, %v", len(recs), err)
+				}
+			}
+			runtime.ReadMemStats(&ms1)
+			reportIngestMetrics(b, batch, ms1.Mallocs-ms0.Mallocs)
+			if delta && dec.Deltas() == 0 {
+				b.Fatal("delta rung decoded no delta records")
+			}
+		}
+		b.Run(fmt.Sprintf("bin/batch%d", batch), func(b *testing.B) { runBin(b, false) })
+		b.Run(fmt.Sprintf("bindelta/batch%d", batch), func(b *testing.B) { runBin(b, true) })
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/wsn-tools/vn2/internal/chaos"
+	"github.com/wsn-tools/vn2/internal/packet"
 	"github.com/wsn-tools/vn2/internal/retry"
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/internal/tracegen"
@@ -34,6 +35,7 @@ type chaosOptions struct {
 	delay     float64
 	truncate  float64
 	shuffle   bool
+	bin       bool    // deliver over the batched binary /report/bin path
 	killAfter int     // kill -9 the sink after this epoch batch (0 = never)
 	tolerance float64 // max allowed per-epoch relative L1 deviation when drop > 0
 	dir       string  // work dir (default: a temp dir, removed afterwards)
@@ -68,6 +70,7 @@ func cmdChaos(args []string) error {
 	fs.Float64Var(&o.delay, "delay", 0.2, "per-report delay probability (lossless, reorders across nodes)")
 	fs.Float64Var(&o.truncate, "truncate", 0.1, "per-delivery wire-truncation probability (lossless, client retransmits)")
 	fs.BoolVar(&o.shuffle, "shuffle", true, "shuffle each delivery's records")
+	fs.BoolVar(&o.bin, "bin", false, "deliver the chaos run over POST /report/bin (delta-encoded binary batches); the baseline stays on the JSON path, so exactness also proves cross-encoding equivalence")
 	fs.IntVar(&o.killAfter, "kill-epoch", tracegen.TestbedEpochs/2, "kill -9 the sink after this epoch batch and restart it from WAL+snapshot (0 = never)")
 	fs.Float64Var(&o.tolerance, "tolerance", 0.5, "allowed per-epoch relative L1 deviation when -drop > 0 (a single dropped hot report can dominate a sparse epoch)")
 	fs.StringVar(&o.dir, "dir", "", "work directory (default: temp)")
@@ -148,7 +151,7 @@ func runChaos(o chaosOptions, logf func(string, ...any)) (*chaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	faulty := driveOptions{calibPath: calibPath, modelPath: modelPath, dir: filepath.Join(dir, "chaos")}
+	faulty := driveOptions{calibPath: calibPath, modelPath: modelPath, dir: filepath.Join(dir, "chaos"), bin: o.bin}
 	recovered, err := driveRun(faulty, batches, tr, o.killAfter, logf)
 	if err != nil {
 		return nil, fmt.Errorf("chaos run: %w", err)
@@ -207,6 +210,7 @@ type driveOptions struct {
 	calibPath string
 	modelPath string
 	dir       string
+	bin       bool // deliver over /report/bin instead of JSON /report
 }
 
 // driveRun streams the batches into a freshly built sink. With a transport,
@@ -244,9 +248,23 @@ func driveRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, kil
 		// WAL truncation + replay of the suffix, not just a full replay.
 		snapshotAt = killAfter / 2
 	}
+	// The binary client's delta baselines live as long as the RUN, not the
+	// sink: they deliberately survive the kill -9 below, because the WAL
+	// replay re-primes the sink's cache to exactly the last ACKed frame —
+	// the restarted sink must keep accepting this client's deltas.
+	var enc *packet.FrameEncoder
+	if o.bin {
+		enc = packet.NewFrameEncoder()
+	}
 	deliver := func(ds []chaos.Delivery) error {
 		for _, d := range ds {
-			if err := postDelivery(ts.URL, d, noSleep); err != nil {
+			var err error
+			if o.bin {
+				err = postDeliveryBin(ts.URL, d, enc, noSleep)
+			} else {
+				err = postDelivery(ts.URL, d, noSleep)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -329,6 +347,72 @@ func postDelivery(baseURL string, d chaos.Delivery, sleep func(time.Duration)) e
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusAccepted {
 			return fmt.Errorf("report status %d", resp.StatusCode)
+		}
+		return nil
+	})
+}
+
+// postDeliveryBin is postDelivery over the batched binary path: the
+// delivery's records become one delta-encoded frame. A truncation verdict
+// cuts the frame mid-payload first (the sink must 400 it on the CRC). After
+// ANY failed attempt the sink's delta cache is in an unknown state — a
+// backpressure 503 committed it, a 400 did not — so retries forget the
+// client baselines and retransmit fully materialized, the one encoding
+// correct against either state.
+func postDeliveryBin(baseURL string, d chaos.Delivery, enc *packet.FrameEncoder, sleep func(time.Duration)) error {
+	enc.Reset()
+	for _, rec := range d.Records {
+		if err := enc.Add(rec.Node, rec.Epoch, rec.Vector); err != nil {
+			return err
+		}
+	}
+	f, err := enc.Frame()
+	if err != nil {
+		return err
+	}
+	frame := append([]byte(nil), f...)
+	post := func(b []byte) (int, error) {
+		resp, err := http.Post(baseURL+"/report/bin", "application/octet-stream", bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	if d.Truncated {
+		code, err := post(frame[:len(frame)*2/3])
+		if err != nil {
+			return err
+		}
+		if code != http.StatusBadRequest {
+			return fmt.Errorf("truncated binary delivery got %d, want 400", code)
+		}
+	}
+	b := retry.New(time.Millisecond, 50*time.Millisecond, 0xc4a06, uint64(len(frame)))
+	attempt := 0
+	return retry.Do(context.Background(), b, 12, sleep, func() error {
+		attempt++
+		if attempt > 1 {
+			enc.Forget()
+			enc.Reset()
+			for _, rec := range d.Records {
+				if err := enc.AddFull(rec.Node, rec.Epoch, rec.Vector); err != nil {
+					return err
+				}
+			}
+			f, err := enc.Frame()
+			if err != nil {
+				return err
+			}
+			frame = append(frame[:0], f...)
+		}
+		code, err := post(frame)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusAccepted {
+			return fmt.Errorf("binary report status %d", code)
 		}
 		return nil
 	})

@@ -57,6 +57,33 @@ func TestChaosKillRecoveryExact(t *testing.T) {
 	}
 }
 
+// TestChaosBinaryKillRecoveryExact is the acceptance test of the batched
+// binary ingest path: the chaos run delivers delta-encoded binary frames
+// (the baseline stays on the JSON path) through the full lossless fault mix
+// with a mid-run kill -9, so exactness here proves BOTH cross-encoding
+// equivalence — binary reconstruction is bit-identical to JSON — and that
+// group-committed batches survive the crash, including the client's deltas
+// continuing against the replay-primed cache after restart.
+func TestChaosBinaryKillRecoveryExact(t *testing.T) {
+	o := chaosTestOptions(t.TempDir())
+	o.bin = true
+	res, err := runChaos(o, t.Logf)
+	if err != nil {
+		t.Fatalf("runChaos -bin: %v", err)
+	}
+	if !res.Exact || res.MaxDeviation != 0 {
+		t.Fatalf("binary path must recover bit-identically to the JSON baseline: exact=%v deviation=%g",
+			res.Exact, res.MaxDeviation)
+	}
+	st := res.Transport
+	if st.Duplicated == 0 || st.Delayed == 0 || st.Truncated == 0 {
+		t.Fatalf("fault mix did not exercise the wire: %+v", st)
+	}
+	if len(res.Recovered.Epochs) == 0 {
+		t.Fatal("recovered binary run diagnosed nothing — the harness is vacuous")
+	}
+}
+
 // TestChaosDropsWithinTolerance: with real losses, exactness is impossible
 // by construction; the recovered distributions must still be the baseline's
 // within the documented per-epoch relative L1 tolerance, and deterministic.

@@ -1,0 +1,294 @@
+package packet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+)
+
+// applyWire reconstructs the vectors a frame describes, the way a sink-side
+// consumer does: full records replace the cache, delta records rewrite the
+// cached base. It fails the test on any protocol violation.
+func applyWire(t *testing.T, recs []WireRecord, cache map[NodeID][]float64, epochs map[NodeID]uint32) map[NodeID][]float64 {
+	t.Helper()
+	out := make(map[NodeID][]float64)
+	for _, r := range recs {
+		switch r.Kind {
+		case RecFull, RecReport:
+			v := append([]float64(nil), r.Values...)
+			cache[r.Node] = v
+			epochs[r.Node] = r.Epoch
+			out[r.Node] = v
+		case RecDelta:
+			base, ok := cache[r.Node]
+			if !ok || epochs[r.Node] != r.Base || len(base) != r.Len {
+				t.Fatalf("delta for node %d base %d: cache miss", r.Node, r.Base)
+			}
+			v := append([]float64(nil), base...)
+			for j, ix := range r.Idx {
+				v[ix] = r.Diff[j]
+			}
+			cache[r.Node] = v
+			epochs[r.Node] = r.Epoch
+			out[r.Node] = v
+		}
+	}
+	return out
+}
+
+func TestFrameFullRoundTrip(t *testing.T) {
+	enc := NewFrameEncoder()
+	want := map[NodeID][]float64{
+		1: {1.5, -2.25, math.Inf(1), 0, -0.0},
+		2: {3, 4, 5},
+	}
+	for node, vec := range want {
+		if err := enc.AddFull(node, 7, vec); err != nil {
+			t.Fatalf("AddFull: %v", err)
+		}
+	}
+	frame, err := enc.Frame()
+	if err != nil {
+		t.Fatalf("Frame: %v", err)
+	}
+	var dec FrameDecoder
+	recs, err := dec.Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	got := applyWire(t, recs, map[NodeID][]float64{}, map[NodeID]uint32{})
+	for node, vec := range want {
+		g := got[node]
+		if len(g) != len(vec) {
+			t.Fatalf("node %d: got %v, want %v", node, g, vec)
+		}
+		for k := range vec {
+			if math.Float64bits(g[k]) != math.Float64bits(vec[k]) {
+				t.Errorf("node %d metric %d: got %v (bits %x), want %v (bits %x)",
+					node, k, g[k], math.Float64bits(g[k]), vec[k], math.Float64bits(vec[k]))
+			}
+		}
+	}
+}
+
+// TestFrameDeltaRoundTrip drives several epochs of slowly-moving vectors
+// through encoder and a decoder-side cache, asserting bit-exact
+// reconstruction and that the codec actually chose delta encoding.
+func TestFrameDeltaRoundTrip(t *testing.T) {
+	const nodes, epochs = 5, 8
+	enc := NewFrameEncoder()
+	var dec FrameDecoder
+	cache := map[NodeID][]float64{}
+	epochMap := map[NodeID]uint32{}
+	vecs := make(map[NodeID][]float64)
+	for n := NodeID(1); n <= nodes; n++ {
+		v := make([]float64, metricspec.MetricCount)
+		for k := range v {
+			v[k] = float64(int(n)*100 + k)
+		}
+		vecs[n] = v
+	}
+	sawDelta := false
+	var fullBytes, wireBytes int
+	for e := 1; e <= epochs; e++ {
+		enc.Reset()
+		for n := NodeID(1); n <= nodes; n++ {
+			v := vecs[n]
+			if e > 1 {
+				// Slow counters: only a couple of metrics move per epoch.
+				v[metricspec.TransmitCounter] += 3
+				v[metricspec.Uptime] += 60
+				v[metricspec.Temperature] += 0.125
+			}
+			if err := enc.Add(n, e, v); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		frame, err := enc.Frame()
+		if err != nil {
+			t.Fatalf("Frame: %v", err)
+		}
+		wireBytes += len(frame)
+		fullBytes += nodes * (8 + 8*metricspec.MetricCount)
+		recs, err := dec.Decode(frame)
+		if err != nil {
+			t.Fatalf("epoch %d Decode: %v", e, err)
+		}
+		for _, r := range recs {
+			if r.Kind == RecDelta {
+				sawDelta = true
+			}
+		}
+		got := applyWire(t, recs, cache, epochMap)
+		for n := NodeID(1); n <= nodes; n++ {
+			for k, wv := range vecs[n] {
+				if math.Float64bits(got[n][k]) != math.Float64bits(wv) {
+					t.Fatalf("epoch %d node %d metric %d: got %v, want %v", e, n, k, got[n][k], wv)
+				}
+			}
+		}
+	}
+	if !sawDelta {
+		t.Fatal("no delta records were emitted for a slow-moving stream")
+	}
+	if wireBytes >= fullBytes/2 {
+		t.Errorf("delta frames used %d bytes, full payloads would be %d — expected well under half", wireBytes, fullBytes)
+	}
+}
+
+func TestFrameReportRecord(t *testing.T) {
+	rep := sampleReport()
+	enc := NewFrameEncoder()
+	if err := enc.AddReport(12, &rep); err != nil {
+		t.Fatalf("AddReport: %v", err)
+	}
+	frame, err := enc.Frame()
+	if err != nil {
+		t.Fatalf("Frame: %v", err)
+	}
+	var dec FrameDecoder
+	recs, err := dec.Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Kind != RecReport || recs[0].Node != rep.C1.Node || recs[0].Epoch != 12 {
+		t.Fatalf("record = %+v", recs[0])
+	}
+	want, err := rep.Vector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if recs[0].Values[k] != want[k] {
+			t.Errorf("metric %d: got %v, want %v", k, recs[0].Values[k], want[k])
+		}
+	}
+	// A later Add for the same node deltas against the assembled vector.
+	want[metricspec.TransmitCounter] += 5
+	enc.Reset()
+	if err := enc.Add(rep.C1.Node, 13, want); err != nil {
+		t.Fatal(err)
+	}
+	frame, err = enc.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err = dec.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Kind != RecDelta {
+		t.Fatalf("follow-up record kind = %v, want RecDelta", recs[0].Kind)
+	}
+	if recs[0].Base != 12 || len(recs[0].Idx) != 1 || metricspec.ID(recs[0].Idx[0]) != metricspec.TransmitCounter {
+		t.Fatalf("delta = %+v", recs[0])
+	}
+}
+
+func TestFrameRejects(t *testing.T) {
+	enc := NewFrameEncoder()
+	vec := make([]float64, metricspec.MetricCount)
+	for e := 1; e <= 2; e++ {
+		enc.Reset()
+		vec[3] = float64(e)
+		if err := enc.Add(4, e, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame, err := enc.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := append([]byte(nil), frame...)
+	var dec FrameDecoder
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:FrameHeaderLen-1],
+		"truncated": good[:len(good)-3],
+		"bad magic": append([]byte{0, 0, 0, 0}, good[4:]...),
+		"bad crc":   flipByte(good, len(good)-1),
+		"version":   flipByte(good, 4),
+		"flags":     flipByte(good, 5),
+	}
+	for name, b := range cases {
+		if _, err := dec.Decode(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+	// The good frame still decodes after all those rejects.
+	if _, err := dec.Decode(good); err != nil {
+		t.Fatalf("good frame after rejects: %v", err)
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+// TestFrameDecoderZeroAlloc pins the decode hot path at zero steady-state
+// allocations: every buffer comes from the decoder's reused arenas.
+func TestFrameDecoderZeroAlloc(t *testing.T) {
+	enc := NewFrameEncoder()
+	vec := make([]float64, metricspec.MetricCount)
+	for n := NodeID(1); n <= 8; n++ {
+		for k := range vec {
+			vec[k] = float64(n) + float64(k)
+		}
+		if err := enc.AddFull(n, 1, vec); err != nil {
+			t.Fatal(err)
+		}
+		vec[5] += 1
+		if err := enc.Add(n, 2, vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame, err := enc.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec FrameDecoder
+	if _, err := dec.Decode(frame); err != nil { // warm the arenas
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := dec.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FrameDecoder.Decode allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestC2UnmarshalReusesEntries pins the C2 decode at zero steady-state
+// allocations once the Entries table has grown to capacity.
+func TestC2UnmarshalReusesEntries(t *testing.T) {
+	in := sampleReport().C2
+	b, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out C2
+	if err := out.UnmarshalBinary(b); err != nil { // warm the table
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := out.UnmarshalBinary(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("C2.UnmarshalBinary allocates %.1f per call, want 0", allocs)
+	}
+	if len(out.Entries) != len(in.Entries) || out.Entries[1] != in.Entries[1] {
+		t.Fatalf("reused decode corrupted entries: %+v", out.Entries)
+	}
+}

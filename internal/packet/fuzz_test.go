@@ -1,0 +1,162 @@
+package packet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/metricspec"
+)
+
+// The packet fuzz invariant is decode-or-reject: arbitrary bytes never
+// panic a decoder, and anything that decodes successfully re-encodes to
+// bytes that decode to the same value (the codec has one canonical form).
+// Additional seed corpora live in testdata/fuzz/<target>/.
+
+func fuzzSeedPackets(f *testing.F) {
+	r := sampleReport()
+	if b, err := r.C1.MarshalBinary(); err == nil {
+		f.Add(b)
+	}
+	if b, err := r.C2.MarshalBinary(); err == nil {
+		f.Add(b)
+	}
+	if b, err := r.C3.MarshalBinary(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeC1)})
+	f.Add([]byte{0xff, 0x00, 0x01})
+}
+
+func FuzzC1(f *testing.F) {
+	fuzzSeedPackets(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var p C1
+		if err := p.UnmarshalBinary(b); err != nil {
+			return
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded C1 failed: %v", err)
+		}
+		var q C1
+		if err := q.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q != p {
+			t.Fatalf("canonical round trip diverged: %+v vs %+v", q, p)
+		}
+	})
+}
+
+func FuzzC2(f *testing.F) {
+	fuzzSeedPackets(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var p C2
+		if err := p.UnmarshalBinary(b); err != nil {
+			return
+		}
+		if len(p.Entries) > metricspec.MaxNeighbors {
+			t.Fatalf("decoded %d entries past capacity", len(p.Entries))
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded C2 failed: %v", err)
+		}
+		var q C2
+		if err := q.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.Node != p.Node || q.Seq != p.Seq || len(q.Entries) != len(p.Entries) {
+			t.Fatalf("canonical round trip diverged: %+v vs %+v", q, p)
+		}
+		for i := range p.Entries {
+			if q.Entries[i] != p.Entries[i] {
+				t.Fatalf("entry %d diverged: %+v vs %+v", i, q.Entries[i], p.Entries[i])
+			}
+		}
+	})
+}
+
+func FuzzC3(f *testing.F) {
+	fuzzSeedPackets(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var p C3
+		if err := p.UnmarshalBinary(b); err != nil {
+			return
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded C3 failed: %v", err)
+		}
+		var q C3
+		if err := q.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q != p {
+			t.Fatalf("canonical round trip diverged: %+v vs %+v", q, p)
+		}
+	})
+}
+
+// FuzzFrame hammers the batch frame decoder. Invariants: never panic, never
+// accept a frame whose record structure is inconsistent (every accepted
+// record has a sane kind, in-range delta indices, and Values/Diff lengths
+// matching its header), and accepted frames re-decode identically (the
+// decoder is deterministic over its reused arenas).
+func FuzzFrame(f *testing.F) {
+	enc := NewFrameEncoder()
+	vec := make([]float64, metricspec.MetricCount)
+	for k := range vec {
+		vec[k] = float64(k) * 1.5
+	}
+	_ = enc.AddFull(1, 1, vec)
+	vec[7] = math.Pi
+	_ = enc.Add(1, 2, vec)
+	rep := sampleReport()
+	_ = enc.AddReport(3, &rep)
+	if b, err := enc.Frame(); err == nil {
+		f.Add(append([]byte(nil), b...))
+	}
+	enc.Reset()
+	if b, err := enc.Frame(); err == nil { // empty frame
+		f.Add(append([]byte(nil), b...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("VN2F"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var dec FrameDecoder
+		recs, err := dec.Decode(b)
+		if err != nil {
+			return
+		}
+		for i, r := range recs {
+			switch r.Kind {
+			case RecFull, RecReport:
+				if len(r.Values) != r.Len {
+					t.Fatalf("record %d: %d values, header says %d", i, len(r.Values), r.Len)
+				}
+			case RecDelta:
+				if len(r.Idx) != len(r.Diff) {
+					t.Fatalf("record %d: %d indices, %d values", i, len(r.Idx), len(r.Diff))
+				}
+				prev := -1
+				for _, ix := range r.Idx {
+					if int(ix) >= r.Len || int(ix) <= prev {
+						t.Fatalf("record %d: index %d out of order or range (len %d)", i, ix, r.Len)
+					}
+					prev = int(ix)
+				}
+			default:
+				t.Fatalf("record %d: impossible kind %#x", i, r.Kind)
+			}
+		}
+		// Deterministic: a second decode of the same bytes agrees.
+		var dec2 FrameDecoder
+		recs2, err := dec2.Decode(b)
+		if err != nil || len(recs2) != len(recs) {
+			t.Fatalf("re-decode diverged: %v, %d vs %d records", err, len(recs2), len(recs))
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/wsn-tools/vn2/internal/metricspec"
 )
@@ -107,10 +108,25 @@ type Report struct {
 // in metricspec ID order. Missing routing-table slots read as zero, matching
 // a real sink that zero-fills absent neighbors.
 func (r *Report) Vector() ([]float64, error) {
-	if len(r.C2.Entries) > metricspec.MaxNeighbors {
-		return nil, fmt.Errorf("%w: %d entries", ErrTooManyNeighbors, len(r.C2.Entries))
-	}
 	v := make([]float64, metricspec.MetricCount)
+	if err := r.VectorInto(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// VectorInto assembles the metric vector into v (length MetricCount) without
+// allocating — the frame decoder's arena-backed variant of Vector.
+func (r *Report) VectorInto(v []float64) error {
+	if len(r.C2.Entries) > metricspec.MaxNeighbors {
+		return fmt.Errorf("%w: %d entries", ErrTooManyNeighbors, len(r.C2.Entries))
+	}
+	if len(v) != metricspec.MetricCount {
+		return fmt.Errorf("packet: vector length %d, want %d", len(v), metricspec.MetricCount)
+	}
+	for k := range v {
+		v[k] = 0
+	}
 	v[metricspec.Temperature] = r.C1.Temperature
 	v[metricspec.Humidity] = r.C1.Humidity
 	v[metricspec.Light] = r.C1.Light
@@ -138,7 +154,7 @@ func (r *Report) Vector() ([]float64, error) {
 	v[metricspec.BeaconCounter] = float64(r.C3.Beacon)
 	v[metricspec.QueuePeak] = float64(r.C3.QueuePeak)
 	v[metricspec.Uptime] = float64(r.C3.Uptime)
-	return v, nil
+	return nil
 }
 
 // --- wire format -----------------------------------------------------------
@@ -156,8 +172,32 @@ const headerLen = 7
 
 const fixedScale = 1000
 
+// Fixed-point saturation bounds: the widest magnitudes an int32 milli-value
+// can carry. Values outside ±2147483.647 clamp to these on the wire — the
+// alternative, converting an out-of-range float64 to int32, is
+// implementation-specific in Go and silently corrupted cumulative counters
+// such as RadioOnTime (~25 days of radio-on seconds crosses the boundary).
+// NaN encodes as zero; a mote cannot report NaN and the decode side must
+// never see one.
+const (
+	FixedMax = math.MaxInt32 / float64(fixedScale) // +2147483.647
+	FixedMin = math.MinInt32 / float64(fixedScale) // −2147483.648
+)
+
 func putFixed(b []byte, v float64) {
-	binary.BigEndian.PutUint32(b, uint32(int32(v*fixedScale+copysignHalf(v))))
+	f := v*fixedScale + copysignHalf(v)
+	var u int32
+	switch {
+	case f >= math.MaxInt32:
+		u = math.MaxInt32
+	case f <= math.MinInt32:
+		u = math.MinInt32
+	case math.IsNaN(f):
+		u = 0
+	default:
+		u = int32(f)
+	}
+	binary.BigEndian.PutUint32(b, uint32(u))
 }
 
 func copysignHalf(v float64) float64 {
@@ -248,7 +288,13 @@ func (p *C2) UnmarshalBinary(b []byte) error {
 	if len(b) < headerLen+1+n*14 {
 		return fmt.Errorf("%w: C2 payload %d bytes for %d entries", ErrTruncated, len(b), n)
 	}
-	p.Entries = make([]NeighborEntry, n)
+	// Reuse the caller's Entries capacity: the sink decodes C2 packets in a
+	// tight loop and must not allocate a fresh table per report.
+	if cap(p.Entries) >= n {
+		p.Entries = p.Entries[:n]
+	} else {
+		p.Entries = make([]NeighborEntry, n, metricspec.MaxNeighbors)
+	}
 	off := headerLen + 1
 	for i := range p.Entries {
 		p.Entries[i] = NeighborEntry{

@@ -262,3 +262,74 @@ func TestPropertyC3RoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFixedPointSaturation pins the overflow contract: milli-values outside
+// int32 saturate to ±FixedMax/FixedMin instead of wrapping through Go's
+// implementation-specific float→int32 conversion. RadioOnTime is the field
+// that hits this in production: a cumulative radio-on counter crosses
+// 2147483.647 s after ~25 days.
+func TestFixedPointSaturation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"at max", FixedMax, FixedMax},
+		{"at min", FixedMin, FixedMin},
+		{"just past max", FixedMax + 0.001, FixedMax},
+		{"just past min", FixedMin - 0.001, FixedMin},
+		{"25 days of seconds", 2.2e6, FixedMax},
+		{"huge counter", 1e12, FixedMax},
+		{"huge negative", -1e12, FixedMin},
+		{"max float", math.MaxFloat64, FixedMax},
+		{"pos inf", math.Inf(1), FixedMax},
+		{"neg inf", math.Inf(-1), FixedMin},
+		{"nan", math.NaN(), 0},
+		{"in range", 1234.5, 1234.5},
+		{"in range negative", -987.654, -987.654},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := C1{Node: 1, RadioOnTime: tc.in}
+			b, err := in.MarshalBinary()
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			var out C1
+			if err := out.UnmarshalBinary(b); err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if math.Abs(out.RadioOnTime-tc.want) > 1e-9 {
+				t.Errorf("RadioOnTime %v decoded as %v, want %v", tc.in, out.RadioOnTime, tc.want)
+			}
+		})
+	}
+}
+
+// Property: no float64 input makes the fixed-point codec produce a decoded
+// value outside [FixedMin, FixedMax], and in-range values still round-trip
+// to the nearest milli.
+func TestPropertyFixedPointSaturates(t *testing.T) {
+	f := func(v float64) bool {
+		in := C1{Temperature: v}
+		b, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out C1
+		if err := out.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		got := out.Temperature
+		if got < FixedMin || got > FixedMax {
+			return false
+		}
+		if !math.IsNaN(v) && v >= FixedMin && v <= FixedMax {
+			return math.Abs(got-v) <= 0.0005+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

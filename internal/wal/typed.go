@@ -21,6 +21,12 @@ const (
 	KindRaw Kind = 0
 	// KindSwap is a model hot-swap control record (serve's swapRecord JSON).
 	KindSwap Kind = 'S'
+	// KindBatch is a batched binary ingest frame (internal/packet frame
+	// bytes). The frame's records are always fully materialized — never
+	// deltas — so a replay that starts after a snapshot truncation needs no
+	// history to reconstruct them. One batch is one WAL record: the group
+	// commit the binary path buys.
+	KindBatch Kind = 'B'
 )
 
 // typedMagic is the reserved first byte of a typed payload.

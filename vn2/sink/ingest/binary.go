@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+)
+
+// Binary ingest errors.
+var (
+	// ErrEmptyFrame reports a structurally valid frame with zero records —
+	// accepting it would ACK nothing as if it were something.
+	ErrEmptyFrame = errors.New("ingest: empty binary frame")
+	// ErrDeltaBase reports a delta record whose base vector this sink does
+	// not hold (cold cache after a restart, or a desynced sender). The whole
+	// frame is rejected; the client must retransmit with full encoding.
+	ErrDeltaBase = errors.New("ingest: delta base not cached, resend full")
+)
+
+// nodeBase is one node's slot in the sink's last-vector cache.
+type nodeBase struct {
+	epoch uint32
+	vec   []float64
+}
+
+// BinaryDecoder is the sink side of the batched binary ingest protocol: it
+// parses /report/bin frames and reconstructs delta-encoded records against
+// a per-node cache of the last vector received. Reconstruction is bit-exact
+// because the wire carries raw float64 bits and a delta only ever rewrites
+// entries of a cached vector the sender provably shares (epoch and length
+// are checked; any mismatch rejects the whole frame before the cache moves).
+//
+// Decode is all-or-nothing: the cache commits only after every record in
+// the frame has been reconstructed, so a rejected frame leaves the decoder
+// exactly as it was — a torn wire or desynced sender can never half-apply
+// a batch or poison later deltas.
+//
+// Not safe for concurrent use; the server serializes access.
+type BinaryDecoder struct {
+	dec     packet.FrameDecoder
+	last    map[packet.NodeID]*nodeBase
+	inFrame map[packet.NodeID]int // node → latest record index, current frame
+	deltas  atomic.Uint64         // cumulative delta-encoded records decoded
+}
+
+// Deltas reports how many delta-encoded records this decoder has
+// reconstructed (the wire-efficiency signal surfaced at /status).
+func (d *BinaryDecoder) Deltas() uint64 { return d.deltas.Load() }
+
+// NewBinaryDecoder returns a decoder with a cold cache: until a node's
+// first full record arrives, deltas for it are rejected.
+func NewBinaryDecoder() *BinaryDecoder {
+	return &BinaryDecoder{
+		last:    make(map[packet.NodeID]*nodeBase),
+		inFrame: make(map[packet.NodeID]int),
+	}
+}
+
+// Nodes reports how many nodes the last-vector cache holds.
+func (d *BinaryDecoder) Nodes() int { return len(d.last) }
+
+// Decode parses one binary frame into trace records. The returned records
+// own their vectors (one flat backing array per call — ~1 allocation per
+// batch, not per report) and stay valid after the next Decode, so they can
+// sit on the ingest queue while the decoder moves on.
+func (d *BinaryDecoder) Decode(raw []byte) ([]trace.Record, error) {
+	wrecs, err := d.dec.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(wrecs) == 0 {
+		return nil, ErrEmptyFrame
+	}
+	total := 0
+	for i := range wrecs {
+		total += wrecs[i].Len
+	}
+	out := make([]trace.Record, len(wrecs))
+	flat := make([]float64, total)
+	off := 0
+	clear(d.inFrame)
+	for i := range wrecs {
+		wr := &wrecs[i]
+		vec := flat[off : off+wr.Len : off+wr.Len]
+		off += wr.Len
+		switch wr.Kind {
+		case packet.RecFull, packet.RecReport:
+			copy(vec, wr.Values)
+		case packet.RecDelta:
+			// The base is the node's latest vector: the one earlier in this
+			// frame if present, else the cached one from previous frames.
+			var baseEpoch uint32
+			var base []float64
+			if j, ok := d.inFrame[wr.Node]; ok {
+				baseEpoch = uint32(out[j].Epoch)
+				base = out[j].Vector
+			} else if nb, ok := d.last[wr.Node]; ok {
+				baseEpoch = nb.epoch
+				base = nb.vec
+			} else {
+				return nil, fmt.Errorf("%w: node %d has no cached vector", ErrDeltaBase, wr.Node)
+			}
+			if baseEpoch != wr.Base || len(base) != wr.Len {
+				return nil, fmt.Errorf("%w: node %d base epoch %d len %d, cached epoch %d len %d",
+					ErrDeltaBase, wr.Node, wr.Base, wr.Len, baseEpoch, len(base))
+			}
+			copy(vec, base)
+			for j, ix := range wr.Idx {
+				vec[ix] = wr.Diff[j]
+			}
+			d.deltas.Add(1)
+		default:
+			return nil, fmt.Errorf("%w: record kind %#x", packet.ErrBadFrame, wr.Kind)
+		}
+		out[i] = trace.Record{Node: wr.Node, Epoch: int(wr.Epoch), Vector: vec}
+		d.inFrame[wr.Node] = i
+	}
+	// Every record reconstructed — commit the cache: each node's slot moves
+	// to its last vector in this frame.
+	for node, i := range d.inFrame {
+		nb, ok := d.last[node]
+		if !ok {
+			nb = &nodeBase{}
+			d.last[node] = nb
+		}
+		if len(nb.vec) != len(out[i].Vector) {
+			nb.vec = make([]float64, len(out[i].Vector))
+		}
+		copy(nb.vec, out[i].Vector)
+		nb.epoch = uint32(out[i].Epoch)
+	}
+	return out, nil
+}

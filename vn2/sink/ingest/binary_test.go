@@ -1,0 +1,296 @@
+package ingest
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// encodeFrame builds a frame through the real client-side encoder so the
+// decoder tests exercise the actual wire bytes, not hand-rolled ones.
+func encodeFrame(t *testing.T, enc *packet.FrameEncoder, add func(e *packet.FrameEncoder) error) []byte {
+	t.Helper()
+	enc.Reset()
+	if err := add(enc); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	frame, err := enc.Frame()
+	if err != nil {
+		t.Fatalf("frame: %v", err)
+	}
+	return append([]byte(nil), frame...)
+}
+
+func TestDecodeEnvelopeEmptyArray(t *testing.T) {
+	// {"reports": []} must be diagnosed as an empty batch, not fall through
+	// to bare-record parsing and the misleading "report without a vector".
+	for _, body := range []string{`{"reports": []}`, `{"reports":[]}`, ` { "reports" : [ ] } `} {
+		_, err := Decode([]byte(body))
+		if err == nil {
+			t.Fatalf("Decode(%q): expected error", body)
+		}
+		if !strings.Contains(err.Error(), "empty report array") {
+			t.Fatalf("Decode(%q): got %q, want empty-report-array", body, err)
+		}
+	}
+	// {"reports": null} names the key with no reports — same diagnosis.
+	if _, err := Decode([]byte(`{"reports": null}`)); err == nil ||
+		!strings.Contains(err.Error(), "empty report array") {
+		t.Fatalf("Decode null reports: got %v, want empty-report-array", err)
+	}
+	// And a populated envelope still decodes.
+	recs, err := Decode([]byte(`{"reports":[{"node":3,"epoch":7,"vector":[1,2]}]}`))
+	if err != nil || len(recs) != 1 || recs[0].Node != 3 {
+		t.Fatalf("envelope decode: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestBinaryDecoderFullRoundTrip(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	vecs := map[packet.NodeID][]float64{
+		1: {1.5, -0.25, math.Inf(1), 0},
+		2: {0, 0, 0, math.Copysign(0, -1)},
+	}
+	frame := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		for node, v := range vecs {
+			if err := e.AddFull(node, 10, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	recs, err := dec.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for _, rec := range recs {
+		want := vecs[rec.Node]
+		if rec.Epoch != 10 || len(rec.Vector) != len(want) {
+			t.Fatalf("record shape: %+v", rec)
+		}
+		for i := range want {
+			if math.Float64bits(rec.Vector[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("node %d [%d]: %v != %v", rec.Node, i, rec.Vector[i], want[i])
+			}
+		}
+	}
+	if dec.Nodes() != 2 {
+		t.Fatalf("cache holds %d nodes, want 2", dec.Nodes())
+	}
+}
+
+func TestBinaryDecoderDeltaAcrossFrames(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	base := []float64{100, 200, 300, 400, 500}
+
+	frame1 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		return e.Add(7, 1, base)
+	})
+	if _, err := dec.Decode(frame1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same vector with two slots bumped: the encoder emits a delta against
+	// epoch 1, the decoder reconstructs from its cache.
+	next := append([]float64(nil), base...)
+	next[0] += 1
+	next[4] = math.NaN()
+	frame2 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		return e.Add(7, 2, next)
+	})
+	before := dec.Deltas()
+	recs, err := dec.Decode(frame2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Deltas() != before+1 {
+		t.Fatalf("expected a delta record on the wire (deltas %d -> %d)", before, dec.Deltas())
+	}
+	for i := range next {
+		if math.Float64bits(recs[0].Vector[i]) != math.Float64bits(next[i]) {
+			t.Fatalf("slot %d: %v != %v", i, recs[0].Vector[i], next[i])
+		}
+	}
+}
+
+func TestBinaryDecoderIntraFrameDelta(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	v1 := []float64{1, 2, 3}
+	v2 := []float64{1, 2, 4}
+	v3 := []float64{1, 5, 4}
+	frame := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		if err := e.Add(9, 1, v1); err != nil {
+			return err
+		}
+		if err := e.Add(9, 2, v2); err != nil {
+			return err
+		}
+		return e.Add(9, 3, v3)
+	})
+	recs, err := dec.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, want := range [][]float64{v1, v2, v3} {
+		for j := range want {
+			if recs[i].Vector[j] != want[j] {
+				t.Fatalf("rec %d slot %d: %v != %v", i, j, recs[i].Vector[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBinaryDecoderRejectsColdDelta(t *testing.T) {
+	// A delta for a node the sink has never seen must reject the frame and
+	// leave the cache untouched (all-or-nothing).
+	enc := packet.NewFrameEncoder()
+	warm := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+
+	// Prime only the CLIENT encoder so it willingly emits a delta.
+	encodeFrame(t, warm, func(e *packet.FrameEncoder) error { return nil })
+	base := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	encodeFrame(t, enc, func(e *packet.FrameEncoder) error { return e.Add(5, 1, base) })
+	next := append([]float64(nil), base...)
+	next[2] += 1
+	deltaFrame := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		if err := e.AddFull(6, 1, base); err != nil { // a valid full rides along
+			return err
+		}
+		return e.Add(5, 2, next)
+	})
+
+	if _, err := dec.Decode(deltaFrame); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("got %v, want ErrDeltaBase", err)
+	}
+	// All-or-nothing: node 6's full record must NOT have been committed.
+	if dec.Nodes() != 0 {
+		t.Fatalf("cache advanced on a rejected frame: %d nodes", dec.Nodes())
+	}
+}
+
+func TestBinaryDecoderRejectsStaleBase(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	base := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	f1 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error { return e.Add(5, 1, base) })
+	if _, err := dec.Decode(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Advance the sink past the client: the sink now caches epoch 3, but
+	// the client still deltas against epoch 1.
+	bumped := append([]float64(nil), base...)
+	bumped[0] = 9
+	f2 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error { return e.AddFull(5, 3, bumped) })
+	if _, err := dec.Decode(f2); err != nil {
+		t.Fatal(err)
+	}
+	enc.Forget()
+	encodeFrame(t, enc, func(e *packet.FrameEncoder) error { return e.Add(5, 1, base) })
+	next := append([]float64(nil), base...)
+	next[1] += 1
+	f3 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error { return e.Add(5, 2, next) })
+	if _, err := dec.Decode(f3); !errors.Is(err, ErrDeltaBase) {
+		t.Fatalf("got %v, want ErrDeltaBase for stale base epoch", err)
+	}
+}
+
+func TestBinaryDecoderEmptyFrame(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	frame := encodeFrame(t, enc, func(e *packet.FrameEncoder) error { return nil })
+	if _, err := dec.Decode(frame); !errors.Is(err, ErrEmptyFrame) {
+		t.Fatalf("got %v, want ErrEmptyFrame", err)
+	}
+}
+
+// TestBinaryDecoderRecordsOutliveDecode pins the ownership contract: records
+// from one Decode stay intact after the next Decode reuses the arenas.
+func TestBinaryDecoderRecordsOutliveDecode(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	f1 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		return e.Add(1, 1, []float64{10, 20, 30})
+	})
+	recs1, err := dec.Decode(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		return e.Add(2, 1, []float64{-1, -2, -3})
+	})
+	if _, err := dec.Decode(f2); err != nil {
+		t.Fatal(err)
+	}
+	if recs1[0].Vector[0] != 10 || recs1[0].Vector[2] != 30 {
+		t.Fatalf("first batch clobbered by second decode: %v", recs1[0].Vector)
+	}
+}
+
+// TestBinaryDecoderAllocBudget pins the hot-path promise: decoding a
+// 64-report batch costs well under one allocation per report once the
+// caches are warm (one flat float64 backing + one record slice per batch).
+func TestBinaryDecoderAllocBudget(t *testing.T) {
+	enc := packet.NewFrameEncoder()
+	dec := NewBinaryDecoder()
+	const reports = 64
+	vec := make([]float64, 12)
+	for i := range vec {
+		vec[i] = float64(i) * 3.5
+	}
+	// A full frame at epoch 10 and a delta frame at epoch 11 whose bases are
+	// the full frame's vectors: the pair cycles cleanly (each full overwrite
+	// re-arms the next round of deltas).
+	fullFrame := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		for n := 0; n < reports; n++ {
+			if err := e.AddFull(packet.NodeID(n+1), 10, vec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	next := append([]float64(nil), vec...)
+	next[3] += 42
+	deltaFrame := encodeFrame(t, enc, func(e *packet.FrameEncoder) error {
+		for n := 0; n < reports; n++ {
+			if err := e.Add(packet.NodeID(n+1), 11, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Warm the decoder so its cache maps and slices stop growing.
+	for i := 0; i < 3; i++ {
+		if _, err := dec.Decode(fullFrame); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(deltaFrame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := dec.Decode(fullFrame); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(deltaFrame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocs /= 2 // two batches per run
+	t.Logf("allocs per 64-report batch: %.1f", allocs)
+	if allocs > float64(reports) {
+		t.Fatalf("decode allocates %.1f per %d-report batch (> 1 alloc/report)", allocs, reports)
+	}
+}

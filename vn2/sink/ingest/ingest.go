@@ -32,9 +32,22 @@ func Decode(raw []byte) ([]trace.Record, error) {
 		}
 		return recs, nil
 	}
-	var env Envelope
-	if err := json.Unmarshal(raw, &env); err == nil && len(env.Reports) > 0 {
-		return env.Reports, nil
+	// Probe for the envelope by key presence, not content: {"reports": []}
+	// must be reported as an empty batch (like the bare-array path), not
+	// fall through to bare-record parsing and the misleading "report
+	// without a vector".
+	var probe struct {
+		Reports json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &probe); err == nil && probe.Reports != nil {
+		var recs []trace.Record
+		if err := json.Unmarshal(probe.Reports, &recs); err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, errors.New("empty report array")
+		}
+		return recs, nil
 	}
 	// Not the batch envelope: treat the body as one bare record.
 	var rec trace.Record

@@ -111,5 +111,14 @@ func (s *Server) registerMetrics() {
 		m["stream_journal_len"] = bst.JournalLen
 		m["stream_journal_cap"] = bst.JournalCap
 		m["stream_next_seq"] = s.bus.NextSeq()
+		// Binary ingest path (/report/bin). /status-only: adding keys to
+		// /metrics would break its byte-compatibility contract.
+		m["bin_frames"] = s.binFrames.Load()
+		m["bin_records"] = s.binRecords.Load()
+		m["bin_rejects"] = s.binRejects.Load()
+		m["bin_deltas"] = s.binDec.Deltas()
+		s.binMu.Lock()
+		m["bin_cache_nodes"] = s.binDec.Nodes()
+		s.binMu.Unlock()
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/wsn-tools/vn2/internal/packet"
 	"github.com/wsn-tools/vn2/internal/retry"
 	"github.com/wsn-tools/vn2/vn2/online"
 	"github.com/wsn-tools/vn2/vn2/sink/api"
@@ -55,6 +56,13 @@ type Server struct {
 	lc  *lifecycle.Manager
 	bus *bus.Bus
 
+	// Binary ingest path (POST /report/bin). binMu serializes frame decode,
+	// WAL re-encode and enqueue: the delta cache must observe frames in the
+	// order their records hit the queue, and both codecs reuse arenas.
+	binMu  sync.Mutex
+	binDec *ingest.BinaryDecoder
+	binEnc *packet.FrameEncoder
+
 	reg       *api.Registry // the /metrics keys (byte-compatible legacy set)
 	statusReg *api.Registry // /status extras layered on top of reg
 
@@ -72,6 +80,10 @@ type Server struct {
 	walReplayed atomic.Uint64 // records re-ingested from the WAL at startup
 	walSkipped  atomic.Uint64 // replay records at or below the snapshot watermark
 	walBadRec   atomic.Uint64 // replay records whose payload did not decode
+
+	binFrames  atomic.Uint64 // binary frames accepted
+	binRecords atomic.Uint64 // reports carried by accepted binary frames
+	binRejects atomic.Uint64 // frames rejected (bad frame or delta-base miss)
 
 	deg          api.Degraded
 	lastGood     atomic.Pointer[online.Summary] // served read-only while degraded

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/wsn-tools/vn2/internal/packet"
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/vn2"
 	"github.com/wsn-tools/vn2/vn2/online"
@@ -239,6 +240,8 @@ func New(o Options) (*Server, error) {
 		queue:   make(chan ingest.Item, o.QueueSize),
 		started: time.Now(),
 		sleep:   o.Sleep,
+		binDec:  ingest.NewBinaryDecoder(),
+		binEnc:  packet.NewFrameEncoder(),
 	}
 	s.bus = bus.New(o.EventJournal)
 	s.lc = lifecycle.New(lifecycle.Config{
@@ -301,6 +304,33 @@ func New(o Options) (*Server, error) {
 					return err
 				}
 				s.walReplayed.Add(1)
+				return nil
+			}
+			if kind == store.KindBatch {
+				// A batched binary frame: one WAL record carrying many
+				// reports, always fully materialized (the live path
+				// re-encodes deltas before journaling). Replaying through
+				// the binary decoder both feeds the monitor and re-primes
+				// the sink's delta cache, so a client that kept its
+				// baselines across our restart can keep sending deltas.
+				recs, err := s.binDec.Decode(inner)
+				if err != nil {
+					s.walBadRec.Add(1)
+					return nil
+				}
+				for _, rec := range recs {
+					if _, err := mon.Ingest(rec); err != nil {
+						s.ingestErr.Add(1)
+					} else {
+						s.walReplayed.Add(1)
+						s.ingested.Add(1)
+					}
+				}
+				if mon.Pending() >= o.MaxPending/2 {
+					if _, err := mon.Drain(); err != nil {
+						return fmt.Errorf("drain during replay: %w", err)
+					}
+				}
 				return nil
 			}
 			var rec trace.Record

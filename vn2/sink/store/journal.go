@@ -24,8 +24,9 @@ type RecordKind = wal.Kind
 
 // Journal frame kinds.
 const (
-	KindRaw  = wal.KindRaw
-	KindSwap = wal.KindSwap
+	KindRaw   = wal.KindRaw
+	KindSwap  = wal.KindSwap
+	KindBatch = wal.KindBatch
 )
 
 // Journal wraps the write-ahead log with the sink's append/sync policy:
@@ -60,6 +61,30 @@ func (j *Journal) AppendRecord(rec trace.Record) (uint64, error) {
 	var lsn uint64
 	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a1)
 	err = retry.Do(context.Background(), b, 3, j.sleep, func() error {
+		l, err := j.w.Append(payload)
+		if err != nil {
+			return err
+		}
+		lsn = l
+		return nil
+	})
+	if err != nil {
+		j.errs.Add(1)
+	}
+	return lsn, err
+}
+
+// AppendBatch journals one batched binary ingest frame as a single WAL
+// record (the group-commit framing: a 64-report batch costs one append and
+// shares one fsync, where the JSON path appends per report). The frame must
+// contain only fully-materialized records — replay after a snapshot
+// truncation has no delta history. Same retry policy as AppendRecord; the
+// batch is durable only after a later Sync.
+func (j *Journal) AppendBatch(frame []byte) (uint64, error) {
+	payload := wal.Encode(wal.KindBatch, frame)
+	var lsn uint64
+	b := retry.New(10*time.Millisecond, 250*time.Millisecond, 0x77a3)
+	err := retry.Do(context.Background(), b, 3, j.sleep, func() error {
 		l, err := j.w.Append(payload)
 		if err != nil {
 			return err
