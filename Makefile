@@ -13,7 +13,9 @@ GO ?= go
 # mat carries the pool-backed blocked kernels (MulIntoOn and friends).
 # packet carries the wire codecs (fixed-point packets and the batched
 # binary frame format the sink's /report/bin path decodes).
-RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./internal/packet/... ./vn2/online/... ./vn2/sink/... ./cmd/vn2/...
+# vn2/reporter is the persistent-stream client (concurrent Report/Flush
+# over the spill queue, the breaker, and live TCP connections).
+RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./internal/packet/... ./vn2/online/... ./vn2/sink/... ./vn2/reporter/... ./cmd/vn2/...
 
 # Short smoke budget per fuzz target inside `make check`; raise for a real
 # fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
@@ -41,7 +43,7 @@ BENCH_NEW ?= $(BENCH_TXT)
 # policy as the linters).
 BENCHSTAT_VERSION ?= v0.0.0-20240604174448-7c4a4e372563
 
-.PHONY: check vet lint build test race fuzz chaos smoke smoke-stream bench bench-all benchdiff
+.PHONY: check vet lint build test race fuzz chaos chaos-stream smoke smoke-stream bench bench-all benchdiff
 
 check: vet lint build test race fuzz
 
@@ -90,6 +92,15 @@ chaos:
 	$(GO) run ./cmd/vn2 chaos -seed 1
 	$(GO) run ./cmd/vn2 chaos -seed 1 -bin
 	$(GO) test ./cmd/vn2 -run TestChaos -count=1 -v
+
+# chaos-stream proves the same contract over the persistent TCP frame
+# stream: the production vn2/reporter client under mid-frame cuts, frame
+# corruption, a hard partition window (bounded spill + circuit breaker),
+# a slowloris probe, and the mid-run kill -9 — recovered diagnoses must
+# match the fault-free JSON baseline bit for bit, with zero spill drops.
+chaos-stream:
+	$(GO) run ./cmd/vn2 chaos -seed 1 -stream -partition-epoch 26 -partition-len 4
+	$(GO) test ./cmd/vn2 -run TestChaosStream -count=1 -v
 
 # smoke boots the real sink stack end to end: build fixtures, start the HTTP
 # server, post reports, and assert the diagnosis round-trip, backpressure,

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/wsn-tools/vn2/internal/chaos"
@@ -22,6 +23,7 @@ import (
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/internal/tracegen"
 	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/reporter"
 	"github.com/wsn-tools/vn2/vn2/sink"
 )
 
@@ -40,6 +42,13 @@ type chaosOptions struct {
 	tolerance float64 // max allowed per-epoch relative L1 deviation when drop > 0
 	dir       string  // work dir (default: a temp dir, removed afterwards)
 	quiet     bool
+
+	// Persistent-stream mode: deliver via vn2/reporter over the TCP stream
+	// edge, with connection-level faults layered on the record-level mix.
+	stream       bool
+	corrupt      float64 // per-step frame-corruption probability
+	partitionAt  int     // step at which a hard partition opens (0 = never)
+	partitionLen int     // steps the partition lasts
 }
 
 // chaosResult is what the harness measured; the e2e test asserts on it and
@@ -57,6 +66,9 @@ type chaosResult struct {
 	// Digest fingerprints the recovered distributions; identical seeds must
 	// reproduce identical digests.
 	Digest string
+	// Reporter carries the stream client's counters in -stream mode (nil
+	// otherwise): spill-queue bounds, breaker trips, NACKs, redials.
+	Reporter *reporter.Stats
 }
 
 func cmdChaos(args []string) error {
@@ -71,17 +83,27 @@ func cmdChaos(args []string) error {
 	fs.Float64Var(&o.truncate, "truncate", 0.1, "per-delivery wire-truncation probability (lossless, client retransmits)")
 	fs.BoolVar(&o.shuffle, "shuffle", true, "shuffle each delivery's records")
 	fs.BoolVar(&o.bin, "bin", false, "deliver the chaos run over POST /report/bin (delta-encoded binary batches); the baseline stays on the JSON path, so exactness also proves cross-encoding equivalence")
+	fs.BoolVar(&o.stream, "stream", false, "deliver the chaos run through the persistent TCP frame stream via the production vn2/reporter client; adds connection-level faults (mid-frame cuts, corruption, partition, slowloris) on top of the record mix")
+	fs.Float64Var(&o.corrupt, "corrupt", 0.1, "per-step frame-corruption probability (-stream only; caught by the frame CRC and NACKed)")
+	fs.IntVar(&o.partitionAt, "partition-epoch", 0, "open a hard network partition at this epoch batch (-stream only; 0 = never): the reporter spills into its bounded queue and its circuit breaker trips")
+	fs.IntVar(&o.partitionLen, "partition-len", 4, "how many epoch batches the partition lasts (-stream only)")
 	fs.IntVar(&o.killAfter, "kill-epoch", tracegen.TestbedEpochs/2, "kill -9 the sink after this epoch batch and restart it from WAL+snapshot (0 = never)")
 	fs.Float64Var(&o.tolerance, "tolerance", 0.5, "allowed per-epoch relative L1 deviation when -drop > 0 (a single dropped hot report can dominate a sparse epoch)")
 	fs.StringVar(&o.dir, "dir", "", "work directory (default: temp)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if o.stream && o.bin {
+		return fmt.Errorf("chaos: -stream and -bin are mutually exclusive delivery modes")
+	}
 	res, err := runChaos(o, func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) })
 	if err != nil {
 		return err
 	}
 	fmt.Printf("transport: %+v\n", res.Transport)
+	if res.Reporter != nil {
+		fmt.Printf("reporter: %+v\n", *res.Reporter)
+	}
 	fmt.Printf("epochs: baseline %d, recovered %d\n", len(res.Baseline.Epochs), len(res.Recovered.Epochs))
 	fmt.Printf("max per-epoch deviation: %.6f (exact: %v)\n", res.MaxDeviation, res.Exact)
 	fmt.Printf("recovered digest: %s\n", res.Digest)
@@ -152,7 +174,22 @@ func runChaos(o chaosOptions, logf func(string, ...any)) (*chaosResult, error) {
 		return nil, err
 	}
 	faulty := driveOptions{calibPath: calibPath, modelPath: modelPath, dir: filepath.Join(dir, "chaos"), bin: o.bin}
-	recovered, err := driveRun(faulty, batches, tr, o.killAfter, logf)
+	var (
+		recovered *online.MonitorState
+		repStats  *reporter.Stats
+	)
+	if o.stream {
+		sf := chaos.StreamFaults{
+			Seed:         o.seed,
+			Cut:          o.truncate, // the wire that truncates JSON bodies cuts stream frames
+			Corrupt:      o.corrupt,
+			PartitionAt:  o.partitionAt,
+			PartitionLen: o.partitionLen,
+		}
+		recovered, repStats, err = driveStreamRun(faulty, batches, tr, sf, o.killAfter, logf)
+	} else {
+		recovered, err = driveRun(faulty, batches, tr, o.killAfter, logf)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("chaos run: %w", err)
 	}
@@ -161,6 +198,7 @@ func runChaos(o chaosOptions, logf func(string, ...any)) (*chaosResult, error) {
 		Baseline:  *baseline,
 		Recovered: *recovered,
 		Transport: tr.Stats(),
+		Reporter:  repStats,
 	}
 	res.Exact = reflect.DeepEqual(baseline.Epochs, recovered.Epochs)
 	res.MaxDeviation = maxEpochDeviation(baseline.Epochs, recovered.Epochs)
@@ -317,10 +355,54 @@ func driveRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, kil
 	return &st, nil
 }
 
+// postWithRetry is the ONE client retry policy every chaos delivery path
+// shares: POST attempt bodies to url until a 202, with decorrelated-jitter
+// backoff (internal/retry, keyed by tag and the first body's size so equal
+// runs draw equal delay sequences), 12 attempts, and a 503's Retry-After
+// honored as an extra sleep ahead of the jittered one. body(1) is called
+// exactly once; body(n>1) builds each retry's payload, which lets the
+// binary path re-encode fully materialized frames per attempt.
+func postWithRetry(url, contentType string, tag uint64, sleep func(time.Duration), body func(attempt int) ([]byte, error)) error {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	first, err := body(1)
+	if err != nil {
+		return err
+	}
+	b := retry.New(time.Millisecond, 50*time.Millisecond, tag, uint64(len(first)))
+	attempt := 0
+	return retry.Do(context.Background(), b, 12, sleep, func() error {
+		attempt++
+		payload := first
+		if attempt > 1 {
+			var err error
+			if payload, err = body(attempt); err != nil {
+				return err
+			}
+		}
+		resp, err := http.Post(url, contentType, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			return nil
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				sleep(time.Duration(secs) * time.Second)
+			}
+		}
+		return fmt.Errorf("report status %d", resp.StatusCode)
+	})
+}
+
 // postDelivery sends one wire transfer to the sink, honoring the
 // transport's truncation verdict: a truncated delivery goes out cut
-// mid-payload (the sink must 400 it), then the full batch is retransmitted.
-// Backpressure 503s retry with decorrelated-jitter backoff.
+// mid-payload (the sink must 400 it), then the full batch is retransmitted
+// under the shared retry policy.
 func postDelivery(baseURL string, d chaos.Delivery, sleep func(time.Duration)) error {
 	body, err := json.Marshal(d.Records)
 	if err != nil {
@@ -337,19 +419,8 @@ func postDelivery(baseURL string, d chaos.Delivery, sleep func(time.Duration)) e
 			return fmt.Errorf("truncated delivery got %d, want 400", resp.StatusCode)
 		}
 	}
-	b := retry.New(time.Millisecond, 50*time.Millisecond, 0xc4a05, uint64(len(body)))
-	return retry.Do(context.Background(), b, 12, sleep, func() error {
-		resp, err := http.Post(baseURL+"/report", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusAccepted {
-			return fmt.Errorf("report status %d", resp.StatusCode)
-		}
-		return nil
-	})
+	return postWithRetry(baseURL+"/report", "application/json", 0xc4a05, sleep,
+		func(int) ([]byte, error) { return body, nil })
 }
 
 // postDeliveryBin is postDelivery over the batched binary path: the
@@ -360,62 +431,55 @@ func postDelivery(baseURL string, d chaos.Delivery, sleep func(time.Duration)) e
 // client baselines and retransmit fully materialized, the one encoding
 // correct against either state.
 func postDeliveryBin(baseURL string, d chaos.Delivery, enc *packet.FrameEncoder, sleep func(time.Duration)) error {
-	enc.Reset()
-	for _, rec := range d.Records {
-		if err := enc.Add(rec.Node, rec.Epoch, rec.Vector); err != nil {
+	encode := func(attempt int) ([]byte, error) {
+		if attempt > 1 {
+			enc.Forget()
+		}
+		enc.Reset()
+		for _, rec := range d.Records {
+			var err error
+			if attempt > 1 {
+				err = enc.AddFull(rec.Node, rec.Epoch, rec.Vector)
+			} else {
+				err = enc.Add(rec.Node, rec.Epoch, rec.Vector)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, err := enc.Frame()
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), f...), nil
+	}
+	if d.Truncated {
+		// The probe must cut the SAME frame the first real attempt sends, so
+		// encode it once here; postWithRetry's body(1) hands it back without
+		// re-encoding (a second delta encode would diff against baselines
+		// this very frame advanced).
+		frame, err := encode(1)
+		if err != nil {
 			return err
 		}
-	}
-	f, err := enc.Frame()
-	if err != nil {
-		return err
-	}
-	frame := append([]byte(nil), f...)
-	post := func(b []byte) (int, error) {
-		resp, err := http.Post(baseURL+"/report/bin", "application/octet-stream", bytes.NewReader(b))
+		resp, err := http.Post(baseURL+"/report/bin", "application/octet-stream", bytes.NewReader(frame[:len(frame)*2/3]))
 		if err != nil {
-			return 0, err
+			return err
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		return resp.StatusCode, nil
-	}
-	if d.Truncated {
-		code, err := post(frame[:len(frame)*2/3])
-		if err != nil {
-			return err
+		if resp.StatusCode != http.StatusBadRequest {
+			return fmt.Errorf("truncated binary delivery got %d, want 400", resp.StatusCode)
 		}
-		if code != http.StatusBadRequest {
-			return fmt.Errorf("truncated binary delivery got %d, want 400", code)
-		}
-	}
-	b := retry.New(time.Millisecond, 50*time.Millisecond, 0xc4a06, uint64(len(frame)))
-	attempt := 0
-	return retry.Do(context.Background(), b, 12, sleep, func() error {
-		attempt++
-		if attempt > 1 {
-			enc.Forget()
-			enc.Reset()
-			for _, rec := range d.Records {
-				if err := enc.AddFull(rec.Node, rec.Epoch, rec.Vector); err != nil {
-					return err
+		return postWithRetry(baseURL+"/report/bin", "application/octet-stream", 0xc4a06, sleep,
+			func(attempt int) ([]byte, error) {
+				if attempt == 1 {
+					return frame, nil
 				}
-			}
-			f, err := enc.Frame()
-			if err != nil {
-				return err
-			}
-			frame = append(frame[:0], f...)
-		}
-		code, err := post(frame)
-		if err != nil {
-			return err
-		}
-		if code != http.StatusAccepted {
-			return fmt.Errorf("binary report status %d", code)
-		}
-		return nil
-	})
+				return encode(attempt)
+			})
+	}
+	return postWithRetry(baseURL+"/report/bin", "application/octet-stream", 0xc4a06, sleep, encode)
 }
 
 // maxEpochDeviation is the comparison metric the tolerance applies to: for

@@ -1,0 +1,287 @@
+package main
+
+// The stream chaos harness: the same lossless-recovery experiment as
+// driveRun, but delivered through the persistent frame-stream transport by
+// the production vn2/reporter client against a real TCP listener — so the
+// fault surface is the connection itself, not just the payload. On top of
+// the record-level chaos transport (drop/dup/delay/shuffle, with the
+// truncation verdict mapped to a mid-frame connection cut), the step-keyed
+// StreamFaults plan injects frame corruption (caught by the CRC, NACKed,
+// full-re-encoded), extra mid-frame cuts, a hard partition window (the
+// reporter spills into its bounded queue and its circuit breaker trips),
+// a slowloris probe (the sink must cut the stalled peer without disturbing
+// the run), and the usual kill -9 restart — after which the run must STILL
+// recover bit-identically to the fault-free JSON baseline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/chaos"
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/reporter"
+	"github.com/wsn-tools/vn2/vn2/sink"
+)
+
+const (
+	// streamSpillCap bounds the reporter's spill queue. The harness asserts
+	// the high-water mark stays under it and that nothing was oldest-dropped
+	// — the partition backlog must fit, or exactness is unprovable.
+	streamSpillCap = 4096
+	// streamBreakerThreshold/Cooldown: small enough that a multi-step
+	// partition demonstrably trips the breaker, long enough that only the
+	// harness's deliberate clock advances re-close it.
+	streamBreakerThreshold = 3
+	streamBreakerCooldown  = time.Minute
+	// streamReadTimeout is the sink's per-frame read deadline; the slowloris
+	// probe stalls exactly this long.
+	streamReadTimeout = 300 * time.Millisecond
+)
+
+// driveStreamRun streams the batches through a sink's TCP stream edge with
+// the production reporter client under connection-level chaos. The
+// reporter's breaker runs on a fake clock the harness advances, so breaker
+// behavior is a function of the fault plan, never of wall time.
+func driveStreamRun(o driveOptions, batches [][]trace.Record, tr *chaos.Transport, sf chaos.StreamFaults, killAfter int, logf func(string, ...any)) (*online.MonitorState, *reporter.Stats, error) {
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	noSleep := func(time.Duration) {}
+	build := func() (*sink.Server, string, error) {
+		srv, err := sink.New(sink.Options{
+			ModelPath:         o.modelPath,
+			CalibratePath:     o.calibPath,
+			SnapshotPath:      filepath.Join(o.dir, "snapshot.json"),
+			WALPath:           filepath.Join(o.dir, "wal"),
+			QueueSize:         4096,
+			Sleep:             noSleep,
+			StreamReadTimeout: streamReadTimeout,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		addr, err := srv.StartStream("127.0.0.1:0")
+		if err != nil {
+			srv.CloseWAL()
+			return nil, "", err
+		}
+		return srv, addr.String(), nil
+	}
+	srv, addr, err := build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var (
+		cur         *chaos.FaultConn // last conn handed to the reporter
+		pending     *chaos.ConnFault // armed before any conn exists
+		partitioned bool
+	)
+	clock := time.Unix(1_700_000_000, 0)
+	rep, err := reporter.New(reporter.Config{
+		Dial: func() (net.Conn, error) {
+			if partitioned {
+				return nil, errors.New("chaos: network partitioned")
+			}
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			fc := chaos.NewFaultConn(c)
+			if pending != nil {
+				fc.Arm(*pending)
+				pending = nil
+			}
+			cur = fc
+			return fc, nil
+		},
+		MaxBatch:         256,
+		SpillCap:         streamSpillCap,
+		IOTimeout:        5 * time.Second,
+		RetryMin:         time.Millisecond,
+		RetryMax:         50 * time.Millisecond,
+		Attempts:         12,
+		BreakerThreshold: streamBreakerThreshold,
+		BreakerCooldown:  streamBreakerCooldown,
+		Seed:             uint64(sf.Seed),
+		Sleep:            noSleep,
+		Now:              func() time.Time { return clock },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rep.Close()
+
+	// arm schedules a connection fault against the next frame: on the live
+	// conn when there is one, otherwise on whichever conn the next dial
+	// creates. (If the reporter has already abandoned cur internally, the
+	// fault lands on a dead conn and simply never fires — a fault against a
+	// connection that no longer exists is a no-op, not an error.)
+	arm := func(f chaos.ConnFault) {
+		if cur != nil {
+			cur.Arm(f)
+			return
+		}
+		pf := f
+		pending = &pf
+	}
+	flush := func() error { return rep.Flush(context.Background()) }
+	report := func(d chaos.Delivery) {
+		for _, rec := range d.Records {
+			rep.Report(rec)
+		}
+	}
+
+	snapshotAt, probeAt := 0, 0
+	if killAfter > 0 {
+		snapshotAt = killAfter / 2
+		probeAt = killAfter / 4
+	}
+	for i, batch := range batches {
+		step := i + 1
+		var ds []chaos.Delivery
+		if tr != nil {
+			ds = tr.Step(batch)
+		} else {
+			ds = []chaos.Delivery{{Records: batch}}
+		}
+		v := sf.Verdict(step)
+
+		if v.Partitioned {
+			if !partitioned {
+				partitioned = true
+				rep.Close() // the cable is yanked; the live conn dies with it
+				cur = nil
+				logf("chaos: partition opened at step %d\n", step)
+			}
+			for _, d := range ds {
+				report(d)
+			}
+			// Every delivery attempt into the partition must fail — first as
+			// dial errors, then (once the breaker trips) as instant
+			// ErrBreakerOpen. Nothing is lost either way: it all spills.
+			if rep.Buffered() > 0 {
+				if err := flush(); err == nil {
+					return nil, nil, fmt.Errorf("step %d: flush succeeded through the partition", step)
+				}
+			}
+			clock = clock.Add(20 * time.Second)
+			continue
+		}
+		if partitioned {
+			partitioned = false
+			// The partition heals; let the breaker cooldown elapse so the
+			// next flush is the half-open probe that re-closes it.
+			clock = clock.Add(2 * streamBreakerCooldown)
+			logf("chaos: partition healed at step %d (spill backlog %d)\n", step, rep.Buffered())
+		}
+
+		if step == probeAt {
+			if err := slowlorisProbe(addr); err != nil {
+				return nil, nil, fmt.Errorf("step %d: slowloris probe: %w", step, err)
+			}
+		}
+
+		// Step-level connection faults hit the step's first frame; a
+		// delivery-level truncation verdict re-arms a cut for its own frame.
+		switch {
+		case v.Cut:
+			arm(chaos.ConnFault{CutAfter: 10, CorruptAt: -1}) // torn mid-header
+		case v.Corrupt:
+			arm(chaos.ConnFault{CutAfter: 0, CorruptAt: packet.FrameHeaderLen}) // CRC catches it
+		}
+		for _, d := range ds {
+			if d.Truncated {
+				arm(chaos.ConnFault{CutAfter: packet.FrameHeaderLen + 4, CorruptAt: -1}) // torn mid-payload
+			}
+			report(d)
+			if err := flush(); err != nil {
+				return nil, nil, fmt.Errorf("step %d: flush: %w", step, err)
+			}
+		}
+
+		if step == killAfter {
+			// kill -9: stream edge torn down abruptly, queue contents and
+			// unflushed WAL buffers die with the process.
+			srv.StopStream(false)
+			srv.AbortWAL()
+			logf("chaos: killed sink after step %d (queue held %d reports), restarting from disk\n",
+				step, srv.QueueDepth())
+			srv, addr, err = build()
+			if err != nil {
+				return nil, nil, fmt.Errorf("restart after kill: %w", err)
+			}
+			cur = nil
+			continue
+		}
+		srv.IngestQueued()
+		srv.DrainTick()
+		if step == snapshotAt {
+			if err := srv.PersistSnapshot(context.Background()); err != nil {
+				return nil, nil, fmt.Errorf("mid-run snapshot: %w", err)
+			}
+		}
+	}
+
+	// End of run: deliver the transport's held stragglers, then drain the
+	// spill queue to empty — advancing the clock past the breaker cooldown
+	// between rounds in case the tail of the run left it open.
+	if tr != nil {
+		for _, d := range tr.Flush() {
+			report(d)
+		}
+	}
+	for tries := 0; rep.Buffered() > 0; tries++ {
+		if tries > 20 {
+			return nil, nil, fmt.Errorf("spill queue stuck at %d after %d drain rounds", rep.Buffered(), tries)
+		}
+		if err := flush(); err != nil {
+			clock = clock.Add(2 * streamBreakerCooldown)
+		}
+	}
+	srv.IngestQueued()
+	srv.DrainTick()
+
+	st := srv.MonitorState()
+	stats := rep.Stats()
+	if err := srv.StopStream(false); err != nil {
+		return nil, nil, err
+	}
+	if err := srv.CloseWAL(); err != nil {
+		return nil, nil, err
+	}
+	if stats.SpillDrops != 0 {
+		return nil, nil, fmt.Errorf("spill queue dropped %d reports; the backlog bound is too small for this fault plan", stats.SpillDrops)
+	}
+	if stats.SpillHighWater > streamSpillCap {
+		return nil, nil, fmt.Errorf("spill high water %d exceeds the %d bound", stats.SpillHighWater, streamSpillCap)
+	}
+	return &st, &stats, nil
+}
+
+// slowlorisProbe opens a connection, sends a torn header prefix, and stalls.
+// A healthy sink cuts the peer at its read deadline — the probe must see a
+// clean EOF, not a hang.
+func slowlorisProbe(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("VN2F\x01\x00")); err != nil {
+		return err
+	}
+	c.SetReadDeadline(time.Now().Add(10 * streamReadTimeout))
+	if _, err := io.ReadAll(c); err != nil {
+		return fmt.Errorf("sink did not cut the stalled peer: %w", err)
+	}
+	return nil
+}

@@ -42,6 +42,10 @@ func cmdServe(args []string) error {
 	fs.BoolVar(&o.Refreeze, "refreeze", false, "re-anchor the exception detector on accepted swaps (declares the drifted regime the new routine)")
 	fs.IntVar(&o.EventJournal, "event-journal", 0, "event-bus replay journal capacity for /stream resume (0 = 256)")
 	fs.IntVar(&o.StreamBuffer, "stream-buffer", 0, "per-/stream-subscriber event buffer; slow consumers drop oldest (0 = 64)")
+	fs.StringVar(&o.StreamAddr, "stream-addr", "", "persistent frame-stream listen address (raw TCP, VN2F frames with per-frame ACK/NACK); empty = HTTP ingest only")
+	fs.IntVar(&o.StreamMaxConns, "stream-conns", 0, "stream connection cap; excess connections are refused with a NACK (0 = 64)")
+	fs.DurationVar(&o.StreamReadTimeout, "stream-read-timeout", 0, "per-frame stream read deadline; slow or stalled peers are disconnected (0 = 30s)")
+	fs.DurationVar(&o.StreamWriteTimeout, "stream-write-timeout", 0, "per-response stream write deadline (0 = 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"github.com/wsn-tools/vn2/internal/rng"
+)
+
+// tagStream keys the per-step connection-fault draws of StreamFaults.
+const tagStream = 0x9c47_0004
+
+// ErrConnCut is returned by a FaultConn write that hit an armed mid-frame
+// cut: the prefix went out, the connection is closed, the rest of the frame
+// is gone. The peer sees a torn frame.
+var ErrConnCut = errors.New("chaos: connection cut mid-frame")
+
+// ConnFault describes one armed fault on a FaultConn. Offsets are measured
+// in bytes written since Arm, so a harness that arms before each frame gets
+// frame-relative positions.
+type ConnFault struct {
+	// CutAfter closes the connection after this many bytes of the next
+	// writes have gone out (≤ 0 = no cut). A cut inside a frame leaves the
+	// peer holding a torn header or torn payload.
+	CutAfter int
+	// CorruptAt flips every bit of the byte at this offset (< 0 = no
+	// corruption; past the end = the last byte written). Header offsets tear
+	// the framing; payload offsets are caught by the frame CRC.
+	CorruptAt int
+}
+
+// FaultConn wraps a net.Conn with armable write-side faults: the chaos
+// harness's stand-in for a wire that dies mid-frame or flips bits. Reads
+// pass through untouched. A FaultConn with nothing armed is transparent.
+type FaultConn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	armed   bool
+	fault   ConnFault
+	written int // bytes written since Arm
+}
+
+// NewFaultConn wraps c with no fault armed.
+func NewFaultConn(c net.Conn) *FaultConn {
+	return &FaultConn{Conn: c, fault: ConnFault{CutAfter: 0, CorruptAt: -1}}
+}
+
+// Arm schedules one fault against the bytes written from now on. Arming
+// replaces any previous fault and resets the write offset.
+func (f *FaultConn) Arm(fault ConnFault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = true
+	f.fault = fault
+	f.written = 0
+}
+
+// Write applies the armed fault. A corruption rewrites one byte of p (in a
+// copy; the caller's buffer is never mutated) and disarms. A cut writes the
+// prefix up to CutAfter, closes the connection, disarms, and returns
+// ErrConnCut.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	armed, fault, written := f.armed, f.fault, f.written
+	f.mu.Unlock()
+	if !armed {
+		return f.Conn.Write(p)
+	}
+
+	if at := fault.CorruptAt; at >= 0 && at >= written && at < written+len(p) {
+		q := append([]byte(nil), p...)
+		q[at-written] ^= 0xFF
+		p = q
+		f.disarm()
+		armed, fault = false, ConnFault{}
+	}
+
+	if armed && fault.CutAfter > 0 && written+len(p) >= fault.CutAfter {
+		keep := fault.CutAfter - written
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := f.Conn.Write(p[:keep])
+		f.disarm()
+		f.Conn.Close()
+		return n, ErrConnCut
+	}
+
+	n, err := f.Conn.Write(p)
+	f.mu.Lock()
+	f.written += n
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *FaultConn) disarm() {
+	f.mu.Lock()
+	f.armed = false
+	f.fault = ConnFault{CutAfter: 0, CorruptAt: -1}
+	f.written = 0
+	f.mu.Unlock()
+}
+
+// StreamFaults draws the connection-level fault plan for the persistent
+// stream transport, one verdict per delivery step. Like every chaos draw,
+// a verdict is a pure function of (Seed, step) — by WHAT is being decided,
+// never by when — so two runs with the same seed tear the same frames,
+// corrupt the same bytes, and partition the same window.
+type StreamFaults struct {
+	// Seed keys every draw; use the run's chaos seed.
+	Seed int64
+	// Cut is the per-step probability of a mid-frame connection cut.
+	Cut float64
+	// Corrupt is the per-step probability of a payload byte flip (caught by
+	// the frame CRC and NACKed).
+	Corrupt float64
+	// PartitionAt opens a full network partition at this step (0 = never):
+	// no connection can be established or used.
+	PartitionAt int
+	// PartitionLen is how many steps the partition lasts (0 with
+	// PartitionAt set = 1).
+	PartitionLen int
+}
+
+// StreamVerdict is the fault plan for one step.
+type StreamVerdict struct {
+	Cut         bool // cut the connection mid-frame during this delivery
+	Corrupt     bool // flip a payload byte of this delivery's frame
+	Partitioned bool // the network is partitioned; nothing gets through
+}
+
+// Verdict returns step's fault plan. During the partition window the
+// verdict is partition-only: the connection faults are moot when no bytes
+// move at all.
+func (f StreamFaults) Verdict(step int) StreamVerdict {
+	if f.PartitionAt > 0 {
+		length := f.PartitionLen
+		if length <= 0 {
+			length = 1
+		}
+		if step >= f.PartitionAt && step < f.PartitionAt+length {
+			return StreamVerdict{Partitioned: true}
+		}
+	}
+	s := rng.New(uint64(f.Seed), tagStream, rng.I(step))
+	return StreamVerdict{
+		Cut:     s.Float64() < f.Cut,
+		Corrupt: s.Float64() < f.Corrupt,
+	}
+}

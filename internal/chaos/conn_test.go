@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+// pipePair returns a FaultConn wrapping one end of an in-memory pipe and a
+// reader goroutine's output channel for the other end.
+func pipePair(t *testing.T) (*FaultConn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return NewFaultConn(a), b
+}
+
+func readAll(c net.Conn, out chan<- []byte) {
+	b, _ := io.ReadAll(c)
+	out <- b
+}
+
+func TestFaultConnTransparent(t *testing.T) {
+	fc, peer := pipePair(t)
+	got := make(chan []byte, 1)
+	go readAll(peer, got)
+	msg := []byte("0123456789abcdef")
+	if n, err := fc.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	fc.Close()
+	if b := <-got; !bytes.Equal(b, msg) {
+		t.Fatalf("peer read %q, want %q", b, msg)
+	}
+}
+
+func TestFaultConnCutMidFrame(t *testing.T) {
+	fc, peer := pipePair(t)
+	got := make(chan []byte, 1)
+	go readAll(peer, got)
+	fc.Arm(ConnFault{CutAfter: 10, CorruptAt: -1})
+	msg := []byte("0123456789abcdef")
+	n, err := fc.Write(msg)
+	if err != ErrConnCut {
+		t.Fatalf("err %v, want ErrConnCut", err)
+	}
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before the cut, want 10", n)
+	}
+	if b := <-got; !bytes.Equal(b, msg[:10]) {
+		t.Fatalf("peer read %q, want the 10-byte prefix", b)
+	}
+	// The conn is dead: further writes fail without a fault armed.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write on a cut conn succeeded")
+	}
+}
+
+func TestFaultConnCutSpansWrites(t *testing.T) {
+	fc, peer := pipePair(t)
+	got := make(chan []byte, 1)
+	go readAll(peer, got)
+	fc.Arm(ConnFault{CutAfter: 6, CorruptAt: -1})
+	if n, err := fc.Write([]byte("0123")); n != 4 || err != nil {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	n, err := fc.Write([]byte("456789"))
+	if err != ErrConnCut || n != 2 {
+		t.Fatalf("second write: %d, %v; want 2, ErrConnCut", n, err)
+	}
+	if b := <-got; string(b) != "012345" {
+		t.Fatalf("peer read %q, want %q", b, "012345")
+	}
+}
+
+func TestFaultConnCorrupt(t *testing.T) {
+	fc, peer := pipePair(t)
+	got := make(chan []byte, 1)
+	go readAll(peer, got)
+	fc.Arm(ConnFault{CutAfter: 0, CorruptAt: 3})
+	msg := []byte{0, 1, 2, 3, 4, 5}
+	orig := append([]byte(nil), msg...)
+	if n, err := fc.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	// The corruption disarms after one byte; the next write is clean.
+	if _, err := fc.Write([]byte{9}); err != nil {
+		t.Fatalf("post-corruption write: %v", err)
+	}
+	fc.Close()
+	b := <-got
+	want := []byte{0, 1, 2, 3 ^ 0xFF, 4, 5, 9}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("peer read %v, want %v", b, want)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatalf("caller's buffer was mutated: %v", msg)
+	}
+}
+
+func TestStreamFaultsDeterministic(t *testing.T) {
+	f := StreamFaults{Seed: 42, Cut: 0.3, Corrupt: 0.3}
+	cuts, corrupts := 0, 0
+	for step := 1; step <= 200; step++ {
+		v1, v2 := f.Verdict(step), f.Verdict(step)
+		if v1 != v2 {
+			t.Fatalf("step %d verdicts differ: %+v vs %+v", step, v1, v2)
+		}
+		if v1.Cut {
+			cuts++
+		}
+		if v1.Corrupt {
+			corrupts++
+		}
+	}
+	if cuts == 0 || corrupts == 0 {
+		t.Fatalf("200 steps at p=0.3 drew cuts=%d corrupts=%d; the stream is inert", cuts, corrupts)
+	}
+	if g := (StreamFaults{Seed: 43, Cut: 0.3, Corrupt: 0.3}); g.Verdict(1) == f.Verdict(1) &&
+		g.Verdict(2) == f.Verdict(2) && g.Verdict(3) == f.Verdict(3) &&
+		g.Verdict(4) == f.Verdict(4) && g.Verdict(5) == f.Verdict(5) {
+		t.Fatal("different seeds drew identical verdicts for 5 straight steps")
+	}
+}
+
+func TestStreamFaultsPartitionWindow(t *testing.T) {
+	f := StreamFaults{Seed: 1, Cut: 1, Corrupt: 1, PartitionAt: 5, PartitionLen: 3}
+	for step := 1; step <= 10; step++ {
+		v := f.Verdict(step)
+		inWindow := step >= 5 && step < 8
+		if v.Partitioned != inWindow {
+			t.Fatalf("step %d: partitioned=%v, want %v", step, v.Partitioned, inWindow)
+		}
+		if inWindow && (v.Cut || v.Corrupt) {
+			t.Fatalf("step %d: conn faults drawn inside the partition window: %+v", step, v)
+		}
+		if !inWindow && (!v.Cut || !v.Corrupt) {
+			t.Fatalf("step %d: p=1 faults not drawn outside the window: %+v", step, v)
+		}
+	}
+	// PartitionLen 0 defaults to one step.
+	g := StreamFaults{Seed: 1, PartitionAt: 2}
+	if !g.Verdict(2).Partitioned || g.Verdict(3).Partitioned {
+		t.Fatal("PartitionLen 0 should partition exactly one step")
+	}
+}

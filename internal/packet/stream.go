@@ -1,0 +1,164 @@
+package packet
+
+// Persistent-stream transport layer for the VN2F frame format. A frame is
+// already length-prefixed and self-delimiting (see frame.go), so streaming
+// over one long-lived connection is pure transport: the sender writes
+// consecutive frames, the receiver answers each with a fixed-size ACK/NACK
+// response:
+//
+//	offset len
+//	0      4   magic "VN2A" (big endian 0x564E3241)
+//	4      1   status (see StreamStatus)
+//	5      1   reserved (must be 0)
+//	6      2   accepted record count (big endian)
+//
+// The response is the transport's commit signal: StreamAck means every
+// record of the frame is journaled and queued (the same durability contract
+// as the HTTP 202), any NACK means the sender must treat its delta
+// baselines as desynced — Forget and retransmit with full encoding.
+//
+// Framing errors on a byte stream are unrecoverable: once a header fails to
+// parse there is no reliable way to find the next frame boundary, so both
+// sides close the connection and the client re-dials. A frame whose header
+// parsed but whose payload is corrupt (CRC mismatch, bad record structure)
+// IS recoverable — the receiver has consumed exactly the declared length,
+// NACKs, and the stream continues.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// StreamStatus is the per-frame verdict a stream sink sends back.
+type StreamStatus byte
+
+// Stream response statuses.
+const (
+	// StreamAck: the whole frame is committed (journaled + queued).
+	StreamAck StreamStatus = 0
+	// StreamNackBad: the frame was rejected (CRC, structure, or delta-base
+	// mismatch); nothing was committed. Resend with full encoding.
+	StreamNackBad StreamStatus = 1
+	// StreamNackBusy: backpressure — the ingest queue filled before the
+	// whole frame was queued. Accepted carries how many records made it;
+	// the sender should slow down, Forget, and retransmit fully encoded
+	// (the surplus is absorbed by the sink's duplicate handling).
+	StreamNackBusy StreamStatus = 2
+	// StreamNackUnavailable: the sink is degraded or draining; nothing was
+	// committed. Back off and retry (possibly on a new connection).
+	StreamNackUnavailable StreamStatus = 3
+)
+
+// String names the status for logs and errors.
+func (st StreamStatus) String() string {
+	switch st {
+	case StreamAck:
+		return "ack"
+	case StreamNackBad:
+		return "nack-bad-frame"
+	case StreamNackBusy:
+		return "nack-busy"
+	case StreamNackUnavailable:
+		return "nack-unavailable"
+	}
+	return fmt.Sprintf("status(%d)", byte(st))
+}
+
+// StreamRespLen is the fixed byte length of a stream response.
+const StreamRespLen = 8
+
+const respMagic = 0x564E3241 // "VN2A"
+
+// ErrBadResp reports a stream response that did not parse; like a framing
+// error it is unrecoverable and the connection must be dropped.
+var ErrBadResp = errors.New("packet: bad stream response")
+
+// StreamResp is one decoded per-frame verdict.
+type StreamResp struct {
+	Status   StreamStatus
+	Accepted int // records committed (StreamNackBusy: before the queue filled)
+}
+
+// AppendStreamResp appends the wire form of a response to b.
+func AppendStreamResp(b []byte, r StreamResp) []byte {
+	b = binary.BigEndian.AppendUint32(b, respMagic)
+	b = append(b, byte(r.Status), 0)
+	n := r.Accepted
+	if n < 0 {
+		n = 0
+	}
+	if n > MaxFrameRecords {
+		n = MaxFrameRecords
+	}
+	return binary.BigEndian.AppendUint16(b, uint16(n))
+}
+
+// ReadStreamResp reads exactly one response off the stream.
+func ReadStreamResp(r io.Reader, buf []byte) (StreamResp, error) {
+	if cap(buf) < StreamRespLen {
+		buf = make([]byte, StreamRespLen)
+	}
+	buf = buf[:StreamRespLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return StreamResp{}, err
+	}
+	if binary.BigEndian.Uint32(buf) != respMagic {
+		return StreamResp{}, fmt.Errorf("%w: bad magic", ErrBadResp)
+	}
+	if buf[5] != 0 {
+		return StreamResp{}, fmt.Errorf("%w: reserved byte %#x", ErrBadResp, buf[5])
+	}
+	return StreamResp{
+		Status:   StreamStatus(buf[4]),
+		Accepted: int(binary.BigEndian.Uint16(buf[6:])),
+	}, nil
+}
+
+// ReadFrame reads one complete frame (header + payload) off the stream into
+// buf (grown as needed, reused across calls) and returns it. The header is
+// validated — magic, version, reserved flags, payload bound — before the
+// payload is read, so a corrupt length field can neither stall the read nor
+// force a huge allocation. CRC and record structure are NOT checked here;
+// that is FrameDecoder.Decode's job, and a CRC failure is recoverable
+// in-stream because the declared length was still consumed.
+//
+// An error return means the stream is unusable: io errors (EOF, deadline)
+// or a malformed header after which no frame boundary can be trusted.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < FrameHeaderLen {
+		buf = make([]byte, FrameHeaderLen, 4096)
+	}
+	buf = buf[:FrameHeaderLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(buf) != frameMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if buf[4] != frameVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, buf[4], frameVersion)
+	}
+	if buf[5] != 0 {
+		return nil, fmt.Errorf("%w: reserved flags %#x", ErrBadFrame, buf[5])
+	}
+	plen := int(binary.BigEndian.Uint32(buf[8:]))
+	if plen > MaxFramePayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrBadFrame, plen)
+	}
+	total := FrameHeaderLen + plen
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf[FrameHeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

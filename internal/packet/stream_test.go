@@ -1,0 +1,149 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestStreamRespRoundTrip: every status and a few accepted counts survive
+// the 8-byte wire form exactly.
+func TestStreamRespRoundTrip(t *testing.T) {
+	for _, st := range []StreamStatus{StreamAck, StreamNackBad, StreamNackBusy, StreamNackUnavailable} {
+		for _, n := range []int{0, 1, 64, MaxFrameRecords} {
+			b := AppendStreamResp(nil, StreamResp{Status: st, Accepted: n})
+			if len(b) != StreamRespLen {
+				t.Fatalf("resp length %d, want %d", len(b), StreamRespLen)
+			}
+			got, err := ReadStreamResp(bytes.NewReader(b), nil)
+			if err != nil {
+				t.Fatalf("ReadStreamResp(%v, %d): %v", st, n, err)
+			}
+			if got.Status != st || got.Accepted != n {
+				t.Fatalf("round trip: got %+v, want {%v %d}", got, st, n)
+			}
+		}
+	}
+}
+
+// TestStreamRespClamps: negative and over-u16 accepted counts clamp instead
+// of wrapping.
+func TestStreamRespClamps(t *testing.T) {
+	b := AppendStreamResp(nil, StreamResp{Status: StreamAck, Accepted: -5})
+	if got, _ := ReadStreamResp(bytes.NewReader(b), nil); got.Accepted != 0 {
+		t.Fatalf("negative accepted decoded as %d, want 0", got.Accepted)
+	}
+	b = AppendStreamResp(nil, StreamResp{Status: StreamAck, Accepted: 1 << 20})
+	if got, _ := ReadStreamResp(bytes.NewReader(b), nil); got.Accepted != MaxFrameRecords {
+		t.Fatalf("oversized accepted decoded as %d, want %d", got.Accepted, MaxFrameRecords)
+	}
+}
+
+// TestStreamRespMalformed: bad magic and a dirty reserved byte are typed
+// (connection-fatal) errors; a short read surfaces the io error.
+func TestStreamRespMalformed(t *testing.T) {
+	good := AppendStreamResp(nil, StreamResp{Status: StreamAck})
+
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadStreamResp(bytes.NewReader(bad), nil); !errors.Is(err, ErrBadResp) {
+		t.Fatalf("bad magic: err %v, want ErrBadResp", err)
+	}
+	bad = append(bad[:0], good...)
+	bad[5] = 7
+	if _, err := ReadStreamResp(bytes.NewReader(bad), nil); !errors.Is(err, ErrBadResp) {
+		t.Fatalf("reserved byte: err %v, want ErrBadResp", err)
+	}
+	if _, err := ReadStreamResp(bytes.NewReader(good[:3]), nil); err == nil {
+		t.Fatal("short read: expected an error")
+	}
+}
+
+// TestReadFrameStream: consecutive frames come off one reader intact and
+// decodable, with the buffer reused between calls.
+func TestReadFrameStream(t *testing.T) {
+	enc := NewFrameEncoder()
+	var wire bytes.Buffer
+	want := [][]float64{{1, 2, 3}, {1, 2.5, 3}, {4, 5, 6}}
+	for i, vec := range want {
+		enc.Reset()
+		if err := enc.Add(7, 100+i, vec); err != nil {
+			t.Fatal(err)
+		}
+		f, err := enc.Frame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire.Write(f)
+	}
+
+	var dec FrameDecoder
+	var buf []byte
+	for i := range want {
+		frame, err := ReadFrame(&wire, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = frame[:0]
+		recs, err := dec.Decode(frame)
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("frame %d: %d records", i, len(recs))
+		}
+		// Frame 1 is a delta; reconstruct it against frame 0's vector.
+		vec := recs[0].Values
+		if recs[0].Kind == RecDelta {
+			vec = append([]float64(nil), want[i-1]...)
+			for j, ix := range recs[0].Idx {
+				vec[ix] = recs[0].Diff[j]
+			}
+		}
+		for k, v := range want[i] {
+			if vec[k] != v {
+				t.Fatalf("frame %d: vec %v, want %v", i, vec, want[i])
+			}
+		}
+	}
+	if _, err := ReadFrame(&wire, buf); err != io.EOF {
+		t.Fatalf("exhausted stream: err %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameMalformed: header corruption is fatal before any payload
+// read; a torn payload surfaces io.ErrUnexpectedEOF.
+func TestReadFrameMalformed(t *testing.T) {
+	enc := NewFrameEncoder()
+	if err := enc.Add(1, 1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := enc.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := append([]byte(nil), f...)
+
+	for name, mangle := range map[string]func([]byte) []byte{
+		"bad magic":      func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"bad version":    func(b []byte) []byte { b[4] = 99; return b },
+		"reserved flags": func(b []byte) []byte { b[5] = 1; return b },
+		"huge payload": func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[8:], MaxFramePayload+1)
+			return b
+		},
+	} {
+		b := mangle(append([]byte(nil), good...))
+		if _, err := ReadFrame(bytes.NewReader(b), nil); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%s: err %v, want ErrBadFrame", name, err)
+		}
+	}
+	if _, err := ReadFrame(bytes.NewReader(good[:len(good)-3]), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn payload: err %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(good[:10]), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn header: err %v, want io.ErrUnexpectedEOF", err)
+	}
+}

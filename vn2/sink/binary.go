@@ -1,0 +1,165 @@
+package sink
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/vn2/sink/ingest"
+)
+
+// binOutcome is the transport-independent verdict on one binary frame. The
+// HTTP handler maps it onto status codes (202/400/503) and the stream
+// listener onto the 8-byte ACK/NACK response — the commit semantics are
+// identical on both edges because they run the same commitBinaryFrame.
+type binOutcome struct {
+	status   packet.StreamStatus
+	accepted int            // records queued
+	dropped  int            // records shed by a full queue (StreamNackBusy)
+	msg      string         // human-readable reason for NACKs
+	detail   map[string]any // extra response payload (HTTP edge)
+}
+
+// commitBinaryFrame decodes one VN2F frame against the sink's delta cache
+// and commits it: one group-commit WAL record (fully materialized) and one
+// queue insertion per report, under the lifecycle swap gate. The frame is
+// all-or-nothing at the decode/cache layer; queue shedding can still accept
+// a prefix, which the outcome reports so the client knows the surplus it
+// must retransmit (full-encoded — on ANY non-ACK outcome the client's delta
+// baselines are suspect and it must Forget).
+//
+// The ACK contract matches handleReport's 202: StreamAck is returned only
+// after every record is queued AND the batch record is fsynced to the WAL.
+func (s *Server) commitBinaryFrame(raw []byte) binOutcome {
+	if s.deg.Active() {
+		reason, _ := s.deg.Reason()
+		return binOutcome{
+			status: packet.StreamNackUnavailable,
+			msg:    "degraded: ingest shed, serving last-good diagnosis",
+			detail: map[string]any{"reason": reason},
+		}
+	}
+
+	// binMu serializes frame decode (which owns reused arenas and, on
+	// success, advances the delta cache) together with the WAL re-encode and
+	// enqueue, so the cache observes batches in exactly queue order.
+	s.binMu.Lock()
+	recs, err := s.binDec.Decode(raw)
+	if err != nil {
+		s.binMu.Unlock()
+		s.badReqs.Add(1)
+		s.binRejects.Add(1)
+		return binOutcome{
+			status: packet.StreamNackBad,
+			msg:    "bad binary frame (resend full encoding): " + err.Error(),
+		}
+	}
+	s.binFrames.Add(1)
+	s.binRecords.Add(uint64(len(recs)))
+	s.received.Add(uint64(len(recs)))
+
+	// The read side of the swap gate spans the whole batch: its single WAL
+	// append and every queue insertion happen with no swap record between
+	// them, so the batch lands on one side of every generation boundary in
+	// both orders — exactly the per-record contract of handleReport, at
+	// batch granularity.
+	s.lc.Gate.RLock()
+	var lsn uint64
+	if s.jnl != nil {
+		s.binEnc.Reset()
+		ferr := error(nil)
+		for i := range recs {
+			if ferr = s.binEnc.AddFull(recs[i].Node, recs[i].Epoch, recs[i].Vector); ferr != nil {
+				break
+			}
+		}
+		var frame []byte
+		if ferr == nil {
+			frame, ferr = s.binEnc.Frame()
+		}
+		if ferr == nil {
+			lsn, ferr = s.jnl.AppendBatch(frame)
+		}
+		if ferr != nil {
+			s.lc.Gate.RUnlock()
+			s.binMu.Unlock()
+			s.enterDegraded(fmt.Sprintf("%s: append batch: %v", degradedWAL, ferr))
+			return binOutcome{
+				status: packet.StreamNackUnavailable,
+				msg:    "journal unavailable, report not accepted",
+				detail: map[string]any{"reason": ferr.Error()},
+			}
+		}
+	}
+	queued := 0
+	shed := false
+	for i := range recs {
+		// Records carry LSN 0: the batch has ONE LSN and it must not be
+		// marked applied until the last queued record has been ingested —
+		// marking earlier would let the watermark (and a snapshot
+		// truncation) advance past records still sitting in the queue. The
+		// mark rides a barrier item enqueued after the batch, below.
+		select {
+		case s.queue <- ingest.Item{Rec: recs[i]}:
+			queued++
+		default:
+			shed = true
+		}
+		if shed {
+			break
+		}
+	}
+	if s.jnl != nil {
+		if queued == 0 || shed {
+			// Nothing downstream will mark the batch (queued == 0), or the
+			// queue is full (shed) and a barrier send would block on the very
+			// congestion that caused the shed. Mark now: the batch is being
+			// NACKed, so no durability promise attaches to it — the client
+			// retransmits, and a crash-replay of the journaled batch is
+			// surplus absorbed by the monitor's duplicate/stale handling.
+			s.applied.Mark(lsn)
+		} else {
+			// The barrier marks the batch applied only after everything
+			// queued ahead of it has been ingested. The send blocks (the
+			// ingest loop is draining); the timeout only fires in a wedged
+			// server, where marking immediately is the lesser evil — the
+			// journaled batch is not lost, a restart replays it.
+			batchLSN := lsn
+			select {
+			case s.queue <- ingest.Item{LSN: batchLSN, Apply: func() {}}:
+			case <-time.After(5 * time.Second):
+				s.applied.Mark(batchLSN)
+			}
+		}
+	}
+	s.lc.Gate.RUnlock()
+	s.binMu.Unlock()
+	if s.jnl != nil {
+		if err := s.jnl.Sync(); err != nil {
+			s.enterDegraded(fmt.Sprintf("%s: sync batch: %v", degradedWAL, err))
+			return binOutcome{
+				status: packet.StreamNackUnavailable,
+				msg:    "journal unavailable, report not accepted",
+				detail: map[string]any{"reason": err.Error()},
+			}
+		}
+	}
+	if shed {
+		s.accepted.Add(uint64(queued))
+		s.rejected.Add(uint64(len(recs) - queued))
+		if queued > 0 {
+			s.publish(EvReportAccepted, reportAcceptedEvent{
+				Count: queued, Dropped: len(recs) - queued, QueueDepth: len(s.queue),
+			})
+		}
+		return binOutcome{
+			status:   packet.StreamNackBusy,
+			accepted: queued,
+			dropped:  len(recs) - queued,
+			msg:      "ingest queue full",
+		}
+	}
+	s.accepted.Add(uint64(queued))
+	s.publish(EvReportAccepted, reportAcceptedEvent{Count: queued, QueueDepth: len(s.queue)})
+	return binOutcome{status: packet.StreamAck, accepted: queued}
+}

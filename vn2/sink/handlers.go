@@ -1,11 +1,13 @@
 package sink
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"github.com/wsn-tools/vn2/internal/packet"
 	"github.com/wsn-tools/vn2/internal/trace"
 	"github.com/wsn-tools/vn2/vn2/sink/api"
 	"github.com/wsn-tools/vn2/vn2/sink/ingest"
@@ -52,6 +54,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, 8<<20)
 	raw, err := io.ReadAll(body)
+	if err != nil && isBodyTooLarge(err) {
+		s.badReqs.Add(1)
+		api.Error(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", 8<<20), nil)
+		return
+	}
 	var recs []trace.Record
 	if err == nil {
 		recs, err = ingest.Decode(raw)
@@ -133,11 +140,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // handleReportBin is the batched binary ingest edge (POST /report/bin): one
 // length-prefixed frame carries many reports, delta-decoded against the
-// sink's per-node last-vector cache. The durability contract matches
-// handleReport — 202 only after every record is queued and the batch is
-// fsynced — but the batch is ONE group-commit WAL record (fully
-// materialized, so replay after a snapshot truncation needs no delta
-// history) sharing one fsync, instead of one append per report.
+// sink's per-node last-vector cache. The commit semantics — all-or-nothing
+// decode, ONE group-commit WAL record, 202 only after queue + fsync — live
+// in commitBinaryFrame, shared with the persistent stream listener; this
+// handler only maps the outcome onto HTTP status codes.
 //
 // On any non-202 response the client must drop its baselines and
 // retransmit with full encoding: depending on where the request failed the
@@ -146,129 +152,42 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // either state — they ignore the cache and overwrite it, resyncing both
 // sides.
 func (s *Server) handleReportBin(w http.ResponseWriter, r *http.Request) {
-	if s.deg.Active() {
-		reason, _ := s.deg.Reason()
-		api.Unavailable(w, 5, "degraded: ingest shed, serving last-good diagnosis",
-			map[string]any{"reason": reason})
-		return
-	}
-	body := http.MaxBytesReader(w, r.Body, 32<<20)
+	// The frame header caps payloads at MaxFramePayload; cap the HTTP body
+	// read at exactly one maximal frame so an unbounded body cannot pin the
+	// connection or the heap.
+	body := http.MaxBytesReader(w, r.Body, packet.FrameHeaderLen+packet.MaxFramePayload)
 	raw, err := io.ReadAll(body)
 	if err != nil {
 		s.badReqs.Add(1)
+		if isBodyTooLarge(err) {
+			api.Error(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", packet.FrameHeaderLen+packet.MaxFramePayload), nil)
+			return
+		}
 		api.Error(w, http.StatusBadRequest, "read body: "+err.Error(), nil)
 		return
 	}
-
-	// binMu serializes frame decode (which owns reused arenas and, on
-	// success, advances the delta cache) together with the WAL re-encode and
-	// enqueue, so the cache observes batches in exactly queue order.
-	s.binMu.Lock()
-	recs, err := s.binDec.Decode(raw)
-	if err != nil {
-		s.binMu.Unlock()
-		s.badReqs.Add(1)
-		s.binRejects.Add(1)
-		api.Error(w, http.StatusBadRequest, "bad binary frame (resend full encoding): "+err.Error(), nil)
-		return
-	}
-	s.binFrames.Add(1)
-	s.binRecords.Add(uint64(len(recs)))
-	s.received.Add(uint64(len(recs)))
-
-	// The read side of the swap gate spans the whole batch: its single WAL
-	// append and every queue insertion happen with no swap record between
-	// them, so the batch lands on one side of every generation boundary in
-	// both orders — exactly the per-record contract of handleReport, at
-	// batch granularity.
-	s.lc.Gate.RLock()
-	var lsn uint64
-	if s.jnl != nil {
-		s.binEnc.Reset()
-		ferr := error(nil)
-		for i := range recs {
-			if ferr = s.binEnc.AddFull(recs[i].Node, recs[i].Epoch, recs[i].Vector); ferr != nil {
-				break
-			}
-		}
-		var frame []byte
-		if ferr == nil {
-			frame, ferr = s.binEnc.Frame()
-		}
-		if ferr == nil {
-			lsn, ferr = s.jnl.AppendBatch(frame)
-		}
-		if ferr != nil {
-			s.lc.Gate.RUnlock()
-			s.binMu.Unlock()
-			s.walFail(w, "append batch", ferr)
-			return
-		}
-	}
-	queued := 0
-	shed := false
-	for i := range recs {
-		// Records carry LSN 0: the batch has ONE LSN and it must not be
-		// marked applied until the last queued record has been ingested —
-		// marking earlier would let the watermark (and a snapshot
-		// truncation) advance past records still sitting in the queue. The
-		// mark rides a barrier item enqueued after the batch, below.
-		select {
-		case s.queue <- ingest.Item{Rec: recs[i]}:
-			queued++
-		default:
-			shed = true
-		}
-		if shed {
-			break
-		}
-	}
-	if s.jnl != nil {
-		if queued == 0 {
-			// Nothing of the batch is in the queue, so nothing downstream
-			// will mark it; mark now or the watermark stalls forever. The
-			// journaled batch may replay after a crash — surplus, not loss,
-			// absorbed by the monitor's duplicate/stale handling.
-			s.applied.Mark(lsn)
-		} else {
-			// The barrier marks the batch applied only after everything
-			// queued ahead of it has been ingested. The send blocks (the
-			// ingest loop is draining); the timeout only fires in a wedged
-			// server, where marking immediately is the lesser evil — the
-			// journaled batch is not lost, a restart replays it.
-			batchLSN := lsn
-			select {
-			case s.queue <- ingest.Item{LSN: batchLSN, Apply: func() {}}:
-			case <-time.After(5 * time.Second):
-				s.applied.Mark(batchLSN)
-			}
-		}
-	}
-	s.lc.Gate.RUnlock()
-	s.binMu.Unlock()
-	if s.jnl != nil {
-		if err := s.jnl.Sync(); err != nil {
-			s.walFail(w, "sync batch", err)
-			return
-		}
-	}
-	if shed {
-		s.accepted.Add(uint64(queued))
-		s.rejected.Add(uint64(len(recs) - queued))
-		api.Unavailable(w, 1, "ingest queue full", map[string]any{
-			"accepted": queued,
-			"dropped":  len(recs) - queued,
+	out := s.commitBinaryFrame(raw)
+	switch out.status {
+	case packet.StreamAck:
+		api.WriteJSON(w, http.StatusAccepted, map[string]any{"accepted": out.accepted})
+	case packet.StreamNackBad:
+		api.Error(w, http.StatusBadRequest, out.msg, nil)
+	case packet.StreamNackBusy:
+		api.Unavailable(w, 1, out.msg, map[string]any{
+			"accepted": out.accepted,
+			"dropped":  out.dropped,
 		})
-		if queued > 0 {
-			s.publish(EvReportAccepted, reportAcceptedEvent{
-				Count: queued, Dropped: len(recs) - queued, QueueDepth: len(s.queue),
-			})
-		}
-		return
+	default: // StreamNackUnavailable: degraded or journal failure
+		api.Unavailable(w, 5, out.msg, out.detail)
 	}
-	s.accepted.Add(uint64(queued))
-	api.WriteJSON(w, http.StatusAccepted, map[string]any{"accepted": queued})
-	s.publish(EvReportAccepted, reportAcceptedEvent{Count: queued, QueueDepth: len(s.queue)})
+}
+
+// isBodyTooLarge reports whether a body read failed because it outgrew the
+// MaxBytesReader cap (the clean-413 case, distinct from a torn upload).
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
 }
 
 func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {

@@ -67,6 +67,16 @@ func (s *Server) registerMetrics() {
 		m["quarantine_len"] = ds.Quarantine
 	})
 
+	// Persistent frame-stream ingest edge. On /metrics (not just /status):
+	// these are load-shedding signals operators alert on.
+	s.reg.Add(func(m map[string]any) {
+		m["stream_conns"] = s.StreamConns()
+		m["stream_conns_total"] = s.streamConnsTotal.Load()
+		m["stream_conns_rejected"] = s.streamRejects.Load()
+		m["stream_frames"] = s.streamFrames.Load()
+		m["stream_nacks"] = s.streamNacks.Load()
+	})
+
 	// Lifecycle counters.
 	s.reg.Add(s.lc.Metrics)
 

@@ -85,6 +85,14 @@ type Server struct {
 	binRecords atomic.Uint64 // reports carried by accepted binary frames
 	binRejects atomic.Uint64 // frames rejected (bad frame or delta-base miss)
 
+	// Persistent frame-stream edge (see stream_srv.go).
+	streamMu         sync.Mutex
+	stream           *streamSrv
+	streamConnsTotal atomic.Uint64 // connections ever accepted
+	streamRejects    atomic.Uint64 // connections turned away (cap/draining)
+	streamFrames     atomic.Uint64 // frames read off stream connections
+	streamNacks      atomic.Uint64 // frames NACKed on the stream edge
+
 	deg          api.Degraded
 	lastGood     atomic.Pointer[online.Summary] // served read-only while degraded
 	drainFails   atomic.Uint64                  // consecutive failed drains
@@ -333,7 +341,16 @@ func (s *Server) Run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	// The timeouts close the slowloris hole: a peer that dribbles header
+	// bytes, stalls mid-body, or parks an idle keep-alive connection cannot
+	// pin a connection forever (body size is separately bounded by the
+	// MaxBytesReader wrapping in the report handlers).
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	// Unwind long-lived /stream subscribers when Shutdown starts; without
 	// this every open SSE connection would hold Shutdown to its deadline.
 	httpSrv.RegisterOnShutdown(s.bus.Shutdown)
@@ -378,6 +395,25 @@ func (s *Server) Run(ctx context.Context) error {
 		}()
 	}
 
+	// The persistent frame-stream edge. It must stop (and its handlers
+	// fully unwind) before the queue closes below: stream handlers are
+	// queue writers.
+	if s.opts.StreamAddr != "" {
+		streamAddr, err := s.StartStream(s.opts.StreamAddr)
+		if err != nil {
+			ln.Close()
+			cancelLoops()
+			s.lc.Wait()
+			close(s.queue)
+			wg.Wait()
+			if s.jnl != nil {
+				s.jnl.Close()
+			}
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vn2 serve: stream listening on %s\n", streamAddr)
+	}
+
 	fmt.Fprintf(os.Stderr, "vn2 serve: listening on http://%s (queue %d, drain %s, wal %q)\n",
 		ln.Addr(), cap(s.queue), s.opts.DrainEvery, s.opts.WALPath)
 	serveErr := make(chan error, 1)
@@ -385,6 +421,7 @@ func (s *Server) Run(ctx context.Context) error {
 
 	select {
 	case err := <-serveErr:
+		s.StopStream(true)
 		cancelLoops()
 		s.lc.Wait()
 		close(s.queue)
@@ -402,6 +439,9 @@ func (s *Server) Run(ctx context.Context) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutCtx)
+	// Drain the stream edge: in-flight frames finish and are acknowledged,
+	// then the connections close — clients see a clean EOF, not a torn ACK.
+	s.StopStream(true)
 	// No more writers: let any in-flight shadow retrain land (or fail),
 	// drain what was already queued, then finish.
 	cancelLoops()

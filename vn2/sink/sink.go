@@ -74,6 +74,13 @@ type Options struct {
 	EventJournal int // bus replay journal capacity (0 = bus.DefaultJournal)
 	StreamBuffer int // per-/stream-subscriber ring capacity (0 = 64)
 
+	// Persistent frame-stream ingest edge (the -stream-addr flag; empty =
+	// no raw-TCP listener, HTTP ingest only).
+	StreamAddr         string
+	StreamMaxConns     int           // connection cap (0 = 64)
+	StreamReadTimeout  time.Duration // per-frame read deadline (0 = 30s)
+	StreamWriteTimeout time.Duration // per-response write deadline (0 = 10s)
+
 	// Sleep is the retry sleeper; nil = time.Sleep (tests inject a no-op).
 	Sleep func(time.Duration)
 }
