@@ -15,7 +15,7 @@ GO ?= go
 # binary frame format the sink's /report/bin path decodes).
 # vn2/reporter is the persistent-stream client (concurrent Report/Flush
 # over the spill queue, the breaker, and live TCP connections).
-RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./internal/packet/... ./vn2/online/... ./vn2/sink/... ./vn2/reporter/... ./cmd/vn2/...
+RACE_PKGS = ./internal/par/... ./internal/mat/... ./internal/nnls/... ./internal/nmf/... ./internal/wsn/... ./internal/radio/... ./internal/env/... ./internal/wal/... ./internal/retry/... ./internal/chaos/... ./internal/packet/... ./vn2/online/... ./vn2/sink/... ./vn2/reporter/... ./vn2/cluster/... ./cmd/vn2/...
 
 # Short smoke budget per fuzz target inside `make check`; raise for a real
 # fuzzing session (e.g. FUZZ_TIME=10m make fuzz).
@@ -29,11 +29,12 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 # The scaling ladders `make bench` runs: per-epoch cost at CitySee scale,
 # the worker sweep, end-to-end trace generation at 60/120/286/1000 nodes,
-# the blocked-GEMM size ladder, and the ingest decode ladder (JSON vs
-# binary vs binary+delta at 1/8/64-report batches).
-BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining|BenchmarkGEMM|BenchmarkIngestDecode
+# the blocked-GEMM size ladder, the ingest decode ladder (JSON vs binary
+# vs binary+delta at 1/8/64-report batches), and the cluster router
+# forward ladder (JSON and binary, 1/4 shards x 8/64-report batches).
+BENCH_PATTERN ?= BenchmarkSimulatorEpoch|BenchmarkWSNStepParallel|BenchmarkCitySeeTraining|BenchmarkGEMM|BenchmarkIngestDecode|BenchmarkRouterForward
 BENCH_TXT     ?= bench.txt
-BENCH_JSON    ?= BENCH_8.json
+BENCH_JSON    ?= BENCH_10.json
 
 # benchdiff inputs: two benchstat-compatible texts to compare.
 BENCH_OLD ?= bench.old.txt
@@ -43,7 +44,7 @@ BENCH_NEW ?= $(BENCH_TXT)
 # policy as the linters).
 BENCHSTAT_VERSION ?= v0.0.0-20240604174448-7c4a4e372563
 
-.PHONY: check vet lint build test race fuzz chaos chaos-stream smoke smoke-stream bench bench-all benchdiff
+.PHONY: check vet lint build test race fuzz chaos chaos-stream chaos-cluster smoke smoke-stream bench bench-all benchdiff
 
 check: vet lint build test race fuzz
 
@@ -101,6 +102,17 @@ chaos:
 chaos-stream:
 	$(GO) run ./cmd/vn2 chaos -seed 1 -stream -partition-epoch 26 -partition-len 4
 	$(GO) test ./cmd/vn2 -run TestChaosStream -count=1 -v
+
+# chaos-cluster proves the sharded fleet's contract: k serve shards behind
+# the consistent-hash router, the full lossless fault mix on the wire, one
+# shard kill -9'd mid-run (the router parks its traffic in the bounded
+# hold queue) and restarted from WAL+snapshot — the merged /fleet
+# distributions must be bit-identical to a single fault-free sink, with
+# zero hold-queue drops.
+chaos-cluster:
+	$(GO) run ./cmd/vn2 chaos -seed 1 -cluster
+	$(GO) run ./cmd/vn2 chaos -seed 1 -cluster -bin
+	$(GO) test ./cmd/vn2 -run TestChaosCluster -count=1 -v
 
 # smoke boots the real sink stack end to end: build fixtures, start the HTTP
 # server, post reports, and assert the diagnosis round-trip, backpressure,

@@ -49,6 +49,12 @@ type chaosOptions struct {
 	corrupt      float64 // per-step frame-corruption probability
 	partitionAt  int     // step at which a hard partition opens (0 = never)
 	partitionLen int     // steps the partition lasts
+
+	// Cluster mode: k shards behind the consistent-hash router, one shard
+	// kill -9'd mid-run, merged /fleet view compared bit-exactly against a
+	// single fault-free sink.
+	cluster       bool
+	clusterShards int
 }
 
 // chaosResult is what the harness measured; the e2e test asserts on it and
@@ -87,6 +93,8 @@ func cmdChaos(args []string) error {
 	fs.Float64Var(&o.corrupt, "corrupt", 0.1, "per-step frame-corruption probability (-stream only; caught by the frame CRC and NACKed)")
 	fs.IntVar(&o.partitionAt, "partition-epoch", 0, "open a hard network partition at this epoch batch (-stream only; 0 = never): the reporter spills into its bounded queue and its circuit breaker trips")
 	fs.IntVar(&o.partitionLen, "partition-len", 4, "how many epoch batches the partition lasts (-stream only)")
+	fs.BoolVar(&o.cluster, "cluster", false, "run the sharded fleet experiment: k serve shards behind the consistent-hash router, one shard kill -9'd mid-run and restarted, merged /fleet view compared bit-exactly against a single fault-free sink")
+	fs.IntVar(&o.clusterShards, "shards", 3, "shard count in -cluster mode")
 	fs.IntVar(&o.killAfter, "kill-epoch", tracegen.TestbedEpochs/2, "kill -9 the sink after this epoch batch and restart it from WAL+snapshot (0 = never)")
 	fs.Float64Var(&o.tolerance, "tolerance", 0.5, "allowed per-epoch relative L1 deviation when -drop > 0 (a single dropped hot report can dominate a sparse epoch)")
 	fs.StringVar(&o.dir, "dir", "", "work directory (default: temp)")
@@ -95,6 +103,12 @@ func cmdChaos(args []string) error {
 	}
 	if o.stream && o.bin {
 		return fmt.Errorf("chaos: -stream and -bin are mutually exclusive delivery modes")
+	}
+	if o.cluster && o.stream {
+		return fmt.Errorf("chaos: -cluster and -stream are mutually exclusive (the router fronts the HTTP edge)")
+	}
+	if o.cluster {
+		return cmdChaosCluster(o)
 	}
 	res, err := runChaos(o, func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) })
 	if err != nil {

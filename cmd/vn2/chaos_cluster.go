@@ -1,0 +1,369 @@
+package main
+
+// Cluster chaos: the sharded counterpart of runChaos. A fleet of k
+// WAL-backed serve shards sits behind the cluster router; the same
+// lossless fault mix runs through the router, one shard is kill -9'd
+// mid-run and restarted a few batches later (the router holding its
+// traffic in the bounded queue meanwhile), and the merged /fleet
+// distributions must come out BIT-IDENTICAL to a single fault-free,
+// kill-free sink holding every node — with zero held-queue drops.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/chaos"
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/internal/tracegen"
+	"github.com/wsn-tools/vn2/vn2/cluster"
+	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink"
+)
+
+// cmdChaosCluster prints the cluster experiment's verdict; cmdChaos
+// dispatches here when -cluster is set.
+func cmdChaosCluster(o chaosOptions) error {
+	res, err := runChaosCluster(o, func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transport: %+v\n", res.Transport)
+	fmt.Printf("shards: %d (killed %d), hold drops: %d\n", res.Shards, res.KilledShard, res.HoldDrops)
+	fmt.Printf("epochs: baseline %d, fleet %d\n", len(res.BaselineCauses), len(res.FleetCauses))
+	fmt.Printf("max per-epoch deviation: %.6f (exact: %v)\n", res.MaxDeviation, res.Exact)
+	fmt.Printf("fleet digest: %s\n", res.Digest)
+	switch {
+	case res.HoldDrops != 0:
+		return fmt.Errorf("chaos-cluster: %d deliveries evicted from the hold queue — reports were lost", res.HoldDrops)
+	case !res.Exact:
+		return fmt.Errorf("chaos-cluster: merged fleet distributions are not bit-identical to the single-sink baseline")
+	}
+	fmt.Println("chaos-cluster: PASS")
+	return nil
+}
+
+// chaosClusterResult is what the cluster harness measured.
+type chaosClusterResult struct {
+	BaselineCauses []online.EpochCauses
+	FleetCauses    []online.EpochCauses
+	Transport      chaos.Stats
+	// Exact reports the merged fleet distributions bit-identical to the
+	// single-sink baseline.
+	Exact bool
+	// MaxDeviation is the worst per-epoch relative L1 distance (0 when
+	// bit-identical).
+	MaxDeviation float64
+	// Digest fingerprints the merged distributions.
+	Digest string
+	// HoldDrops counts deliveries the router's bounded hold queue evicted
+	// (must be 0 for the zero-loss claim).
+	HoldDrops uint64
+	// KilledShard is which shard took the kill -9.
+	KilledShard int
+	Shards      int
+}
+
+// runChaosCluster drives the sharded experiment. Everything is keyed by
+// o.seed; two invocations with the same options produce bit-identical
+// results.
+func runChaosCluster(o chaosOptions, logf func(string, ...any)) (*chaosClusterResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if o.clusterShards < 2 {
+		return nil, fmt.Errorf("chaos -cluster: -shards must be >= 2, got %d", o.clusterShards)
+	}
+	if o.drop > 0 {
+		return nil, fmt.Errorf("chaos -cluster: the bit-exact fleet claim needs a lossless mix; -drop must be 0")
+	}
+	dir := o.dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "vn2-chaos-cluster-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	calibPath := filepath.Join(dir, "calib.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	if err := run([]string{"tracegen", "-scenario", o.scenario, "-seed", fmt.Sprint(o.seed), "-out", calibPath}); err != nil {
+		return nil, fmt.Errorf("tracegen: %w", err)
+	}
+	if err := run([]string{"train", "-in", calibPath, "-out", modelPath, "-rank", fmt.Sprint(o.rank), "-all-states"}); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	batches, err := liveBatches(o, tracegen.TestbedEpochs)
+	if err != nil {
+		return nil, err
+	}
+	logf("chaos-cluster: %d live epoch batches across %d shards\n", len(batches), o.clusterShards)
+
+	// The ground truth: ONE sink, every node, clean wire, no kill.
+	base := driveOptions{calibPath: calibPath, modelPath: modelPath, dir: filepath.Join(dir, "baseline")}
+	baseline, err := driveRun(base, batches, nil, 0, logf)
+	if err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+
+	tr, err := chaos.New(chaos.Config{
+		Seed:      o.seed,
+		Duplicate: o.duplicate,
+		Delay:     o.delay,
+		Truncate:  o.truncate,
+		Shuffle:   o.shuffle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := driveClusterRun(o, calibPath, modelPath, filepath.Join(dir, "cluster"), batches, tr, logf)
+	if err != nil {
+		return nil, fmt.Errorf("cluster run: %w", err)
+	}
+	res.Transport = tr.Stats()
+	res.BaselineCauses = cluster.MergeEpochs(o.rank, baseline.Epochs)
+	res.Exact = reflect.DeepEqual(res.BaselineCauses, res.FleetCauses)
+	res.MaxDeviation = maxCausesDeviation(res.BaselineCauses, res.FleetCauses)
+	b, err := json.Marshal(res.FleetCauses)
+	if err != nil {
+		return nil, err
+	}
+	res.Digest = fmt.Sprintf("%x", sha256.Sum256(b))
+	return res, nil
+}
+
+// clusterShard is one serve shard under the harness's synchronous drive.
+type clusterShard struct {
+	dir  string
+	srv  *sink.Server
+	ts   *httptest.Server
+	dead bool
+}
+
+func buildShard(calibPath, modelPath, dir string) (*clusterShard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	srv, err := sink.New(sink.Options{
+		ModelPath:     modelPath,
+		CalibratePath: calibPath,
+		SnapshotPath:  filepath.Join(dir, "snapshot.json"),
+		WALPath:       filepath.Join(dir, "wal"),
+		QueueSize:     4096,
+		Sleep:         func(time.Duration) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterShard{dir: dir, srv: srv, ts: httptest.NewServer(srv.Handler())}, nil
+}
+
+// driveClusterRun streams the batches through the router into k shards,
+// kill -9s one shard after o.killAfter batches, restarts it 5 batches
+// later (repointing the router at the new listener), and returns the
+// merged fleet view.
+func driveClusterRun(o chaosOptions, calibPath, modelPath, dir string, batches [][]trace.Record, tr *chaos.Transport, logf func(string, ...any)) (*chaosClusterResult, error) {
+	k := o.clusterShards
+	shards := make([]*clusterShard, k)
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		sh, err := buildShard(calibPath, modelPath, filepath.Join(dir, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+		urls[i] = sh.ts.URL
+	}
+	defer func() {
+		for _, sh := range shards {
+			if !sh.dead {
+				sh.ts.Close()
+			}
+		}
+	}()
+
+	noSleep := func(time.Duration) {}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Shards:   urls,
+		Seed:     uint64(o.seed),
+		HoldCap:  4 * len(batches), // the outage must never evict: zero loss is the claim under test
+		Attempts: 2,
+		RetryMin: time.Millisecond,
+		RetryMax: 2 * time.Millisecond,
+		Sleep:    noSleep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	// Kill the shard that owns the first reporting node, so the outage is
+	// guaranteed to sit in the traffic path.
+	killShard := 0
+	if len(batches) > 0 && len(batches[0]) > 0 {
+		killShard = rt.Ring().Owner(batches[0][0].Node)
+	}
+	killAfter := o.killAfter
+	restartAt := 0
+	if killAfter > 0 {
+		restartAt = killAfter + 5
+		if restartAt > len(batches) {
+			restartAt = len(batches)
+		}
+	}
+	snapshotAt := killAfter / 2
+
+	var enc *packet.FrameEncoder
+	if o.bin {
+		enc = packet.NewFrameEncoder()
+	}
+	deliver := func(ds []chaos.Delivery) error {
+		for _, d := range ds {
+			var err error
+			if o.bin {
+				err = postDeliveryBin(rts.URL, d, enc, noSleep)
+			} else {
+				err = postDelivery(rts.URL, d, noSleep)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	settle := func() {
+		for _, sh := range shards {
+			if sh.dead {
+				continue
+			}
+			sh.srv.IngestQueued()
+			sh.srv.DrainTick()
+		}
+	}
+
+	for i, batch := range batches {
+		var ds []chaos.Delivery
+		if tr != nil {
+			ds = tr.Step(batch)
+		} else {
+			ds = []chaos.Delivery{{Records: batch}}
+		}
+		if err := deliver(ds); err != nil {
+			return nil, fmt.Errorf("batch %d: %w", i+1, err)
+		}
+		settle()
+		if killAfter > 0 && i+1 == killAfter {
+			sh := shards[killShard]
+			sh.ts.Close()
+			if err := sh.srv.AbortWAL(); err != nil {
+				return nil, err
+			}
+			sh.dead = true
+			logf("chaos-cluster: killed shard %d after batch %d (queue held %d reports); router holds its traffic\n",
+				killShard, i+1, sh.srv.QueueDepth())
+		}
+		if restartAt > 0 && i+1 == restartAt {
+			sh, err := buildShard(calibPath, modelPath, shards[killShard].dir)
+			if err != nil {
+				return nil, fmt.Errorf("restart shard %d: %w", killShard, err)
+			}
+			shards[killShard] = sh
+			rt.SetShard(killShard, sh.ts.URL)
+			held := rt.Held(killShard)
+			rt.ProbeOnce() // readiness confirms, held traffic flushes FIFO
+			logf("chaos-cluster: restarted shard %d after batch %d, %d held deliveries flushed\n",
+				killShard, i+1, held)
+			settle()
+		}
+		if snapshotAt > 0 && i+1 == snapshotAt {
+			for _, sh := range shards {
+				if sh.dead {
+					continue
+				}
+				if err := sh.srv.PersistSnapshot(context.Background()); err != nil {
+					return nil, fmt.Errorf("mid-run snapshot: %w", err)
+				}
+			}
+		}
+	}
+	if tr != nil {
+		if err := deliver(tr.Flush()); err != nil {
+			return nil, fmt.Errorf("flush: %w", err)
+		}
+	}
+	// A kill with no restart window left: bring the shard back now, or the
+	// fleet view would be missing its nodes.
+	if killAfter > 0 && restartAt == len(batches) && shards[killShard].dead {
+		return nil, fmt.Errorf("chaos-cluster: kill-epoch %d leaves no restart window", killAfter)
+	}
+	rt.ProbeOnce()
+	settle()
+
+	res := &chaosClusterResult{Shards: k, KilledShard: killShard}
+	for i := 0; i < k; i++ {
+		res.HoldDrops += rt.HoldDrops(i)
+		if held := rt.Held(i); held != 0 {
+			return nil, fmt.Errorf("chaos-cluster: shard %d still has %d held deliveries after recovery", i, held)
+		}
+	}
+	rank, merged, missing, err := rt.FleetEpochs()
+	if err != nil {
+		return nil, err
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("chaos-cluster: shards %v missing from the fleet merge", missing)
+	}
+	if rank != o.rank {
+		return nil, fmt.Errorf("chaos-cluster: fleet rank %d, want %d", rank, o.rank)
+	}
+	res.FleetCauses = merged
+	for _, sh := range shards {
+		if err := sh.srv.CloseWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// maxCausesDeviation mirrors maxEpochDeviation over already-summed
+// distributions.
+func maxCausesDeviation(a, b []online.EpochCauses) float64 {
+	byEpoch := func(ecs []online.EpochCauses) map[int]map[int]float64 {
+		m := make(map[int]map[int]float64, len(ecs))
+		for _, ec := range ecs {
+			dist := make(map[int]float64, len(ec.Distribution))
+			for c, v := range ec.Distribution {
+				if v != 0 {
+					dist[c] = v
+				}
+			}
+			m[ec.Epoch] = dist
+		}
+		return m
+	}
+	am, bm := byEpoch(a), byEpoch(b)
+	var worst float64
+	for e, ad := range am {
+		if d := l1RelDeviation(ad, bm[e]); d > worst {
+			worst = d
+		}
+	}
+	for e, bd := range bm {
+		if _, ok := am[e]; !ok {
+			if d := l1RelDeviation(nil, bd); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -12,7 +12,8 @@
 //	vn2 epochs     -model model.json -in trace.csv [-min-strength x]
 //	vn2 simulate   [-nodes n] [-epochs e] [-seed s]
 //	vn2 serve      -model model.json -calibrate trace.csv [-addr host:port] [-snapshot file] [-wal dir]
-//	vn2 chaos      [-seed s] [-drop p] [-dup p] [-delay p] [-truncate p] [-kill-epoch n] [-tolerance x]
+//	vn2 router     -shards url1,url2,... [-addr host:port] [-seed s] [-vnodes k]
+//	vn2 chaos      [-seed s] [-drop p] [-dup p] [-delay p] [-truncate p] [-kill-epoch n] [-tolerance x] [-cluster] [-shards k]
 //	vn2 experiment [table1|fig3a|fig3b|fig3c|fig4|fig5|fig6|baselines|prrest|all] [-quick] [-seed s]
 package main
 
@@ -59,6 +60,8 @@ func run(args []string) error {
 		return cmdSimulate(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "router":
+		return cmdRouter(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
 	case "experiment":
@@ -84,6 +87,7 @@ subcommands:
   epochs      network-level combination diagnosis, one line per epoch
   simulate    run the WSN simulator and print per-epoch PRR
   serve       run the online sink service (streaming detection + diagnosis over HTTP)
+  router      run the cluster front door: consistent-hash routing to serve shards, merged /fleet view
   chaos       prove crash-safe ingest: fault-injected run + kill -9 vs fault-free baseline
   experiment  regenerate the paper's tables and figures
 `)

@@ -1,0 +1,75 @@
+package main
+
+// The router subcommand is the cluster front door: a thin shell over
+// vn2/cluster.Router. It owns no diagnosis state — only the consistent-hash
+// ring, per-shard delivery machinery, and the merged /fleet view.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/wsn-tools/vn2/vn2/cluster"
+)
+
+func cmdRouter(args []string) error {
+	fs := flag.NewFlagSet("router", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8079", "listen address")
+	shards := fs.String("shards", "", "comma-separated shard base URLs, index-aligned with the ring (required)")
+	seed := fs.Uint64("seed", 1, "ring + backoff seed; every router of a cluster must share it")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = 64)")
+	hold := fs.Int("hold", 0, "per-shard hold-queue bound in deliveries; full queue drops the oldest (0 = 256)")
+	attempts := fs.Int("attempts", 0, "delivery retry attempts per forward (0 = 4)")
+	probe := fs.Duration("probe-interval", 0, "shard /readyz probe cadence (0 = 1s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("router: -shards is required (comma-separated base URLs)")
+	}
+
+	r, err := cluster.NewRouter(cluster.Config{
+		Shards:        urls,
+		Seed:          *seed,
+		Vnodes:        *vnodes,
+		HoldCap:       *hold,
+		Attempts:      *attempts,
+		ProbeInterval: *probe,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go r.Run(ctx)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: r.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vn2 router: listening on %s, %d shards (seed %d)\n", *addr, len(urls), *seed)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "vn2 router: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ func cmdServe(args []string) error {
 	fs.Float64Var(&o.ResidThreshold, "residual-threshold", 0, "relative residual above which an exception counts as unattributed (0 = 0.5)")
 	fs.BoolVar(&o.Refreeze, "refreeze", false, "re-anchor the exception detector on accepted swaps (declares the drifted regime the new routine)")
 	fs.IntVar(&o.EventJournal, "event-journal", 0, "event-bus replay journal capacity for /stream resume (0 = 256)")
+	fs.IntVar(&o.EventJournalBytes, "event-journal-bytes", 0, "event-bus replay journal byte budget; oldest events evict early when payloads outgrow it (0 = 1 MiB)")
 	fs.IntVar(&o.StreamBuffer, "stream-buffer", 0, "per-/stream-subscriber event buffer; slow consumers drop oldest (0 = 64)")
 	fs.StringVar(&o.StreamAddr, "stream-addr", "", "persistent frame-stream listen address (raw TCP, VN2F frames with per-frame ACK/NACK); empty = HTTP ingest only")
 	fs.IntVar(&o.StreamMaxConns, "stream-conns", 0, "stream connection cap; excess connections are refused with a NACK (0 = 64)")

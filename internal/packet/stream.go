@@ -9,8 +9,15 @@ package packet
 //	offset len
 //	0      4   magic "VN2A" (big endian 0x564E3241)
 //	4      1   status (see StreamStatus)
-//	5      1   reserved (must be 0)
+//	5      1   retry-after hint, seconds (0 = none; set on backpressure
+//	           NACKs, mirroring the HTTP 503 Retry-After header)
 //	6      2   accepted record count (big endian)
+//
+// Byte 5 was reserved-must-be-zero before the retry-after hint existed,
+// so old receivers paired with new sinks would have dropped the
+// connection on a hinted NACK; both ends ship together in this repo, and
+// an old SINK always sends 0, which a new receiver reads as "no hint" —
+// the direction that matters for mixed fleets of reporters.
 //
 // The response is the transport's commit signal: StreamAck means every
 // record of the frame is journaled and queued (the same durability contract
@@ -79,12 +86,25 @@ var ErrBadResp = errors.New("packet: bad stream response")
 type StreamResp struct {
 	Status   StreamStatus
 	Accepted int // records committed (StreamNackBusy: before the queue filled)
+	// RetryAfter is the sink's backoff hint in seconds (0 = none), carried
+	// in the former reserved byte. Sinks set it on StreamNackBusy and
+	// StreamNackUnavailable with the same values their HTTP edge puts in
+	// the 503 Retry-After header, so a reporter backs off identically on
+	// either transport.
+	RetryAfter int
 }
 
 // AppendStreamResp appends the wire form of a response to b.
 func AppendStreamResp(b []byte, r StreamResp) []byte {
 	b = binary.BigEndian.AppendUint32(b, respMagic)
-	b = append(b, byte(r.Status), 0)
+	ra := r.RetryAfter
+	if ra < 0 {
+		ra = 0
+	}
+	if ra > 255 {
+		ra = 255
+	}
+	b = append(b, byte(r.Status), byte(ra))
 	n := r.Accepted
 	if n < 0 {
 		n = 0
@@ -107,12 +127,10 @@ func ReadStreamResp(r io.Reader, buf []byte) (StreamResp, error) {
 	if binary.BigEndian.Uint32(buf) != respMagic {
 		return StreamResp{}, fmt.Errorf("%w: bad magic", ErrBadResp)
 	}
-	if buf[5] != 0 {
-		return StreamResp{}, fmt.Errorf("%w: reserved byte %#x", ErrBadResp, buf[5])
-	}
 	return StreamResp{
-		Status:   StreamStatus(buf[4]),
-		Accepted: int(binary.BigEndian.Uint16(buf[6:])),
+		Status:     StreamStatus(buf[4]),
+		RetryAfter: int(buf[5]),
+		Accepted:   int(binary.BigEndian.Uint16(buf[6:])),
 	}, nil
 }
 

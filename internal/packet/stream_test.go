@@ -8,28 +8,30 @@ import (
 	"testing"
 )
 
-// TestStreamRespRoundTrip: every status and a few accepted counts survive
-// the 8-byte wire form exactly.
+// TestStreamRespRoundTrip: every status, a few accepted counts, and the
+// retry-after hint survive the 8-byte wire form exactly.
 func TestStreamRespRoundTrip(t *testing.T) {
 	for _, st := range []StreamStatus{StreamAck, StreamNackBad, StreamNackBusy, StreamNackUnavailable} {
 		for _, n := range []int{0, 1, 64, MaxFrameRecords} {
-			b := AppendStreamResp(nil, StreamResp{Status: st, Accepted: n})
-			if len(b) != StreamRespLen {
-				t.Fatalf("resp length %d, want %d", len(b), StreamRespLen)
-			}
-			got, err := ReadStreamResp(bytes.NewReader(b), nil)
-			if err != nil {
-				t.Fatalf("ReadStreamResp(%v, %d): %v", st, n, err)
-			}
-			if got.Status != st || got.Accepted != n {
-				t.Fatalf("round trip: got %+v, want {%v %d}", got, st, n)
+			for _, ra := range []int{0, 1, 5, 255} {
+				b := AppendStreamResp(nil, StreamResp{Status: st, Accepted: n, RetryAfter: ra})
+				if len(b) != StreamRespLen {
+					t.Fatalf("resp length %d, want %d", len(b), StreamRespLen)
+				}
+				got, err := ReadStreamResp(bytes.NewReader(b), nil)
+				if err != nil {
+					t.Fatalf("ReadStreamResp(%v, %d, %d): %v", st, n, ra, err)
+				}
+				if got.Status != st || got.Accepted != n || got.RetryAfter != ra {
+					t.Fatalf("round trip: got %+v, want {%v %d %d}", got, st, n, ra)
+				}
 			}
 		}
 	}
 }
 
 // TestStreamRespClamps: negative and over-u16 accepted counts clamp instead
-// of wrapping.
+// of wrapping, and the retry-after hint clamps to its single byte.
 func TestStreamRespClamps(t *testing.T) {
 	b := AppendStreamResp(nil, StreamResp{Status: StreamAck, Accepted: -5})
 	if got, _ := ReadStreamResp(bytes.NewReader(b), nil); got.Accepted != 0 {
@@ -39,10 +41,19 @@ func TestStreamRespClamps(t *testing.T) {
 	if got, _ := ReadStreamResp(bytes.NewReader(b), nil); got.Accepted != MaxFrameRecords {
 		t.Fatalf("oversized accepted decoded as %d, want %d", got.Accepted, MaxFrameRecords)
 	}
+	b = AppendStreamResp(nil, StreamResp{Status: StreamNackBusy, RetryAfter: 400})
+	if got, _ := ReadStreamResp(bytes.NewReader(b), nil); got.RetryAfter != 255 {
+		t.Fatalf("oversized retry-after decoded as %d, want 255", got.RetryAfter)
+	}
+	b = AppendStreamResp(nil, StreamResp{Status: StreamNackBusy, RetryAfter: -3})
+	if got, _ := ReadStreamResp(bytes.NewReader(b), nil); got.RetryAfter != 0 {
+		t.Fatalf("negative retry-after decoded as %d, want 0", got.RetryAfter)
+	}
 }
 
-// TestStreamRespMalformed: bad magic and a dirty reserved byte are typed
-// (connection-fatal) errors; a short read surfaces the io error.
+// TestStreamRespMalformed: a bad magic is a typed (connection-fatal)
+// error; a short read surfaces the io error. Byte 5 — once reserved — is
+// the retry-after hint now, so any value there parses.
 func TestStreamRespMalformed(t *testing.T) {
 	good := AppendStreamResp(nil, StreamResp{Status: StreamAck})
 
@@ -53,8 +64,8 @@ func TestStreamRespMalformed(t *testing.T) {
 	}
 	bad = append(bad[:0], good...)
 	bad[5] = 7
-	if _, err := ReadStreamResp(bytes.NewReader(bad), nil); !errors.Is(err, ErrBadResp) {
-		t.Fatalf("reserved byte: err %v, want ErrBadResp", err)
+	if got, err := ReadStreamResp(bytes.NewReader(bad), nil); err != nil || got.RetryAfter != 7 {
+		t.Fatalf("hint byte: got %+v err %v, want RetryAfter 7", got, err)
 	}
 	if _, err := ReadStreamResp(bytes.NewReader(good[:3]), nil); err == nil {
 		t.Fatal("short read: expected an error")

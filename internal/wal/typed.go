@@ -27,6 +27,14 @@ const (
 	// history to reconstruct them. One batch is one WAL record: the group
 	// commit the binary path buys.
 	KindBatch Kind = 'B'
+	// KindHandoff is a shard-handoff control record (store's HandoffRecord
+	// JSON): on the releasing shard it marks the LSN at which a set of
+	// nodes stopped being owned here, on the accepting shard it carries the
+	// moved nodes' monitor slice. Replay re-applies the ownership change at
+	// exactly its position between reports, so a crash on either side of a
+	// rebalance recovers to the post-handoff state instead of resurrecting
+	// (or losing) the moved nodes.
+	KindHandoff Kind = 'H'
 )
 
 // typedMagic is the reserved first byte of a typed payload.

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrBreakerOpen reports a delivery refused because the shard's breaker is
+// open and its cooldown has not elapsed.
+var ErrBreakerOpen = errors.New("cluster: shard circuit breaker open")
+
+// breaker is the per-shard circuit breaker, the same three-state machine
+// the reporter runs per connection (vn2/reporter), counted over whole
+// delivery outcomes — a trip means the shard stayed down through an entire
+// retry ladder, threshold times in a row:
+//
+//	closed ──threshold consecutive failures──▶ open
+//	open ──cooldown elapsed──▶ half-open (one probe allowed)
+//	half-open ──probe succeeds──▶ closed
+//	half-open ──probe fails──▶ open (cooldown restarts)
+//
+// The clock is injected on every transition check so tests and the chaos
+// harness step it deterministically. Not goroutine-safe; the router guards
+// each shard's breaker with that shard's mutex.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	trips    uint64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow reports whether a delivery may proceed at time now. While open it
+// returns ErrBreakerOpen until the cooldown elapses, then moves to
+// half-open and admits the single probe delivery.
+func (b *breaker) allow(now time.Time) error {
+	if b.state == breakerOpen {
+		if now.Sub(b.openedAt) < b.cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = breakerHalfOpen
+	}
+	return nil
+}
+
+// success closes the breaker and clears the failure streak.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// fail records a failed delivery at time now. A half-open probe failure
+// reopens immediately; a closed-state failure opens once the streak
+// reaches the threshold.
+func (b *breaker) fail(now time.Time) {
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		if b.state != breakerOpen {
+			b.trips++
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		b.fails = 0
+	}
+}
+
+func (b *breaker) stateName() string {
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

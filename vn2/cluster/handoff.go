@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+)
+
+// MoveNodes moves ownership of a node set from one shard to another by
+// driving the sinks' three-step handoff protocol (vn2/sink handoff
+// endpoints):
+//
+//  1. export  — the source returns the nodes' monitor slice as of a
+//     queue barrier (every report it has ACKed is inside)
+//  2. import  — the target journals the slice (KindHandoff WAL record,
+//     fsynced) and merges it at its own barrier
+//  3. release — the source journals the release and drops the nodes
+//
+// Import strictly precedes release: a crash between the two leaves the
+// moved state duplicated across both shards — never lost — and the fleet
+// merge's ownership filter (FilterOwned) hides the duplication. Re-running
+// MoveNodes after any partial failure converges: export is read-only,
+// import is idempotent at the monitor level (same epochs, same baselines),
+// and release only ever drops what export already copied out.
+//
+// MoveNodes does NOT update any ring; the caller repoints routing (a new
+// ring, or a SetShard) around the move. Moving while reports still route
+// to the source is safe but leaves a tail for a second MoveNodes pass.
+func MoveNodes(client *http.Client, fromURL, toURL string, nodes []packet.NodeID) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if client == nil {
+		client = &http.Client{Timeout: DefaultHTTPTimeout}
+	}
+	nodesBody, err := json.Marshal(map[string]any{"nodes": nodes})
+	if err != nil {
+		return err
+	}
+
+	slice, err := postJSON(client, fromURL+"/handoff/export", nodesBody)
+	if err != nil {
+		return fmt.Errorf("cluster: handoff export from %s: %w", fromURL, err)
+	}
+	if _, err := postJSON(client, toURL+"/handoff/import", slice); err != nil {
+		return fmt.Errorf("cluster: handoff import to %s: %w", toURL, err)
+	}
+	if _, err := postJSON(client, fromURL+"/handoff/release", nodesBody); err != nil {
+		return fmt.Errorf("cluster: handoff release from %s: %w", fromURL, err)
+	}
+	return nil
+}
+
+// postJSON posts a JSON body and returns the response body on a 2xx.
+func postJSON(client *http.Client, url string, body []byte) ([]byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, maxFleetBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(out))
+	}
+	return out, nil
+}

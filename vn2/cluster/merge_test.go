@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/vn2"
+	"github.com/wsn-tools/vn2/vn2/online"
+)
+
+// contrib builds one node's contribution with adversarial float strengths:
+// magnitudes spread over ~17 orders so any change in summation order
+// changes the result bits — exactly what the merge must never do.
+func contrib(node packet.NodeID, rnd *rand.Rand, rank int) online.Contribution {
+	causes := make([]vn2.RankedCause, 0, rank)
+	for c := 0; c < rank; c++ {
+		mag := float64(uint64(1) << (rnd.Intn(55)))
+		causes = append(causes, vn2.RankedCause{Cause: c, Strength: rnd.Float64() * mag / 1e8})
+	}
+	return online.Contribution{Node: node, Causes: causes}
+}
+
+// singleMonitorSum reproduces online.epochAcc.causes: sort ascending by
+// node, sum in that order.
+func singleMonitorSum(rank int, contribs []online.Contribution) []float64 {
+	merged := MergeEpochs(rank, []online.EpochState{{Epoch: 1, Contribs: contribs}})
+	return merged[0].Distribution
+}
+
+// TestMergeEpochsBitExact: merging ANY partition of an epoch's
+// contributions across shards reproduces the single-monitor sum
+// bit-for-bit, for several adversarial float workloads and partitions.
+func TestMergeEpochsBitExact(t *testing.T) {
+	const rank = 6
+	rnd := rand.New(rand.NewSource(7))
+	var all []online.Contribution
+	for n := 1; n <= 40; n++ {
+		all = append(all, contrib(packet.NodeID(n), rnd, rank))
+	}
+	want := singleMonitorSum(rank, all)
+
+	for shards := 2; shards <= 5; shards++ {
+		ring := NewRing(42, shards, 0)
+		parts := make([][]online.EpochState, shards)
+		for s := 0; s < shards; s++ {
+			parts[s] = []online.EpochState{{Epoch: 1}}
+		}
+		// Deal contributions by ring ownership, in a scrambled arrival order
+		// (shards export in their own ingest order, not globally sorted).
+		scrambled := append([]online.Contribution(nil), all...)
+		rnd.Shuffle(len(scrambled), func(i, j int) { scrambled[i], scrambled[j] = scrambled[j], scrambled[i] })
+		for _, c := range scrambled {
+			s := ring.Owner(c.Node)
+			parts[s][0].Contribs = append(parts[s][0].Contribs, c)
+		}
+		merged := MergeEpochs(rank, parts...)
+		if len(merged) != 1 || merged[0].Epoch != 1 || merged[0].States != len(all) {
+			t.Fatalf("shards=%d: merged %+v", shards, merged)
+		}
+		if !reflect.DeepEqual(merged[0].Distribution, want) {
+			t.Fatalf("shards=%d: distribution diverged from single-monitor sum\n got %v\nwant %v",
+				shards, merged[0].Distribution, want)
+		}
+	}
+}
+
+// TestMergeEpochsMultiEpoch: epochs stay separate and come back sorted.
+func TestMergeEpochsMultiEpoch(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	a := contrib(1, rnd, 3)
+	b := contrib(2, rnd, 3)
+	merged := MergeEpochs(3,
+		[]online.EpochState{{Epoch: 5, Contribs: []online.Contribution{a}}},
+		[]online.EpochState{{Epoch: 2, Contribs: []online.Contribution{b}}},
+	)
+	if len(merged) != 2 || merged[0].Epoch != 2 || merged[1].Epoch != 5 {
+		t.Fatalf("merged %+v", merged)
+	}
+	if merged[0].States != 1 || merged[1].States != 1 {
+		t.Fatalf("states %d/%d, want 1/1", merged[0].States, merged[1].States)
+	}
+}
+
+// TestFilterOwnedDedupesHandoff: a node's contribution duplicated across
+// two shards (the mid-handoff window) survives on exactly its ring owner,
+// so the merged distribution matches the no-duplication fleet.
+func TestFilterOwnedDedupesHandoff(t *testing.T) {
+	const rank = 4
+	rnd := rand.New(rand.NewSource(11))
+	ring := NewRing(1, 2, 0)
+	var n packet.NodeID
+	for n = 1; ring.Owner(n) != 0; n++ {
+	}
+	moved := contrib(n, rnd, rank) // owned by shard 0, duplicated onto shard 1
+	other := contrib(n+1, rnd, rank)
+
+	shard0 := []online.EpochState{{Epoch: 1, Contribs: []online.Contribution{moved}}}
+	shard1 := []online.EpochState{{Epoch: 1, Contribs: []online.Contribution{moved, other}}}
+
+	parts := [][]online.EpochState{
+		FilterOwned(ring, 0, shard0),
+		FilterOwned(ring, 1, shard1),
+	}
+	kept := 0
+	for _, p := range parts {
+		for _, es := range p {
+			kept += len(es.Contribs)
+		}
+	}
+	wantKept := 1 // moved survives once on shard 0
+	if ring.Owner(n+1) == 1 {
+		wantKept = 2 // other survives on shard 1
+	}
+	if kept != wantKept {
+		t.Fatalf("kept %d contributions, want %d", kept, wantKept)
+	}
+	var wantContribs []online.Contribution
+	wantContribs = append(wantContribs, moved)
+	if ring.Owner(n+1) == 1 {
+		wantContribs = append(wantContribs, other)
+	}
+	want := MergeEpochs(rank, []online.EpochState{{Epoch: 1, Contribs: wantContribs}})
+	got := MergeEpochs(rank, parts...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("deduped merge diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFilterOwnedDropsEmptyEpochs: an epoch whose every contribution
+// belongs elsewhere vanishes from the filtered export.
+func TestFilterOwnedDropsEmptyEpochs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	ring := NewRing(1, 2, 0)
+	var n packet.NodeID
+	for n = 1; ring.Owner(n) != 0; n++ {
+	}
+	eps := []online.EpochState{{Epoch: 1, Contribs: []online.Contribution{contrib(n, rnd, 2)}}}
+	if got := FilterOwned(ring, 1, eps); len(got) != 0 {
+		t.Fatalf("foreign-owned epoch survived the filter: %+v", got)
+	}
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/trace"
+	"github.com/wsn-tools/vn2/vn2/sink/ingest"
+)
+
+// fakeShard is a scriptable stand-in for one `vn2 serve` shard: it records
+// every record that reaches its ingest endpoints (decoding both the JSON
+// and the binary path with the sink's own decoder) and serves a scripted
+// readiness verdict.
+type fakeShard struct {
+	mu    sync.Mutex
+	ready bool
+	fail  bool // ingest answers 503
+	recs  []trace.Record
+	dec   *ingest.BinaryDecoder
+	ts    *httptest.Server
+}
+
+func newFakeShard(t *testing.T) *fakeShard {
+	t.Helper()
+	f := &fakeShard{ready: true, dec: ingest.NewBinaryDecoder()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /report", func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.fail {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		recs, err := ingest.Decode(raw)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		f.recs = append(f.recs, recs...)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("POST /report/bin", func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.fail {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		recs, err := f.dec.Decode(raw)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		for _, rec := range recs {
+			rec.Vector = append([]float64(nil), rec.Vector...)
+			f.recs = append(f.recs, rec)
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.ready && !f.fail {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeShard) setFail(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = v
+}
+
+func (f *fakeShard) records() []trace.Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]trace.Record(nil), f.recs...)
+}
+
+func testRecords(n, epochs int) []trace.Record {
+	var recs []trace.Record
+	for e := 1; e <= epochs; e++ {
+		for id := 1; id <= n; id++ {
+			recs = append(recs, trace.Record{
+				Node:   packet.NodeID(id),
+				Epoch:  e,
+				Vector: []float64{float64(id), float64(e), float64(id * e)},
+			})
+		}
+	}
+	return recs
+}
+
+func newTestRouter(t *testing.T, shards []*fakeShard) (*Router, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.ts.URL
+	}
+	r, err := NewRouter(Config{
+		Shards:   urls,
+		Seed:     7,
+		Attempts: 2,
+		RetryMin: time.Microsecond,
+		RetryMax: time.Microsecond,
+		Sleep:    func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+func postBody(t *testing.T, url, ct string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, ct, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestRouterForwardSplit: a mixed-node JSON batch lands on each node's
+// ring owner, with per-node record order preserved.
+func TestRouterForwardSplit(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t), newFakeShard(t), newFakeShard(t)}
+	r, ts := newTestRouter(t, shards)
+
+	recs := testRecords(12, 3)
+	body, _ := json.Marshal(recs)
+	if resp := postBody(t, ts.URL+"/report", "application/json", body); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("report status %d", resp.StatusCode)
+	}
+
+	total := 0
+	for i, sh := range shards {
+		got := sh.records()
+		total += len(got)
+		lastEpoch := map[packet.NodeID]int{}
+		for _, rec := range got {
+			if own := r.Ring().Owner(rec.Node); own != i {
+				t.Fatalf("shard %d received node %d owned by shard %d", i, rec.Node, own)
+			}
+			if rec.Epoch <= lastEpoch[rec.Node] {
+				t.Fatalf("shard %d: node %d epoch %d arrived out of order", i, rec.Node, rec.Epoch)
+			}
+			lastEpoch[rec.Node] = rec.Epoch
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("shards received %d records, want %d", total, len(recs))
+	}
+}
+
+// TestRouterForwardBin: the binary path decodes at the router and reaches
+// shards as full-encoded frames with the same split guarantee.
+func TestRouterForwardBin(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t), newFakeShard(t)}
+	r, ts := newTestRouter(t, shards)
+
+	recs := testRecords(8, 2)
+	enc := packet.NewFrameEncoder()
+	var frames [][]byte
+	for e := 0; e < 2; e++ {
+		enc.Reset()
+		for _, rec := range recs[e*8 : (e+1)*8] {
+			if err := enc.Add(rec.Node, rec.Epoch, rec.Vector); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame, err := enc.Frame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), frame...))
+	}
+	for _, frame := range frames {
+		if resp := postBody(t, ts.URL+"/report/bin", "application/octet-stream", frame); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report/bin status %d", resp.StatusCode)
+		}
+	}
+	total := 0
+	for i, sh := range shards {
+		for _, rec := range sh.records() {
+			if own := r.Ring().Owner(rec.Node); own != i {
+				t.Fatalf("shard %d received node %d owned by shard %d", i, rec.Node, own)
+			}
+			total++
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("shards received %d records, want %d", total, len(recs))
+	}
+}
+
+// TestRouterHoldAndFlush: a down shard's traffic parks in the hold queue
+// (zero loss), the breaker trips, and a readiness probe after recovery
+// flushes everything FIFO.
+func TestRouterHoldAndFlush(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t), newFakeShard(t)}
+	r, ts := newTestRouter(t, shards)
+
+	shards[1].setFail(true)
+	recs := testRecords(10, 4)
+	var wantShard1 []trace.Record
+	for _, rec := range recs {
+		if r.Ring().Owner(rec.Node) == 1 {
+			wantShard1 = append(wantShard1, rec)
+		}
+	}
+	if len(wantShard1) == 0 || len(wantShard1) == len(recs) {
+		t.Fatalf("degenerate split: %d/%d on shard 1", len(wantShard1), len(recs))
+	}
+	for e := 0; e < 4; e++ {
+		body, _ := json.Marshal(recs[e*10 : (e+1)*10])
+		if resp := postBody(t, ts.URL+"/report", "application/json", body); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("report status %d", resp.StatusCode)
+		}
+	}
+	if r.Held(1) == 0 {
+		t.Fatal("down shard has nothing held")
+	}
+	if len(shards[1].records()) != 0 {
+		t.Fatal("down shard received records")
+	}
+
+	// Recovery: probe flips ready and flushes the queue in order.
+	shards[1].setFail(false)
+	r.ProbeOnce()
+	if held := r.Held(1); held != 0 {
+		t.Fatalf("%d deliveries still held after recovery probe", held)
+	}
+	if got := shards[1].records(); !reflect.DeepEqual(got, wantShard1) {
+		t.Fatalf("flushed records diverged:\n got %d records\nwant %d records", len(got), len(wantShard1))
+	}
+	// Shard 0 was never affected.
+	wantShard0 := len(recs) - len(wantShard1)
+	if got := len(shards[0].records()); got != wantShard0 {
+		t.Fatalf("healthy shard received %d, want %d", got, wantShard0)
+	}
+}
+
+// TestRouterHoldBound: the hold queue is bounded; at capacity the OLDEST
+// delivery drops and is counted.
+func TestRouterHoldBound(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t)}
+	urls := []string{shards[0].ts.URL}
+	r, err := NewRouter(Config{
+		Shards: urls, Seed: 7, HoldCap: 2, Attempts: 1,
+		RetryMin: time.Microsecond, RetryMax: time.Microsecond,
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(ts.Close)
+
+	shards[0].setFail(true)
+	for e := 1; e <= 3; e++ {
+		body, _ := json.Marshal([]trace.Record{{Node: 1, Epoch: e, Vector: []float64{1}}})
+		postBody(t, ts.URL+"/report", "application/json", body)
+	}
+	if held := r.Held(0); held != 2 {
+		t.Fatalf("held %d, want HoldCap=2", held)
+	}
+	if drops := r.HoldDrops(0); drops != 1 {
+		t.Fatalf("hold drops %d, want 1", drops)
+	}
+	// The survivors are the two NEWEST deliveries (epochs 2 and 3).
+	shards[0].setFail(false)
+	r.ProbeOnce()
+	got := shards[0].records()
+	if len(got) != 2 || got[0].Epoch != 2 || got[1].Epoch != 3 {
+		t.Fatalf("flushed %+v, want epochs 2,3", got)
+	}
+}
+
+// TestRouterSetShard: repointing a shard marks it unready (traffic holds)
+// until a probe confirms the new address, then held traffic lands there.
+func TestRouterSetShard(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t)}
+	r, ts := newTestRouter(t, shards)
+
+	replacement := newFakeShard(t)
+	r.SetShard(0, replacement.ts.URL)
+
+	body, _ := json.Marshal([]trace.Record{{Node: 3, Epoch: 1, Vector: []float64{1}}})
+	postBody(t, ts.URL+"/report", "application/json", body)
+	if len(replacement.records()) != 0 || r.Held(0) != 1 {
+		t.Fatalf("repointed shard got traffic before a probe (held %d)", r.Held(0))
+	}
+	r.ProbeOnce()
+	if got := replacement.records(); len(got) != 1 || got[0].Node != 3 {
+		t.Fatalf("replacement records %+v", got)
+	}
+	if len(shards[0].records()) != 0 {
+		t.Fatal("old shard address still received traffic")
+	}
+}

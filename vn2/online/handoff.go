@@ -1,0 +1,245 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/vn2"
+)
+
+// NodeSlice is the portable per-node slice of a monitor's rolling state:
+// everything a sink must hand to another sink when ring ownership of a
+// set of nodes moves. It carries each moved node's first-differencing
+// baseline, its flagged-but-undiagnosed backlog entries, and its share of
+// the per-epoch cause contributions — exactly the state the fleet merge
+// depends on. Cumulative Stats counters stay with the source shard: they
+// are operational telemetry about where work happened, not diagnosis
+// state, and moving them would double-count fleet-wide totals.
+//
+// Slices are in canonical order (nodes ascending, epochs ascending) so
+// the same logical slice always marshals to the same bytes — which is
+// what lets the handoff WAL record replay deterministically.
+type NodeSlice struct {
+	Nodes   []NodeState    `json:"nodes"`
+	Pending []PendingState `json:"pending,omitempty"`
+	Epochs  []EpochState   `json:"epochs,omitempty"`
+}
+
+// Empty reports whether the slice carries no state at all.
+func (sl NodeSlice) Empty() bool {
+	return len(sl.Nodes) == 0 && len(sl.Pending) == 0 && len(sl.Epochs) == 0
+}
+
+// ExportNodes returns a deep copy of the given nodes' slice of the
+// monitor state without mutating anything — the export half of a shard
+// handoff. Pair with DropNodes once the slice is durably accepted by the
+// target shard.
+func (m *Monitor) ExportNodes(nodes []packet.NodeID) NodeSlice {
+	want := nodeSet(nodes)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sl NodeSlice
+	for id, lr := range m.last {
+		if !want[id] {
+			continue
+		}
+		sl.Nodes = append(sl.Nodes, NodeState{
+			Node:   id,
+			Epoch:  lr.epoch,
+			Vector: append([]float64(nil), lr.vector...),
+		})
+	}
+	sort.Slice(sl.Nodes, func(i, j int) bool { return sl.Nodes[i].Node < sl.Nodes[j].Node })
+	for _, p := range m.pending {
+		if want[p.state.Node] {
+			sl.Pending = append(sl.Pending, PendingState{State: copyState(p.state), Score: p.score})
+		}
+	}
+	for _, ec := range m.epochs {
+		var es EpochState
+		for _, c := range ec.contribs {
+			if !want[c.Node] {
+				continue
+			}
+			es.Contribs = append(es.Contribs, Contribution{
+				Node:   c.Node,
+				Causes: append([]vn2.RankedCause(nil), c.Causes...),
+			})
+		}
+		if len(es.Contribs) == 0 {
+			continue
+		}
+		es.Epoch = ec.epoch
+		sort.Slice(es.Contribs, func(i, j int) bool { return es.Contribs[i].Node < es.Contribs[j].Node })
+		sl.Epochs = append(sl.Epochs, es)
+	}
+	sort.Slice(sl.Epochs, func(i, j int) bool { return sl.Epochs[i].Epoch < sl.Epochs[j].Epoch })
+	return sl
+}
+
+// DropNodes removes the given nodes' slice from the monitor: their
+// baselines, their pending flagged states, and their per-epoch
+// contributions (epochs left with no contributions are deleted). The
+// release half of a shard handoff; also correct for permanent
+// decommissioning of nodes.
+func (m *Monitor) DropNodes(nodes []packet.NodeID) {
+	drop := nodeSet(nodes)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range drop {
+		delete(m.last, id)
+	}
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		if !drop[p.state.Node] {
+			kept = append(kept, p)
+		}
+	}
+	m.pending = kept
+	for e, ec := range m.epochs {
+		kc := ec.contribs[:0]
+		for _, c := range ec.contribs {
+			if !drop[c.Node] {
+				kc = append(kc, c)
+			}
+		}
+		ec.contribs = kc
+		if len(ec.contribs) == 0 {
+			delete(m.epochs, e)
+		}
+	}
+}
+
+// ImportNodes merges a handed-off slice into the monitor — the accept
+// half of a shard handoff. Shapes are validated against the live
+// detector/model before anything is touched, so a slice exported against
+// an incompatible model fails atomically with ErrBadState.
+//
+// A baseline for a node the monitor already tracks is only overwritten
+// when the imported report is at least as new, preserving the ingest
+// path's epoch monotonicity; contributions always append, because ring
+// ownership guarantees the source and target never diagnosed the same
+// (node, epoch) state.
+func (m *Monitor) ImportNodes(sl NodeSlice) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.validateSliceLocked(sl); err != nil {
+		return err
+	}
+	for _, ns := range sl.Nodes {
+		if lr, ok := m.last[ns.Node]; ok && lr.epoch > ns.Epoch {
+			continue
+		}
+		m.last[ns.Node] = lastReport{
+			epoch:  ns.Epoch,
+			vector: append([]float64(nil), ns.Vector...),
+		}
+		if ns.Epoch > m.stats.LastEpoch {
+			m.stats.LastEpoch = ns.Epoch
+		}
+	}
+	for _, p := range sl.Pending {
+		m.pending = append(m.pending, pendingState{state: copyState(p.State), score: p.Score})
+	}
+	for _, es := range sl.Epochs {
+		ec := m.epochs[es.Epoch]
+		if ec == nil {
+			ec = &epochAcc{epoch: es.Epoch}
+			m.epochs[es.Epoch] = ec
+		}
+		for _, c := range es.Contribs {
+			ec.contribs = append(ec.contribs, Contribution{
+				Node:   c.Node,
+				Causes: append([]vn2.RankedCause(nil), c.Causes...),
+			})
+		}
+		if es.Epoch > m.stats.LastEpoch {
+			m.stats.LastEpoch = es.Epoch
+		}
+	}
+	return nil
+}
+
+// ValidateSlice checks a handed-off slice against the live detector and
+// model without touching any state — the sink runs this BEFORE journaling
+// the handoff record, so a slice that could never import does not poison
+// the WAL with a record that would fail again on every replay.
+func (m *Monitor) ValidateSlice(sl NodeSlice) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.validateSliceLocked(sl)
+}
+
+// validateSliceLocked checks shapes against the live detector/model.
+// Caller holds mu.
+func (m *Monitor) validateSliceLocked(sl NodeSlice) error {
+	metrics := m.det.Metrics()
+	rank := m.model.Rank
+	for _, ns := range sl.Nodes {
+		if len(ns.Vector) != metrics {
+			return fmt.Errorf("%w: handoff node %d vector has %d metrics, want %d",
+				ErrBadState, ns.Node, len(ns.Vector), metrics)
+		}
+		if k := firstNonFinite(ns.Vector); k >= 0 {
+			return fmt.Errorf("%w: handoff node %d metric %d non-finite", ErrBadState, ns.Node, k)
+		}
+	}
+	for _, p := range sl.Pending {
+		if len(p.State.Delta) != metrics {
+			return fmt.Errorf("%w: handoff pending node %d delta has %d metrics, want %d",
+				ErrBadState, p.State.Node, len(p.State.Delta), metrics)
+		}
+	}
+	for _, es := range sl.Epochs {
+		for _, c := range es.Contribs {
+			for _, rc := range c.Causes {
+				if rc.Cause < 0 || rc.Cause >= rank {
+					return fmt.Errorf("%w: handoff epoch %d node %d cites cause %d outside model rank %d",
+						ErrBadState, es.Epoch, c.Node, rc.Cause, rank)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EpochStates exports the rolling per-epoch contributions in canonical
+// order (epochs ascending, contributions node-ascending) WITHOUT the
+// rest of the monitor state — the fleet aggregator's merge input. Unlike
+// Snapshot, the distributions are not pre-summed: the fleet merge needs
+// the raw contributions so it can re-sum the union across shards in one
+// canonical node order and stay bit-identical to a single sink (float
+// addition is not associative, so summing pre-summed shard totals would
+// not be).
+func (m *Monitor) EpochStates() []EpochState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]EpochState, 0, len(m.epochs))
+	for _, ec := range m.epochs {
+		es := EpochState{Epoch: ec.epoch, Contribs: make([]Contribution, len(ec.contribs))}
+		for i, c := range ec.contribs {
+			es.Contribs[i] = Contribution{Node: c.Node, Causes: append([]vn2.RankedCause(nil), c.Causes...)}
+		}
+		sort.Slice(es.Contribs, func(i, j int) bool { return es.Contribs[i].Node < es.Contribs[j].Node })
+		out = append(out, es)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// Rank returns the serving model's root-cause count — the Distribution
+// length of every EpochCauses this monitor produces.
+func (m *Monitor) Rank() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.model.Rank
+}
+
+func nodeSet(nodes []packet.NodeID) map[packet.NodeID]bool {
+	s := make(map[packet.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		s[n] = true
+	}
+	return s
+}

@@ -114,11 +114,11 @@ type Reporter struct {
 	sleep func(time.Duration)
 	now   func() time.Time
 
-	mu     sync.Mutex // guards queue, counters, breaker
-	buf    []trace.Record
-	peeked int // in-flight batch head still in buf (shrunk by oldest-drop)
-	drops  uint64
-	hwm    int
+	mu                                       sync.Mutex // guards queue, counters, breaker
+	buf                                      []trace.Record
+	peeked                                   int // in-flight batch head still in buf (shrunk by oldest-drop)
+	drops                                    uint64
+	hwm                                      int
 	frames, records, nacks, retries, redials uint64
 	br                                       breaker
 
@@ -128,6 +128,10 @@ type Reporter struct {
 	resync  bool // next frame must Forget + full-encode
 	backoff *retry.Backoff
 	respBuf []byte
+	// hint is the sink's retry-after from the last NACK (VN2A byte 5),
+	// consumed by the next inter-attempt sleep. Only the delivery goroutine
+	// (under sendMu) touches it.
+	hint time.Duration
 }
 
 // New validates cfg, applies defaults, and returns a Reporter. No
@@ -319,7 +323,23 @@ func (r *Reporter) deliverySucceeded(records int) {
 // ever committed the frame.
 func (r *Reporter) sendBatch(ctx context.Context, batch []trace.Record) error {
 	first := true
-	return retry.Do(ctx, r.backoff, r.cfg.Attempts, r.sleep, func() error {
+	r.hint = 0
+	// Honor the sink's retry-after hint: the jittered delay is raised to at
+	// least what the sink asked for, matching how an HTTP client treats the
+	// 503 Retry-After header. Jitter still applies above the floor, so a
+	// fleet of hinted reporters does not reconverge in lockstep.
+	sleep := r.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	hinted := func(d time.Duration) {
+		if r.hint > d {
+			d = r.hint
+		}
+		r.hint = 0
+		sleep(d)
+	}
+	return retry.Do(ctx, r.backoff, r.cfg.Attempts, hinted, func() error {
 		if !first {
 			r.mu.Lock()
 			r.retries++
@@ -375,12 +395,14 @@ func (r *Reporter) attempt(batch []trace.Record) error {
 		return nil
 	case packet.StreamNackBusy:
 		r.noteNack()
+		r.hint = time.Duration(resp.RetryAfter) * time.Second
 		return fmt.Errorf("reporter: sink busy: %d/%d records accepted", resp.Accepted, len(batch))
 	case packet.StreamNackBad:
 		r.noteNack()
 		return fmt.Errorf("reporter: sink rejected frame as bad")
 	default:
 		r.noteNack()
+		r.hint = time.Duration(resp.RetryAfter) * time.Second
 		return fmt.Errorf("reporter: sink unavailable")
 	}
 }

@@ -38,13 +38,14 @@ type fakeSink struct {
 	t  *testing.T
 	ln net.Listener
 
-	mu       sync.Mutex
-	dec      *ingest.BinaryDecoder
-	script   []fakeBehavior
-	last     map[packet.NodeID]int
-	accepted []trace.Record
-	frames   int
-	conns    map[net.Conn]struct{}
+	mu         sync.Mutex
+	dec        *ingest.BinaryDecoder
+	script     []fakeBehavior
+	last       map[packet.NodeID]int
+	accepted   []trace.Record
+	frames     int
+	conns      map[net.Conn]struct{}
+	retryAfter int // hint attached to NACK responses (seconds)
 }
 
 func newFakeSink(t *testing.T) *fakeSink {
@@ -168,7 +169,13 @@ func (f *fakeSink) commit(frame []byte) (int, error) {
 }
 
 func (f *fakeSink) respond(c net.Conn, st packet.StreamStatus, accepted int) {
-	c.Write(packet.AppendStreamResp(nil, packet.StreamResp{Status: st, Accepted: accepted}))
+	ra := 0
+	if st != packet.StreamAck {
+		f.mu.Lock()
+		ra = f.retryAfter
+		f.mu.Unlock()
+	}
+	c.Write(packet.AppendStreamResp(nil, packet.StreamResp{Status: st, Accepted: accepted, RetryAfter: ra}))
 }
 
 // snapshot returns the absorbed record stream for bit-exact comparison.
@@ -364,6 +371,58 @@ func TestReporterBatchSplitting(t *testing.T) {
 	}
 	if st := r.Stats(); st.Frames != 3 {
 		t.Fatalf("frames %d, want 3", st.Frames)
+	}
+	if got := sink.snapshot(); len(got) != len(recs) {
+		t.Fatalf("sink absorbed %d, want %d", len(got), len(recs))
+	}
+}
+
+// TestReporterRetryAfterHint: a NACK-busy carrying a retry-after hint
+// raises the next inter-attempt sleep to at least the hinted duration —
+// the jitter bounds alone (RetryMax 10ms in newTestReporter) could never
+// reach it — and the hint is consumed, so the following sleeps fall back
+// to the jittered ladder.
+func TestReporterRetryAfterHint(t *testing.T) {
+	sink := newFakeSink(t)
+	sink.mu.Lock()
+	sink.retryAfter = 3
+	sink.mu.Unlock()
+	sink.program(behaveNackBusy, behaveNackBusy)
+
+	var mu sync.Mutex
+	var slept []time.Duration
+	r := newTestReporter(t, Config{
+		Addr: sink.addr(),
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
+	recs := workload(2, 2)
+	for _, rec := range recs {
+		r.Report(rec)
+	}
+	if err := r.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) < 2 {
+		t.Fatalf("recorded %d sleeps, want >= 2 (one per NACK)", len(slept))
+	}
+	for i := 0; i < 2; i++ {
+		if slept[i] < 3*time.Second {
+			t.Fatalf("sleep %d after hinted NACK was %v, want >= 3s", i, slept[i])
+		}
+	}
+	for _, d := range slept[2:] {
+		if d >= 3*time.Second {
+			t.Fatalf("post-hint sleep %v still floored, hint not consumed", d)
+		}
+	}
+	if st := r.Stats(); st.Nacks != 2 {
+		t.Fatalf("nacks %d, want 2", st.Nacks)
 	}
 	if got := sink.snapshot(); len(got) != len(recs) {
 		t.Fatalf("sink absorbed %d, want %d", len(got), len(recs))

@@ -67,13 +67,13 @@ func TestResyncBitExact(t *testing.T) {
 		},
 		"busy-shed": {behaveAck, behaveNackBusy, behaveNackBusy},
 		"gauntlet": {
-			behaveNackBad,          // frame 1: rejected before any baseline existed
-			behaveAck,              // frame 2 (retry of 1): clean
-			behaveCutAfterCommit,   // frame 3: committed, ACK lost → duplicate retransmit
-			behaveNackBusy,         // frame 4 (retry of 3): committed AGAIN, shed
-			behaveAck,              // frame 5 (retry of 3): triple-delivered, absorbed
-			behaveCutBeforeCommit,  // frame 6: vanished entirely
-			behaveAck,              // ...
+			behaveNackBad,         // frame 1: rejected before any baseline existed
+			behaveAck,             // frame 2 (retry of 1): clean
+			behaveCutAfterCommit,  // frame 3: committed, ACK lost → duplicate retransmit
+			behaveNackBusy,        // frame 4 (retry of 3): committed AGAIN, shed
+			behaveAck,             // frame 5 (retry of 3): triple-delivered, absorbed
+			behaveCutBeforeCommit, // frame 6: vanished entirely
+			behaveAck,             // ...
 			behaveNackBad,
 			behaveCutAfterCommit,
 		},

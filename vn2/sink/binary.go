@@ -18,7 +18,19 @@ type binOutcome struct {
 	dropped  int            // records shed by a full queue (StreamNackBusy)
 	msg      string         // human-readable reason for NACKs
 	detail   map[string]any // extra response payload (HTTP edge)
+	// retryAfter is the backoff hint in seconds for backpressure NACKs. The
+	// HTTP edge sends it as the 503 Retry-After header, the stream edge in
+	// the VN2A response's hint byte — one value, both transports.
+	retryAfter int
 }
+
+// Backoff hints, in seconds. Busy is transient (the queue drains on the
+// next tick); unavailable (degraded/draining) clears on operator or
+// probe timescales.
+const (
+	retryAfterBusy        = 1
+	retryAfterUnavailable = 5
+)
 
 // commitBinaryFrame decodes one VN2F frame against the sink's delta cache
 // and commits it: one group-commit WAL record (fully materialized) and one
@@ -34,9 +46,10 @@ func (s *Server) commitBinaryFrame(raw []byte) binOutcome {
 	if s.deg.Active() {
 		reason, _ := s.deg.Reason()
 		return binOutcome{
-			status: packet.StreamNackUnavailable,
-			msg:    "degraded: ingest shed, serving last-good diagnosis",
-			detail: map[string]any{"reason": reason},
+			status:     packet.StreamNackUnavailable,
+			msg:        "degraded: ingest shed, serving last-good diagnosis",
+			detail:     map[string]any{"reason": reason},
+			retryAfter: retryAfterUnavailable,
 		}
 	}
 
@@ -85,9 +98,10 @@ func (s *Server) commitBinaryFrame(raw []byte) binOutcome {
 			s.binMu.Unlock()
 			s.enterDegraded(fmt.Sprintf("%s: append batch: %v", degradedWAL, ferr))
 			return binOutcome{
-				status: packet.StreamNackUnavailable,
-				msg:    "journal unavailable, report not accepted",
-				detail: map[string]any{"reason": ferr.Error()},
+				status:     packet.StreamNackUnavailable,
+				msg:        "journal unavailable, report not accepted",
+				detail:     map[string]any{"reason": ferr.Error()},
+				retryAfter: retryAfterUnavailable,
 			}
 		}
 	}
@@ -138,9 +152,10 @@ func (s *Server) commitBinaryFrame(raw []byte) binOutcome {
 		if err := s.jnl.Sync(); err != nil {
 			s.enterDegraded(fmt.Sprintf("%s: sync batch: %v", degradedWAL, err))
 			return binOutcome{
-				status: packet.StreamNackUnavailable,
-				msg:    "journal unavailable, report not accepted",
-				detail: map[string]any{"reason": err.Error()},
+				status:     packet.StreamNackUnavailable,
+				msg:        "journal unavailable, report not accepted",
+				detail:     map[string]any{"reason": err.Error()},
+				retryAfter: retryAfterUnavailable,
 			}
 		}
 	}
@@ -153,10 +168,11 @@ func (s *Server) commitBinaryFrame(raw []byte) binOutcome {
 			})
 		}
 		return binOutcome{
-			status:   packet.StreamNackBusy,
-			accepted: queued,
-			dropped:  len(recs) - queued,
-			msg:      "ingest queue full",
+			status:     packet.StreamNackBusy,
+			accepted:   queued,
+			dropped:    len(recs) - queued,
+			msg:        "ingest queue full",
+			retryAfter: retryAfterBusy,
 		}
 	}
 	s.accepted.Add(uint64(queued))

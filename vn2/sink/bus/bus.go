@@ -46,6 +46,18 @@ type Event struct {
 // DefaultJournal is the journal capacity when New is given 0.
 const DefaultJournal = 256
 
+// DefaultJournalBytes is the journal's payload-byte budget when the
+// constructor is given 0. The journal is bounded by entries AND bytes: a
+// burst of large events (a drain diagnosing hundreds of states in one
+// epoch) evicts old entries early instead of pinning journalCap maximal
+// payloads in sink memory.
+const DefaultJournalBytes = 1 << 20
+
+// eventOverhead approximates the fixed in-memory cost of one journaled
+// Event beyond its payload (sequence, timestamp, type header, slice
+// headers) for the byte budget.
+const eventOverhead = 96
+
 // Bus is the event fan-out. The zero value is not usable; construct with New.
 type Bus struct {
 	mu        sync.Mutex
@@ -54,21 +66,40 @@ type Bus struct {
 	journal   []Event // ring: journal[(jHead+i)%cap] for i < jLen
 	jHead     int
 	jLen      int
+	jBytes    int // payload bytes currently journaled (incl. overhead)
+	jMaxBytes int // byte budget; evict-oldest past it
+	evicted   uint64
 	published atomic.Uint64
 	encodeErr atomic.Uint64
 }
 
 // New builds a bus whose replay journal holds the last journalCap events
-// (0 = DefaultJournal).
+// (0 = DefaultJournal) within the default byte budget.
 func New(journalCap int) *Bus {
+	return NewWithBytes(journalCap, 0)
+}
+
+// NewWithBytes builds a bus whose replay journal is bounded both by entry
+// count (0 = DefaultJournal) and by payload bytes (0 =
+// DefaultJournalBytes). Whichever bound fills first evicts the oldest
+// journaled events; the newest event is always retained even when it
+// alone exceeds the byte budget.
+func NewWithBytes(journalCap, maxBytes int) *Bus {
 	if journalCap <= 0 {
 		journalCap = DefaultJournal
 	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultJournalBytes
+	}
 	return &Bus{
-		subs:    make(map[*Sub]struct{}),
-		journal: make([]Event, journalCap),
+		subs:      make(map[*Sub]struct{}),
+		journal:   make([]Event, journalCap),
+		jMaxBytes: maxBytes,
 	}
 }
+
+// eventSize is one event's cost against the byte budget.
+func eventSize(ev Event) int { return len(ev.Data) + len(ev.Type) + eventOverhead }
 
 // Publish marshals data, assigns the next sequence number, journals the
 // event, and fans it out to every subscriber. It never blocks: a full
@@ -85,11 +116,24 @@ func (b *Bus) Publish(typ string, version int, data any) (Event, error) {
 	b.seq++
 	ev := Event{Seq: b.seq, Time: time.Now().UTC(), Type: typ, V: version, Data: raw}
 	if b.jLen == len(b.journal) {
+		b.jBytes -= eventSize(b.journal[b.jHead])
 		b.journal[b.jHead] = ev
 		b.jHead = (b.jHead + 1) % len(b.journal)
 	} else {
 		b.journal[(b.jHead+b.jLen)%len(b.journal)] = ev
 		b.jLen++
+	}
+	b.jBytes += eventSize(ev)
+	// Byte budget: a burst of large payloads evicts oldest-first before the
+	// entry bound would, so the journal's memory stays flat. The newest
+	// event always survives (jLen > 1) — resume semantics degrade to a
+	// shorter replay window, never to a dead journal.
+	for b.jBytes > b.jMaxBytes && b.jLen > 1 {
+		b.jBytes -= eventSize(b.journal[b.jHead])
+		b.journal[b.jHead] = Event{} // release the payload
+		b.jHead = (b.jHead + 1) % len(b.journal)
+		b.jLen--
+		b.evicted++
 	}
 	targets := make([]*Sub, 0, len(b.subs))
 	for s := range b.subs {
@@ -150,6 +194,13 @@ type Stats struct {
 	Dropped     uint64 `json:"dropped"`
 	JournalLen  int    `json:"journal_len"`
 	JournalCap  int    `json:"journal_cap"`
+	// JournalBytes is the journal's current payload footprint and
+	// JournalMaxBytes its budget; JournalEvictions counts events evicted
+	// EARLY by the byte budget (normal ring rotation at the entry bound is
+	// not an eviction — it is the journal working as sized).
+	JournalBytes     int    `json:"journal_bytes"`
+	JournalMaxBytes  int    `json:"journal_max_bytes"`
+	JournalEvictions uint64 `json:"journal_evictions"`
 }
 
 // Stats reports the published count, current subscribers, and the total
@@ -161,10 +212,13 @@ func (b *Bus) Stats() Stats {
 		subs = append(subs, s)
 	}
 	st := Stats{
-		Published:  b.published.Load(),
-		EncodeErrs: b.encodeErr.Load(),
-		JournalLen: b.jLen,
-		JournalCap: len(b.journal),
+		Published:        b.published.Load(),
+		EncodeErrs:       b.encodeErr.Load(),
+		JournalLen:       b.jLen,
+		JournalCap:       len(b.journal),
+		JournalBytes:     b.jBytes,
+		JournalMaxBytes:  b.jMaxBytes,
+		JournalEvictions: b.evicted,
 	}
 	b.mu.Unlock()
 	st.Subscribers = len(subs)

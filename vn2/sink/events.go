@@ -36,6 +36,10 @@ const (
 	// EvSnapshotWritten: a snapshot landed on disk.
 	// Payload: {wal_applied, bytes, model_version}.
 	EvSnapshotWritten = "SnapshotWritten"
+	// EvHandoffImported / EvHandoffReleased: a shard handoff moved node
+	// ownership through this sink. Payload: {dir, nodes}.
+	EvHandoffImported = "HandoffImported"
+	EvHandoffReleased = "HandoffReleased"
 )
 
 type reportAcceptedEvent struct {
@@ -90,6 +94,11 @@ type snapshotEvent struct {
 	WALApplied   uint64 `json:"wal_applied"`
 	Bytes        int    `json:"bytes"`
 	ModelVersion uint64 `json:"model_version"`
+}
+
+type handoffEvent struct {
+	Dir   string `json:"dir"`
+	Nodes int    `json:"nodes"`
 }
 
 // publish fires one versioned event into the bus. Marshal failures are

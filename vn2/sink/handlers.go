@@ -20,7 +20,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /report", s.handleReport)
 	mux.HandleFunc("POST /report/bin", s.handleReportBin)
 	mux.HandleFunc("GET /diagnosis", s.handleDiagnosis)
+	mux.HandleFunc("GET /epochs", s.handleEpochs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /handoff/export", s.handleHandoffExport)
+	mux.HandleFunc("POST /handoff/import", s.handleHandoffImport)
+	mux.HandleFunc("POST /handoff/release", s.handleHandoffRelease)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /model", s.handleModel)
 	mux.Handle("GET /stream", api.Stream(s.bus, s.opts.StreamBuffer))
@@ -174,12 +179,12 @@ func (s *Server) handleReportBin(w http.ResponseWriter, r *http.Request) {
 	case packet.StreamNackBad:
 		api.Error(w, http.StatusBadRequest, out.msg, nil)
 	case packet.StreamNackBusy:
-		api.Unavailable(w, 1, out.msg, map[string]any{
+		api.Unavailable(w, out.retryAfter, out.msg, map[string]any{
 			"accepted": out.accepted,
 			"dropped":  out.dropped,
 		})
 	default: // StreamNackUnavailable: degraded or journal failure
-		api.Unavailable(w, 5, out.msg, out.detail)
+		api.Unavailable(w, out.retryAfter, out.msg, out.detail)
 	}
 }
 
@@ -202,10 +207,13 @@ func (s *Server) handleDiagnosis(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, http.StatusOK, s.mon.Snapshot())
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// healthBody is the shared /healthz + /readyz payload: the liveness view
+// plus the readiness verdict and why.
+func (s *Server) healthBody() (body map[string]any, ready bool) {
 	reason, since := s.deg.Reason()
-	body := map[string]any{
+	body = map[string]any{
 		"status":      "ok",
+		"ready":       true,
 		"uptime_s":    time.Since(s.started).Seconds(),
 		"queue_depth": len(s.queue),
 	}
@@ -214,10 +222,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["wal_next_lsn"] = s.jnl.NextLSN()
 		body["wal_applied"] = s.applied.Watermark()
 	}
-	if reason != "" {
+	switch {
+	case reason != "":
 		body["status"] = "degraded"
+		body["ready"] = false
 		body["reason"] = reason
 		body["degraded_for_s"] = time.Since(since).Seconds()
+	case s.draining.Load():
+		body["status"] = "draining"
+		body["ready"] = false
+		body["reason"] = "draining: graceful shutdown in progress"
+	default:
+		return body, true
+	}
+	return body, false
+}
+
+// handleHealthz is LIVENESS: it answers 200 for as long as the process
+// can serve HTTP at all, including degraded (read-only last-good) and
+// draining states — a supervisor must not kill a sink that is merely
+// shedding ingest. Routability is /readyz's question; the body carries
+// the same ready/status fields either way so a human probing /healthz
+// still sees the whole story.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body, _ := s.healthBody()
+	api.WriteJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is READINESS: 200 only when the sink is accepting and
+// applying new reports. Degraded (up but read-only: WAL down, diagnosis
+// failing, backlog shed) and draining (graceful shutdown started) both
+// answer 503 with the state named in the body, so a router health probe
+// stops routing to this shard without the process being declared dead.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body, ready := s.healthBody()
+	if !ready {
 		api.WriteJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}

@@ -1,0 +1,249 @@
+package sink
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/vn2/online"
+	"github.com/wsn-tools/vn2/vn2/sink/api"
+	"github.com/wsn-tools/vn2/vn2/sink/store"
+)
+
+// Shard handoff: the HTTP edge of a ring rebalance. Ownership of a node
+// set moves between two sinks in three orchestrated steps (the cluster
+// package's MoveNodes drives them):
+//
+//	POST /handoff/export  — source returns the nodes' monitor slice
+//	                        (baselines, pending states, epoch contribs)
+//	POST /handoff/import  — target journals the slice as a KindHandoff
+//	                        WAL record, fsyncs, then merges it in
+//	POST /handoff/release — source journals the release, fsyncs, then
+//	                        drops the nodes
+//
+// Import strictly precedes release, so a crash anywhere in the window
+// can duplicate the moved state across the two shards but never lose it;
+// the fleet merge dedupes by ring ownership, so the duplication is
+// invisible in the merged view (see cluster.MergeEpochs). All three
+// operations run as ingest-queue barriers (enqueueApplyWait): they
+// observe exactly the reports ACKed before them, in the same order a WAL
+// replay reproduces.
+
+// maxHandoffBody bounds handoff request bodies. Slices scale with node
+// count, not report count, so 32 MiB is generous even for large moves.
+const maxHandoffBody = 32 << 20
+
+// handoffNodesReq is the export/release request body.
+type handoffNodesReq struct {
+	Nodes []packet.NodeID `json:"nodes"`
+}
+
+// handleEpochs serves the monitor's rolling per-epoch contributions in
+// canonical order — the fleet aggregator's merge input. Unlike
+// /diagnosis it is NOT pre-summed: the aggregator needs raw per-node
+// contributions so the fleet-wide sum can run in one canonical order and
+// stay bit-identical to a single sink (float addition is not
+// associative). Served even while degraded: it reads diagnosis state the
+// sink already holds.
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"rank":   s.mon.Rank(),
+		"epochs": s.mon.EpochStates(),
+	})
+}
+
+// readHandoffBody reads and caps a handoff request body.
+func readHandoffBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxHandoffBody))
+	if err != nil {
+		if isBodyTooLarge(err) {
+			api.Error(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", maxHandoffBody), nil)
+		} else {
+			api.Error(w, http.StatusBadRequest, "read body: "+err.Error(), nil)
+		}
+		return nil, false
+	}
+	return raw, true
+}
+
+// handleHandoffExport answers with the requested nodes' slice of monitor
+// state. Read-only — nothing is journaled or dropped — but it still runs
+// as a queue barrier so the slice includes every report ACKed before the
+// call (an export taken outside the queue could miss reports sitting in
+// it, and those would then be dropped by the later release).
+func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
+	raw, ok := readHandoffBody(w, r)
+	if !ok {
+		return
+	}
+	var req handoffNodesReq
+	if err := json.Unmarshal(raw, &req); err != nil || len(req.Nodes) == 0 {
+		s.badReqs.Add(1)
+		api.Error(w, http.StatusBadRequest, "body must be {\"nodes\": [id, ...]}", nil)
+		return
+	}
+	var sl online.NodeSlice
+	if err := s.enqueueApplyWait(0, func() { sl = s.mon.ExportNodes(req.Nodes) }); err != nil {
+		api.Unavailable(w, 5, err.Error(), nil)
+		return
+	}
+	s.handoffExports.Add(1)
+	api.WriteJSON(w, http.StatusOK, sl)
+}
+
+// handleHandoffImport accepts a slice exported by a peer shard: validate
+// against the live model/detector, journal it as a KindHandoff record
+// (fsynced before anything mutates, so a crash replays the import), then
+// merge it into the monitor at the barrier position. 200 only after the
+// merge applied — the orchestrator may release the source immediately on
+// seeing it.
+func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {
+	if s.deg.Active() {
+		reason, _ := s.deg.Reason()
+		api.Unavailable(w, 5, "degraded: handoff import refused", map[string]any{"reason": reason})
+		return
+	}
+	raw, ok := readHandoffBody(w, r)
+	if !ok {
+		return
+	}
+	var sl online.NodeSlice
+	if err := json.Unmarshal(raw, &sl); err != nil {
+		s.badReqs.Add(1)
+		api.Error(w, http.StatusBadRequest, "body must be a handoff slice: "+err.Error(), nil)
+		return
+	}
+	if sl.Empty() {
+		api.WriteJSON(w, http.StatusOK, map[string]any{"imported_nodes": 0})
+		return
+	}
+	// Validate BEFORE journaling: a slice that cannot import (wrong metric
+	// count, causes outside the rank) must not become a WAL record that
+	// fails again on every replay.
+	if err := s.mon.ValidateSlice(sl); err != nil {
+		s.badReqs.Add(1)
+		api.Error(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+
+	// Same ordering contract as report appends: hold the swap gate's read
+	// side so no model-swap record lands between our WAL append and our
+	// queue insertion.
+	s.lc.Gate.RLock()
+	var lsn uint64
+	if s.jnl != nil {
+		l, err := s.jnl.AppendHandoffSync(store.HandoffRecord{Dir: store.HandoffIn, Slice: raw})
+		if err != nil {
+			s.lc.Gate.RUnlock()
+			s.walFail(w, "handoff import", err)
+			return
+		}
+		lsn = l
+	}
+	var importErr error
+	err := s.enqueueApplyWait(lsn, func() { importErr = s.mon.ImportNodes(sl) })
+	s.lc.Gate.RUnlock()
+	if err != nil {
+		api.Unavailable(w, 5, err.Error(), nil)
+		return
+	}
+	if importErr != nil {
+		// Validated above, so only a concurrent model swap can get here; the
+		// journaled record will surface the same mismatch at replay time.
+		api.Error(w, http.StatusConflict, importErr.Error(), nil)
+		return
+	}
+	s.handoffImports.Add(1)
+	s.handoffNodes.Add(uint64(len(sl.Nodes)))
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"imported_nodes":   len(sl.Nodes),
+		"imported_pending": len(sl.Pending),
+		"imported_epochs":  len(sl.Epochs),
+	})
+	s.publish(EvHandoffImported, handoffEvent{Dir: store.HandoffIn, Nodes: len(sl.Nodes)})
+}
+
+// handleHandoffRelease drops the given nodes after the target durably
+// imported them: journal the KindHandoff "out" record (replay re-drops at
+// exactly this position, after the nodes' own report records), then drop
+// at the barrier position.
+func (s *Server) handleHandoffRelease(w http.ResponseWriter, r *http.Request) {
+	if s.deg.Active() {
+		reason, _ := s.deg.Reason()
+		api.Unavailable(w, 5, "degraded: handoff release refused", map[string]any{"reason": reason})
+		return
+	}
+	raw, ok := readHandoffBody(w, r)
+	if !ok {
+		return
+	}
+	var req handoffNodesReq
+	if err := json.Unmarshal(raw, &req); err != nil || len(req.Nodes) == 0 {
+		s.badReqs.Add(1)
+		api.Error(w, http.StatusBadRequest, "body must be {\"nodes\": [id, ...]}", nil)
+		return
+	}
+	s.lc.Gate.RLock()
+	var lsn uint64
+	if s.jnl != nil {
+		l, err := s.jnl.AppendHandoffSync(store.HandoffRecord{Dir: store.HandoffOut, Nodes: req.Nodes})
+		if err != nil {
+			s.lc.Gate.RUnlock()
+			s.walFail(w, "handoff release", err)
+			return
+		}
+		lsn = l
+	}
+	err := s.enqueueApplyWait(lsn, func() { s.mon.DropNodes(req.Nodes) })
+	s.lc.Gate.RUnlock()
+	if err != nil {
+		api.Unavailable(w, 5, err.Error(), nil)
+		return
+	}
+	s.handoffReleases.Add(1)
+	api.WriteJSON(w, http.StatusOK, map[string]any{"released_nodes": len(req.Nodes)})
+	s.publish(EvHandoffReleased, handoffEvent{Dir: store.HandoffOut, Nodes: len(req.Nodes)})
+}
+
+// replayHandoff re-applies one KindHandoff WAL record during startup
+// replay: "in" records re-import the slice they carry, "out" records
+// re-drop the nodes — each at exactly its LSN position between report
+// records, reproducing the live ordering.
+func (s *Server) replayHandoff(inner []byte) error {
+	var rec store.HandoffRecord
+	if err := json.Unmarshal(inner, &rec); err != nil {
+		s.walBadRec.Add(1)
+		return nil
+	}
+	switch rec.Dir {
+	case store.HandoffIn:
+		var sl online.NodeSlice
+		if err := json.Unmarshal(rec.Slice, &sl); err != nil {
+			s.walBadRec.Add(1)
+			return nil
+		}
+		if err := s.mon.ImportNodes(sl); err != nil {
+			// The slice was validated against the model serving at append
+			// time; failing now means the sink is restarting under a
+			// different model — the same fatal operator error as a snapshot
+			// mismatch.
+			if errors.Is(err, online.ErrBadState) {
+				return fmt.Errorf("%w: %v", ErrSnapshotMismatch, err)
+			}
+			return err
+		}
+		s.handoffImports.Add(1)
+		s.handoffNodes.Add(uint64(len(sl.Nodes)))
+	case store.HandoffOut:
+		s.mon.DropNodes(rec.Nodes)
+		s.handoffReleases.Add(1)
+	default:
+		s.walBadRec.Add(1)
+	}
+	s.walReplayed.Add(1)
+	return nil
+}

@@ -77,6 +77,23 @@ func (s *Server) registerMetrics() {
 		m["stream_nacks"] = s.streamNacks.Load()
 	})
 
+	// Bus replay-journal byte budget: the eviction counter is an alerting
+	// signal (events aging out of /stream resume early because payloads
+	// outgrew the budget), so it lives on /metrics, not just /status.
+	s.reg.Add(func(m map[string]any) {
+		bst := s.bus.Stats()
+		m["bus_journal_bytes"] = bst.JournalBytes
+		m["bus_journal_evictions"] = bst.JournalEvictions
+	})
+
+	// Shard handoff: ownership moves through this sink.
+	s.reg.Add(func(m map[string]any) {
+		m["handoff_exports"] = s.handoffExports.Load()
+		m["handoff_imports"] = s.handoffImports.Load()
+		m["handoff_releases"] = s.handoffReleases.Load()
+		m["handoff_nodes_in"] = s.handoffNodes.Load()
+	})
+
 	// Lifecycle counters.
 	s.reg.Add(s.lc.Metrics)
 

@@ -180,6 +180,9 @@ func TestServeDegradedWAL(t *testing.T) {
 		t.Fatalf("degraded ingest: %d %s (Retry-After %q)", resp.StatusCode, body, resp.Header.Get("Retry-After"))
 	}
 
+	// Liveness stays 200 while degraded (the process is up, just read-only);
+	// readiness answers 503 so a router stops routing here. Both carry the
+	// state and reason.
 	hr, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -187,8 +190,18 @@ func TestServeDegradedWAL(t *testing.T) {
 	var health map[string]any
 	json.NewDecoder(hr.Body).Decode(&health)
 	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable || health["status"] != "degraded" || health["reason"] == nil {
+	if hr.StatusCode != http.StatusOK || health["status"] != "degraded" || health["ready"] != false || health["reason"] == nil {
 		t.Fatalf("healthz while degraded: %d %v", hr.StatusCode, health)
+	}
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readiness map[string]any
+	json.NewDecoder(rr.Body).Decode(&readiness)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable || readiness["status"] != "degraded" || readiness["reason"] == nil {
+		t.Fatalf("readyz while degraded: %d %v", rr.StatusCode, readiness)
 	}
 
 	dr, err := http.Get(ts.URL + "/diagnosis")

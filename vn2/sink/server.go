@@ -97,6 +97,17 @@ type Server struct {
 	lastGood     atomic.Pointer[online.Summary] // served read-only while degraded
 	drainFails   atomic.Uint64                  // consecutive failed drains
 	backlogTicks atomic.Uint64                  // consecutive drain ticks at full pressure
+
+	// draining flips when graceful shutdown starts: the process is still
+	// live (/healthz stays 200 so supervisors do not double-kill it) but
+	// /readyz answers 503 so routers stop sending it new work.
+	draining atomic.Bool
+
+	// Shard handoff (see handoff.go).
+	handoffExports  atomic.Uint64 // slices exported to a peer shard
+	handoffImports  atomic.Uint64 // slices accepted from a peer shard
+	handoffReleases atomic.Uint64 // node sets released after a durable import
+	handoffNodes    atomic.Uint64 // nodes moved in (imports), cumulative
 }
 
 // enterDegraded flips the server into read-only last-good mode. The first
@@ -151,6 +162,36 @@ func (s *Server) enqueueSwapBarrier(rec store.SwapRecord, apply func()) error {
 			s.applied.Mark(lsn)
 		}
 		return fmt.Errorf("serve: ingest queue full, swap v%d deferred to WAL replay", rec.Version)
+	}
+}
+
+// enqueueApplyWait inserts an Apply barrier into the ingest queue and
+// waits for the ingest loop to run it, so the operation observes every
+// report queued before it and none queued after — the same ordering the
+// WAL gives a replay. The handoff handlers ride this: an export computed
+// here cannot miss an already-ACKed report, and a drop cannot outrun one.
+// The caller must already hold whatever gates its WAL append needed.
+func (s *Server) enqueueApplyWait(lsn uint64, apply func()) error {
+	done := make(chan struct{})
+	item := ingest.Item{LSN: lsn, Apply: func() {
+		apply()
+		close(done)
+	}}
+	select {
+	case s.queue <- item:
+	case <-time.After(5 * time.Second):
+		// Queue wedged full. A journaled record is not lost — a restart
+		// replays it — but the live operation did not happen.
+		if s.jnl != nil && lsn != 0 {
+			s.applied.Mark(lsn)
+		}
+		return fmt.Errorf("serve: ingest queue full, operation deferred to WAL replay")
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("serve: ingest loop did not apply the operation in time")
 	}
 }
 
@@ -433,6 +474,9 @@ func (s *Server) Run(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "vn2 serve: shutting down")
+	// From here the process is draining: still alive (liveness stays 200)
+	// but no longer a routing target (/readyz flips to 503).
+	s.draining.Store(true)
 	// Budget must exceed net/http's ~5s grace for StateNew connections
 	// (dialed but never used), or a single racing client dial makes
 	// Shutdown report DeadlineExceeded.

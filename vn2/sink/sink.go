@@ -71,8 +71,9 @@ type Options struct {
 	LifecycleSync  bool          // run retrains inline in DrainTick (tests/chaos only)
 
 	// Visibility plane.
-	EventJournal int // bus replay journal capacity (0 = bus.DefaultJournal)
-	StreamBuffer int // per-/stream-subscriber ring capacity (0 = 64)
+	EventJournal      int // bus replay journal capacity (0 = bus.DefaultJournal)
+	EventJournalBytes int // bus replay journal byte budget (0 = bus.DefaultJournalBytes)
+	StreamBuffer      int // per-/stream-subscriber ring capacity (0 = 64)
 
 	// Persistent frame-stream ingest edge (the -stream-addr flag; empty =
 	// no raw-TCP listener, HTTP ingest only).
@@ -250,7 +251,7 @@ func New(o Options) (*Server, error) {
 		binDec:  ingest.NewBinaryDecoder(),
 		binEnc:  packet.NewFrameEncoder(),
 	}
-	s.bus = bus.New(o.EventJournal)
+	s.bus = bus.NewWithBytes(o.EventJournal, o.EventJournalBytes)
 	s.lc = lifecycle.New(lifecycle.Config{
 		Enabled:        o.Lifecycle,
 		ModelsDir:      o.ModelsDir,
@@ -312,6 +313,13 @@ func New(o Options) (*Server, error) {
 				}
 				s.walReplayed.Add(1)
 				return nil
+			}
+			if kind == store.KindHandoff {
+				// A shard handoff replays at exactly its LSN position: the
+				// moved nodes' own report records land first, then the
+				// import/drop — the same ordering the live queue barrier
+				// enforced.
+				return s.replayHandoff(inner)
 			}
 			if kind == store.KindBatch {
 				// A batched binary frame: one WAL record carrying many

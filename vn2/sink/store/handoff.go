@@ -1,0 +1,50 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/wsn-tools/vn2/internal/packet"
+	"github.com/wsn-tools/vn2/internal/wal"
+)
+
+// Handoff directions. A rebalance writes one record on each side: the
+// releasing shard journals HandoffOut (these nodes stopped being owned
+// here at this LSN), the accepting shard journals HandoffIn carrying the
+// moved slice itself.
+const (
+	HandoffOut = "out"
+	HandoffIn  = "in"
+)
+
+// HandoffRecord is the KindHandoff WAL payload. Slice is the marshalled
+// online.NodeSlice, kept opaque here so store stays below the monitor in
+// the layering; it is set only on HandoffIn records (the releasing side
+// needs just the node list — its WAL already contains the nodes' own
+// report records, and replay re-drops them at this record's position).
+type HandoffRecord struct {
+	Dir   string          `json:"dir"`
+	Nodes []packet.NodeID `json:"nodes,omitempty"`
+	Slice json.RawMessage `json:"slice,omitempty"`
+}
+
+// AppendHandoffSync journals a handoff record and fsyncs it immediately,
+// with NO retries — same fail-fast policy as AppendSwapSync: a handoff
+// that cannot be made durable must be reported to the orchestrator, not
+// silently retried while ownership is ambiguous.
+func (j *Journal) AppendHandoffSync(rec HandoffRecord) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := j.w.Append(wal.Encode(wal.KindHandoff, payload))
+	if err != nil {
+		j.errs.Add(1)
+		return 0, fmt.Errorf("journal handoff record: %w", err)
+	}
+	if err := j.w.Sync(); err != nil {
+		j.errs.Add(1)
+		return 0, fmt.Errorf("sync handoff record: %w", err)
+	}
+	return lsn, nil
+}

@@ -24,9 +24,10 @@ type RecordKind = wal.Kind
 
 // Journal frame kinds.
 const (
-	KindRaw   = wal.KindRaw
-	KindSwap  = wal.KindSwap
-	KindBatch = wal.KindBatch
+	KindRaw     = wal.KindRaw
+	KindSwap    = wal.KindSwap
+	KindBatch   = wal.KindBatch
+	KindHandoff = wal.KindHandoff
 )
 
 // Journal wraps the write-ahead log with the sink's append/sync policy:

@@ -169,7 +169,9 @@ func (st *streamSrv) acceptLoop() {
 			// Tell the peer why before hanging up; best effort.
 			st.s.streamRejects.Add(1)
 			c.SetWriteDeadline(time.Now().Add(st.writeTimeout))
-			c.Write(packet.AppendStreamResp(nil, packet.StreamResp{Status: packet.StreamNackUnavailable}))
+			c.Write(packet.AppendStreamResp(nil, packet.StreamResp{
+				Status: packet.StreamNackUnavailable, RetryAfter: retryAfterUnavailable,
+			}))
 			c.Close()
 			continue
 		}
@@ -220,7 +222,9 @@ func (st *streamSrv) handle(c net.Conn) {
 			st.s.streamNacks.Add(1)
 		}
 		c.SetWriteDeadline(time.Now().Add(st.writeTimeout))
-		resp = packet.AppendStreamResp(resp[:0], packet.StreamResp{Status: out.status, Accepted: out.accepted})
+		resp = packet.AppendStreamResp(resp[:0], packet.StreamResp{
+			Status: out.status, Accepted: out.accepted, RetryAfter: out.retryAfter,
+		})
 		if _, err := c.Write(resp); err != nil {
 			return
 		}
